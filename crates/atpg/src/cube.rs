@@ -1,0 +1,184 @@
+use std::fmt;
+
+use eea_faultsim::PatternBlock;
+use eea_netlist::Circuit;
+
+/// A partially specified test pattern over the full-scan pattern sources
+/// (primary inputs first, then flip-flops).
+///
+/// Unassigned positions are *don't-cares*; their count drives the
+/// encoded-deterministic-data size model in `eea-bist` (test-data
+/// compression stores roughly the care bits plus control overhead, which is
+/// why Table I's data sizes shrink as more faults are covered by random
+/// patterns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCube {
+    values: Vec<Option<bool>>,
+}
+
+impl TestCube {
+    /// An all-don't-care cube of the circuit's pattern width.
+    pub fn unspecified(circuit: &Circuit) -> Self {
+        TestCube {
+            values: vec![None; circuit.pattern_width()],
+        }
+    }
+
+    /// Builds a cube from explicit values.
+    pub fn from_values(values: Vec<Option<bool>>) -> Self {
+        TestCube { values }
+    }
+
+    /// Pattern width.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the cube has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at source `i` (`None` = don't-care).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<bool> {
+        self.values[i]
+    }
+
+    /// Sets source `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        self.values[i] = Some(v);
+    }
+
+    /// Clears source `i` back to don't-care.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.values[i] = None;
+    }
+
+    /// Number of specified (care) bits.
+    pub fn care_bits(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Fills the don't-cares with bits drawn from `fill`, returning a fully
+    /// specified bit vector. `fill` is typically an LFSR state or a seeded
+    /// RNG stream; random fill gives deterministic patterns a chance to
+    /// detect additional faults fortuitously.
+    pub fn filled_with(&self, mut fill: impl FnMut() -> bool) -> Vec<bool> {
+        self.values
+            .iter()
+            .map(|v| v.unwrap_or_else(&mut fill))
+            .collect()
+    }
+
+    /// Whether `other` is compatible (no conflicting care bit).
+    pub fn compatible(&self, other: &TestCube) -> bool {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .all(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            })
+    }
+
+    /// Merges `other` into `self` (static compaction of compatible cubes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cubes are incompatible or differ in width.
+    pub fn merge(&mut self, other: &TestCube) {
+        assert_eq!(self.len(), other.len(), "cube width mismatch");
+        assert!(self.compatible(other), "merging incompatible cubes");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            if a.is_none() {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Packs fully specified versions of `cubes` (don't-cares zero-filled)
+    /// into 64-wide pattern blocks for the fault simulator.
+    pub fn pack_blocks(circuit: &Circuit, cubes: &[TestCube]) -> Vec<PatternBlock> {
+        cubes
+            .chunks(64)
+            .map(|chunk| {
+                let mut block = PatternBlock::zeroed(circuit, chunk.len());
+                for (j, cube) in chunk.iter().enumerate() {
+                    for (i, v) in cube.values.iter().enumerate() {
+                        if let Some(true) = v {
+                            block.set(i, j, true);
+                        }
+                    }
+                }
+                block
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for TestCube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.values {
+            let ch = match v {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => 'X',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eea_netlist::bench_format;
+
+    #[test]
+    fn care_bits_and_display() {
+        let mut c = TestCube::from_values(vec![None; 5]);
+        c.set(0, true);
+        c.set(3, false);
+        assert_eq!(c.care_bits(), 2);
+        assert_eq!(c.to_string(), "1XX0X");
+        c.clear(0);
+        assert_eq!(c.care_bits(), 1);
+    }
+
+    #[test]
+    fn compatibility_and_merge() {
+        let a = TestCube::from_values(vec![Some(true), None, Some(false)]);
+        let b = TestCube::from_values(vec![None, Some(true), Some(false)]);
+        let c = TestCube::from_values(vec![Some(false), None, None]);
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&c));
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.to_string(), "110");
+    }
+
+    #[test]
+    fn filled_with_fills_only_dont_cares() {
+        let c = TestCube::from_values(vec![Some(true), None, Some(false), None]);
+        let filled = c.filled_with(|| true);
+        assert_eq!(filled, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn pack_blocks_roundtrip() {
+        let circ = bench_format::parse(bench_format::C17).unwrap();
+        let mut cube = TestCube::unspecified(&circ);
+        cube.set(0, true);
+        cube.set(4, true);
+        let blocks = TestCube::pack_blocks(&circ, &[cube]);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len(), 1);
+        assert!(blocks[0].get(0, 0));
+        assert!(blocks[0].get(4, 0));
+        assert!(!blocks[0].get(1, 0));
+    }
+}

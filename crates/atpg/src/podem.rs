@@ -1,0 +1,617 @@
+//! The PODEM (Path-Oriented DEcision Making) algorithm.
+//!
+//! PODEM searches the space of primary-input assignments only (not internal
+//! lines), which keeps the implication step a plain forward simulation and
+//! makes the search complete: if the decision tree is exhausted without a
+//! test, the fault is provably untestable (redundant).
+
+use eea_faultsim::{Fault, FaultSite};
+use eea_netlist::{Circuit, GateId, GateKind};
+
+use crate::cube::TestCube;
+
+const X: u8 = 2;
+
+/// Result of one PODEM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtpgOutcome {
+    /// A test cube detecting the fault.
+    Test(TestCube),
+    /// The fault is provably untestable (search space exhausted).
+    Untestable,
+    /// The backtrack limit was hit before a verdict.
+    Aborted,
+}
+
+/// PODEM test generator for one circuit.
+///
+/// Reusable across faults; buffers are allocated once.
+#[derive(Debug)]
+pub struct Podem<'c> {
+    circuit: &'c Circuit,
+    backtrack_limit: u64,
+    good: Vec<u8>,
+    faulty: Vec<u8>,
+    /// gate id -> pattern-source index (or usize::MAX).
+    source_index: Vec<usize>,
+    /// observation gates: primary outputs and flip-flop drivers.
+    obs_gates: Vec<GateId>,
+    is_obs: Vec<bool>,
+    assignment: Vec<Option<bool>>,
+    xpath_seen: Vec<u32>,
+    xpath_epoch: u32,
+    /// SCOAP 0-/1-controllability per gate; guides the backtrace.
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+}
+
+/// SCOAP controllability (CC0, CC1) per gate: the classic testability
+/// measure — roughly, the number of lines that must be set to control a
+/// line to 0/1.
+fn scoap(circuit: &Circuit) -> (Vec<u32>, Vec<u32>) {
+    let n = circuit.num_gates();
+    let mut cc0 = vec![1u32; n];
+    let mut cc1 = vec![1u32; n];
+    let sum = |it: &mut dyn Iterator<Item = u32>| -> u32 {
+        it.fold(0u32, |a, b| a.saturating_add(b)).saturating_add(1)
+    };
+    for &g in circuit.topo_order() {
+        let i = g.index();
+        let fanin = circuit.fanin(g);
+        let f0 = |f: &GateId| cc0[f.index()];
+        let f1 = |f: &GateId| cc1[f.index()];
+        let (c0, c1) = match circuit.kind(g) {
+            GateKind::And => (
+                fanin.iter().map(f0).min().unwrap_or(0).saturating_add(1),
+                sum(&mut fanin.iter().map(f1)),
+            ),
+            GateKind::Nand => (
+                sum(&mut fanin.iter().map(f1)),
+                fanin.iter().map(f0).min().unwrap_or(0).saturating_add(1),
+            ),
+            GateKind::Or => (
+                sum(&mut fanin.iter().map(f0)),
+                fanin.iter().map(f1).min().unwrap_or(0).saturating_add(1),
+            ),
+            GateKind::Nor => (
+                fanin.iter().map(f1).min().unwrap_or(0).saturating_add(1),
+                sum(&mut fanin.iter().map(f0)),
+            ),
+            GateKind::Not => (f1(&fanin[0]).saturating_add(1), f0(&fanin[0]).saturating_add(1)),
+            GateKind::Buf => (f0(&fanin[0]).saturating_add(1), f1(&fanin[0]).saturating_add(1)),
+            GateKind::Xor | GateKind::Xnor => {
+                // Approximation for multi-input XOR: cheapest even/odd mix.
+                let base: u32 = fanin
+                    .iter()
+                    .map(|f| f0(f).min(f1(f)))
+                    .fold(0, |a, b| a.saturating_add(b));
+                let spread = fanin
+                    .iter()
+                    .map(|f| f0(f).abs_diff(f1(f)))
+                    .min()
+                    .unwrap_or(0);
+                let even = base.saturating_add(1);
+                let odd = base.saturating_add(spread).saturating_add(1);
+                if circuit.kind(g) == GateKind::Xor {
+                    (even, odd)
+                } else {
+                    (odd, even)
+                }
+            }
+            GateKind::Input | GateKind::Dff => (1, 1),
+        };
+        cc0[i] = c0;
+        cc1[i] = c1;
+    }
+    (cc0, cc1)
+}
+
+impl<'c> Podem<'c> {
+    /// Creates a generator with the given backtrack limit (per fault).
+    pub fn new(circuit: &'c Circuit, backtrack_limit: u64) -> Self {
+        let n = circuit.num_gates();
+        let mut source_index = vec![usize::MAX; n];
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            source_index[pi.index()] = i;
+        }
+        let npi = circuit.num_inputs();
+        for (i, &ff) in circuit.dffs().iter().enumerate() {
+            source_index[ff.index()] = npi + i;
+        }
+        let mut is_obs = vec![false; n];
+        let mut obs_gates = Vec::new();
+        for &o in circuit.outputs() {
+            if !is_obs[o.index()] {
+                is_obs[o.index()] = true;
+                obs_gates.push(o);
+            }
+        }
+        for &ff in circuit.dffs() {
+            let d = circuit.fanin(ff)[0];
+            if !is_obs[d.index()] {
+                is_obs[d.index()] = true;
+                obs_gates.push(d);
+            }
+        }
+        let (cc0, cc1) = scoap(circuit);
+        Podem {
+            circuit,
+            backtrack_limit,
+            good: vec![X; n],
+            faulty: vec![X; n],
+            source_index,
+            obs_gates,
+            is_obs,
+            assignment: vec![None; circuit.pattern_width()],
+            xpath_seen: vec![0; n],
+            xpath_epoch: 0,
+            cc0,
+            cc1,
+        }
+    }
+
+    /// Controllability cost of setting `g` to `v`.
+    #[inline]
+    fn cc(&self, g: GateId, v: bool) -> u32 {
+        if v {
+            self.cc1[g.index()]
+        } else {
+            self.cc0[g.index()]
+        }
+    }
+
+    /// Generates a test for `fault`.
+    pub fn run(&mut self, fault: Fault) -> AtpgOutcome {
+        self.assignment.iter_mut().for_each(|a| *a = None);
+        // Decision stack: (source index, current value, tried_both).
+        let mut decisions: Vec<(usize, bool, bool)> = Vec::new();
+        let mut backtracks: u64 = 0;
+
+        loop {
+            self.imply(fault);
+            if self.detected(fault) {
+                let values: Vec<Option<bool>> = self.assignment.clone();
+                return AtpgOutcome::Test(TestCube::from_values(values));
+            }
+            let objective = self.objective(fault);
+            let next = objective.and_then(|(g, v)| self.backtrace(g, v));
+            match next {
+                Some((src, val)) => {
+                    self.assignment[src] = Some(val);
+                    decisions.push((src, val, false));
+                }
+                None => {
+                    // Conflict or no progress possible: backtrack.
+                    backtracks += 1;
+                    if backtracks > self.backtrack_limit {
+                        return AtpgOutcome::Aborted;
+                    }
+                    loop {
+                        match decisions.pop() {
+                            None => return AtpgOutcome::Untestable,
+                            Some((src, val, tried_both)) => {
+                                self.assignment[src] = None;
+                                if !tried_both {
+                                    self.assignment[src] = Some(!val);
+                                    decisions.push((src, !val, true));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward two-plane implication of the current assignment.
+    fn imply(&mut self, fault: Fault) {
+        let c = self.circuit;
+        for g in c.gate_ids() {
+            let i = g.index();
+            if c.kind(g).is_combinational_source() {
+                let v = match self.assignment[self.source_index[i]] {
+                    Some(true) => 1,
+                    Some(false) => 0,
+                    None => X,
+                };
+                self.good[i] = v;
+                self.faulty[i] = v;
+            }
+        }
+        // Stem fault on a source line.
+        if let FaultSite::Stem(g) = fault.site {
+            if c.kind(g).is_combinational_source() {
+                self.faulty[g.index()] = u8::from(fault.stuck_at);
+            }
+        }
+        let mut buf_g: Vec<u8> = Vec::with_capacity(8);
+        let mut buf_f: Vec<u8> = Vec::with_capacity(8);
+        for &g in c.topo_order() {
+            buf_g.clear();
+            buf_f.clear();
+            for (pin, &f) in c.fanin(g).iter().enumerate() {
+                let mut fv = self.faulty[f.index()];
+                if let FaultSite::Pin { gate, pin: fp } = fault.site {
+                    if gate == g && fp as usize == pin {
+                        fv = u8::from(fault.stuck_at);
+                    }
+                }
+                buf_g.push(self.good[f.index()]);
+                buf_f.push(fv);
+            }
+            let kind = c.kind(g);
+            self.good[g.index()] = eval3(kind, &buf_g);
+            let mut fv = eval3(kind, &buf_f);
+            if let FaultSite::Stem(s) = fault.site {
+                if s == g {
+                    fv = u8::from(fault.stuck_at);
+                }
+            }
+            self.faulty[g.index()] = fv;
+        }
+    }
+
+    /// Whether the fault effect currently reaches an observation point.
+    fn detected(&self, fault: Fault) -> bool {
+        for &o in &self.obs_gates {
+            let (g, f) = (self.good[o.index()], self.faulty[o.index()]);
+            if g != X && f != X && g != f {
+                return true;
+            }
+        }
+        // Fault on a flip-flop data pin is observed at that pin directly.
+        if let FaultSite::Pin { gate, .. } = fault.site {
+            if self.circuit.kind(gate) == GateKind::Dff {
+                let d = self.circuit.fanin(gate)[0];
+                let g = self.good[d.index()];
+                return g != X && g != u8::from(fault.stuck_at);
+            }
+        }
+        false
+    }
+
+    /// Next objective `(gate, value)` or `None` when the current partial
+    /// assignment cannot lead to a detection (triggering a backtrack).
+    fn objective(&mut self, fault: Fault) -> Option<(GateId, bool)> {
+        let c = self.circuit;
+        // 1. Activation: the faulted line's good value must be the opposite
+        //    of the stuck-at value.
+        let activation_line = match fault.site {
+            FaultSite::Stem(g) => g,
+            FaultSite::Pin { gate, pin } => c.fanin(gate)[pin as usize],
+        };
+        let want = !fault.stuck_at;
+        match self.good[activation_line.index()] {
+            v if v == X => return Some((activation_line, want)),
+            v if v == u8::from(fault.stuck_at) => return None, // activation failed
+            _ => {}
+        }
+        // Fault is activated. If the effect vanished everywhere and nothing
+        // is X any more on its paths, we are stuck; use D-frontier + X-path.
+        let effect = |i: usize| -> bool {
+            self.good[i] != X && self.faulty[i] != X && self.good[i] != self.faulty[i]
+        };
+        // Collect the D-frontier: gates with an effect on an input but an
+        // undetermined output.
+        let mut frontier: Vec<GateId> = Vec::new();
+        let mut any_effect = false;
+        for g in c.gate_ids() {
+            let i = g.index();
+            if c.kind(g).is_combinational_source() {
+                if effect(i) {
+                    any_effect = true;
+                }
+                continue;
+            }
+            if effect(i) {
+                any_effect = true;
+                continue;
+            }
+            if self.good[i] == X || self.faulty[i] == X {
+                let input_effect = c.fanin(g).iter().enumerate().any(|(pin, &f)| {
+                    let mut fv = self.faulty[f.index()];
+                    if let FaultSite::Pin { gate, pin: fp } = fault.site {
+                        if gate == g && fp as usize == pin {
+                            fv = u8::from(fault.stuck_at);
+                        }
+                    }
+                    let gv = self.good[f.index()];
+                    gv != X && fv != X && gv != fv
+                });
+                if input_effect {
+                    any_effect = true;
+                    frontier.push(g);
+                }
+            }
+        }
+        if !any_effect {
+            return None;
+        }
+        // The search may only backtrack when NO frontier gate can still
+        // reach an observation point — checking a single gate would prune
+        // valid branches and wrongly classify faults as untestable.
+        // Prefer the lowest-level gate (cheapest to justify) among those
+        // with an X-path.
+        frontier.sort_by_key(|&g| c.level(g));
+        for g in frontier {
+            if !self.has_x_path(g) {
+                continue;
+            }
+            // Set an X input to the non-controlling value.
+            let pick = c
+                .fanin(g)
+                .iter()
+                .find(|&&f| self.good[f.index()] == X)
+                .copied();
+            if let Some(f) = pick {
+                let v = match c.kind(g).controlling_value() {
+                    Some(ctrl) => !ctrl,
+                    None => false, // XOR/XNOR: any defined value unblocks
+                };
+                return Some((f, v));
+            }
+        }
+        None
+    }
+
+    /// Whether some gate with composite-X output leads from `from` to an
+    /// observation point (X-path check).
+    fn has_x_path(&mut self, from: GateId) -> bool {
+        self.xpath_epoch += 1;
+        let epoch = self.xpath_epoch;
+        let c = self.circuit;
+        let mut stack = vec![from];
+        while let Some(g) = stack.pop() {
+            if self.xpath_seen[g.index()] == epoch {
+                continue;
+            }
+            self.xpath_seen[g.index()] = epoch;
+            if self.is_obs[g.index()] {
+                return true;
+            }
+            for &s in c.fanout(g) {
+                if c.kind(s) == GateKind::Dff {
+                    // The driver of a DFF is an observation gate, already
+                    // covered by is_obs on `g` itself.
+                    continue;
+                }
+                if self.good[s.index()] == X || self.faulty[s.index()] == X {
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Maps an objective to a primary-input (or scan-cell) assignment by
+    /// walking backwards through X-valued lines.
+    fn backtrace(&self, gate: GateId, value: bool) -> Option<(usize, bool)> {
+        let c = self.circuit;
+        let mut g = gate;
+        let mut v = value;
+        loop {
+            let i = g.index();
+            if c.kind(g).is_combinational_source() {
+                if self.good[i] != X {
+                    return None; // already assigned; objective unreachable
+                }
+                return Some((self.source_index[i], v));
+            }
+            let kind = c.kind(g);
+            let mut xs = c
+                .fanin(g)
+                .iter()
+                .filter(|&&f| self.good[f.index()] == X)
+                .copied();
+            let first = xs.next()?;
+            let (next, v_next) = match kind {
+                GateKind::Not => (first, !v),
+                GateKind::Buf => (first, v),
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let ctrl = kind.controlling_value().expect("has controlling value");
+                    let pre = v ^ kind.inverts();
+                    if pre == ctrl {
+                        // One controlling input suffices: pick the X input
+                        // that is easiest to drive to the controlling value.
+                        let pick = std::iter::once(first)
+                            .chain(xs)
+                            .min_by_key(|&f| self.cc(f, ctrl))
+                            .expect("at least one X input");
+                        (pick, ctrl)
+                    } else {
+                        // All inputs must be non-controlling: tackle the
+                        // hardest one first so conflicts surface early.
+                        let pick = std::iter::once(first)
+                            .chain(xs)
+                            .max_by_key(|&f| self.cc(f, !ctrl))
+                            .expect("at least one X input");
+                        (pick, !ctrl)
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Assume remaining X inputs resolve to 0; required value
+                    // = target corrected by inversion and defined parity.
+                    let defined_parity = c
+                        .fanin(g)
+                        .iter()
+                        .filter(|&&f| self.good[f.index()] != X)
+                        .fold(false, |p, &f| p ^ (self.good[f.index()] == 1));
+                    let need = v ^ (kind == GateKind::Xnor) ^ defined_parity;
+                    (first, need)
+                }
+                GateKind::Input | GateKind::Dff => unreachable!("sources handled above"),
+            };
+            v = v_next;
+            g = next;
+        }
+    }
+}
+
+/// Three-valued gate evaluation (0, 1, X).
+fn eval3(kind: GateKind, fanin: &[u8]) -> u8 {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let mut v = 1u8;
+            for &f in fanin {
+                if f == 0 {
+                    v = 0;
+                    break;
+                }
+                if f == X {
+                    v = X;
+                }
+            }
+            if v == X {
+                X
+            } else if kind == GateKind::Nand {
+                v ^ 1
+            } else {
+                v
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut v = 0u8;
+            for &f in fanin {
+                if f == 1 {
+                    v = 1;
+                    break;
+                }
+                if f == X {
+                    v = X;
+                }
+            }
+            if v == X {
+                X
+            } else if kind == GateKind::Nor {
+                v ^ 1
+            } else {
+                v
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut v = 0u8;
+            for &f in fanin {
+                if f == X {
+                    return X;
+                }
+                v ^= f;
+            }
+            if kind == GateKind::Xnor {
+                v ^ 1
+            } else {
+                v
+            }
+        }
+        GateKind::Not => match fanin[0] {
+            X => X,
+            v => v ^ 1,
+        },
+        GateKind::Buf => fanin[0],
+        GateKind::Input | GateKind::Dff => unreachable!("sources are not evaluated"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eea_faultsim::{FaultSim, FaultUniverse, PatternBlock};
+    use eea_netlist::{bench_format, CircuitBuilder};
+
+    #[test]
+    fn eval3_truth_tables() {
+        assert_eq!(eval3(GateKind::And, &[1, 1]), 1);
+        assert_eq!(eval3(GateKind::And, &[0, X]), 0);
+        assert_eq!(eval3(GateKind::And, &[1, X]), X);
+        assert_eq!(eval3(GateKind::Nor, &[0, 0]), 1);
+        assert_eq!(eval3(GateKind::Nor, &[X, 1]), 0);
+        assert_eq!(eval3(GateKind::Xor, &[1, X]), X);
+        assert_eq!(eval3(GateKind::Xnor, &[1, 1]), 1);
+        assert_eq!(eval3(GateKind::Not, &[X]), X);
+    }
+
+    #[test]
+    fn c17_all_faults_testable() {
+        let c = bench_format::parse(bench_format::C17).unwrap();
+        let universe = FaultUniverse::collapsed(&c);
+        let mut podem = Podem::new(&c, 10_000);
+        let mut sim = FaultSim::new(&c);
+        for fi in 0..universe.num_faults() {
+            let fault = universe.fault(fi);
+            match podem.run(fault) {
+                AtpgOutcome::Test(cube) => {
+                    // Verify with the fault simulator.
+                    let filled = cube.filled_with(|| false);
+                    let block = PatternBlock::from_patterns(&c, &[filled]);
+                    sim.run_good(&block);
+                    assert_ne!(
+                        sim.detect_mask(fault, &block, false),
+                        0,
+                        "cube {cube} does not detect {fault}"
+                    );
+                }
+                other => panic!("{fault}: expected test, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn redundant_fault_proven_untestable() {
+        // y = OR(a, AND(a, b)): the AND gate is redundant (absorption), so
+        // AND-output stuck-at-0 is untestable.
+        let mut bld = CircuitBuilder::new();
+        let a = bld.input("a");
+        let b = bld.input("b");
+        let m = bld.gate(GateKind::And, &[a, b], "m");
+        let y = bld.gate(GateKind::Or, &[a, m], "y");
+        bld.output(y);
+        let c = bld.finish().unwrap();
+        let mut podem = Podem::new(&c, 10_000);
+        let fault = Fault::sa0(FaultSite::Stem(m));
+        assert_eq!(podem.run(fault), AtpgOutcome::Untestable);
+        // The OR output itself is testable.
+        assert!(matches!(
+            podem.run(Fault::sa0(FaultSite::Stem(y))),
+            AtpgOutcome::Test(_)
+        ));
+    }
+
+    #[test]
+    fn sequential_circuit_scan_faults() {
+        let c = bench_format::parse(bench_format::S27).unwrap();
+        let universe = FaultUniverse::collapsed(&c);
+        let mut podem = Podem::new(&c, 50_000);
+        let mut sim = FaultSim::new(&c);
+        let mut tested = 0;
+        for fi in 0..universe.num_faults() {
+            let fault = universe.fault(fi);
+            if let AtpgOutcome::Test(cube) = podem.run(fault) {
+                let filled = cube.filled_with(|| false);
+                let block = PatternBlock::from_patterns(&c, &[filled]);
+                sim.run_good(&block);
+                assert_ne!(sim.detect_mask(fault, &block, false), 0);
+                tested += 1;
+            }
+        }
+        // s27 in full scan is fully testable.
+        assert_eq!(tested, universe.num_faults());
+    }
+
+    #[test]
+    fn aborted_with_tiny_limit() {
+        let c = bench_format::parse(bench_format::S27).unwrap();
+        let universe = FaultUniverse::collapsed(&c);
+        let mut podem = Podem::new(&c, 0);
+        // With a zero backtrack budget some fault must abort (any fault that
+        // needs at least one backtrack).
+        let mut aborted = 0;
+        for fi in 0..universe.num_faults() {
+            if podem.run(universe.fault(fi)) == AtpgOutcome::Aborted {
+                aborted += 1;
+            }
+        }
+        // Not asserting a specific count — just that the limit is honoured
+        // and nothing panics.
+        let _ = aborted;
+    }
+}

@@ -1,0 +1,41 @@
+//! Throughput of the CAN substrate: event-driven bus simulation vs the
+//! analytical response-time analysis, and the mirroring transform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eea_can::{analyze, mirror_messages, BusSim, CanId, Message, BUS_BITRATE_BPS};
+
+fn schedule(n: usize) -> Vec<Message> {
+    (0..n)
+        .map(|i| {
+            let id = CanId::new((0x100 + i * 8) as u16).expect("valid");
+            let payload = 1 + (i % 8) as u8;
+            let period = [5_000u64, 10_000, 20_000, 50_000][i % 4];
+            Message::new(id, payload, period).expect("valid")
+        })
+        .collect()
+}
+
+fn bench_can(c: &mut Criterion) {
+    let msgs = schedule(30);
+    let mut group = c.benchmark_group("can");
+    group.sample_size(20);
+
+    group.bench_function("simulate_1s_30_messages", |b| {
+        let sim = BusSim::new(BUS_BITRATE_BPS);
+        b.iter(|| sim.run(&msgs, 1_000_000))
+    });
+
+    group.bench_function("rta_30_messages", |b| {
+        b.iter(|| analyze(&msgs, BUS_BITRATE_BPS))
+    });
+
+    group.bench_function("mirror_8_messages", |b| {
+        let under_test = schedule(8);
+        b.iter(|| mirror_messages(&under_test, 0x400, &msgs[8..]).expect("mirrors"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_can);
+criterion_main!(benches);

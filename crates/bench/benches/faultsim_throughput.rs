@@ -1,0 +1,60 @@
+//! Ablation: bit-parallel PPSFP vs a naive serial (one pattern at a time)
+//! fault simulation. The 64-way parallelism is what makes BIST profile
+//! generation tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eea_faultsim::{FaultSim, FaultUniverse, PatternBlock};
+use eea_netlist::{synthesize, SynthConfig};
+
+fn random_block(c: &eea_netlist::Circuit, rng: &mut u64, count: usize) -> PatternBlock {
+    let mut block = PatternBlock::zeroed(c, count);
+    for i in 0..c.pattern_width() {
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        *block.word_mut(i) = *rng;
+    }
+    block
+}
+
+fn bench_parallel_vs_serial(c: &mut Criterion) {
+    let circuit = synthesize(&SynthConfig {
+        gates: 600,
+        inputs: 24,
+        dffs: 48,
+        seed: 0xFA57,
+        ..SynthConfig::default()
+    });
+
+    let mut group = c.benchmark_group("faultsim_64_patterns");
+    group.sample_size(20);
+
+    group.bench_function("bit_parallel_block", |b| {
+        let mut sim = FaultSim::new(&circuit);
+        let mut rng = 0x1234u64;
+        b.iter(|| {
+            let mut universe = FaultUniverse::collapsed(&circuit);
+            let block = random_block(&circuit, &mut rng, 64);
+            sim.detect_block(&block, &mut universe)
+        })
+    });
+
+    group.bench_function("serial_single_patterns", |b| {
+        let mut sim = FaultSim::new(&circuit);
+        let mut rng = 0x1234u64;
+        b.iter(|| {
+            let mut universe = FaultUniverse::collapsed(&circuit);
+            let mut total = 0;
+            for _ in 0..64 {
+                let block = random_block(&circuit, &mut rng, 1);
+                total += sim.detect_block(&block, &mut universe);
+            }
+            total
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_vs_serial);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation of the storage-placement design choice (the driver of Fig. 6):
+//! gateway-only vs local-only vs free placement.
+//!
+//! Measures the decode+evaluate cost of each placement policy and reports
+//! (once, on stderr) the objective deltas: gateway storage minimises cost
+//! but inflates shut-off time by the Eq. (1) transfers; local storage
+//! inverts the tradeoff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eea_bench::paper_diag_spec;
+use eea_dse::{evaluate, DseProblem};
+use eea_moea::Problem;
+
+fn corner(problem: &DseProblem<'_>, idx: usize) -> Vec<f64> {
+    problem.corner_genotypes()[idx].clone()
+}
+
+fn bench_storage_policies(c: &mut Criterion) {
+    let (_case, diag) = paper_diag_spec();
+    let mut problem = DseProblem::new(&diag);
+    let _ = problem.genotype_len();
+
+    // Report the tradeoff once.
+    let labels = ["no_bist", "all_local", "all_gateway"];
+    for (i, label) in labels.iter().enumerate() {
+        let g = corner(&problem, i);
+        let x = problem.decode(&g).expect("feasible corner");
+        let (obj, mem) = evaluate(&diag, &x);
+        eprintln!(
+            "{label:>12}: cost={:.1} quality={:.1}% shutoff={:.3}s gateway={}B local={}B",
+            obj.cost,
+            obj.test_quality * 100.0,
+            obj.shutoff_s,
+            mem.gateway_bytes,
+            mem.distributed_bytes
+        );
+    }
+
+    let mut group = c.benchmark_group("storage_policy_decode_evaluate");
+    group.sample_size(20);
+    for (i, label) in labels.iter().enumerate() {
+        let g = corner(&problem, i);
+        group.bench_function(*label, |b| {
+            b.iter(|| problem.evaluate(&g).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage_policies);
+criterion_main!(benches);

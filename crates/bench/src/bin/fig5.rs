@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 5**: the Pareto tradeoff between monetary cost and
+//! test quality, with markers split at a 20 s shut-off time.
+//!
+//! ```text
+//! cargo run -p eea-bench --bin fig5 --release
+//! EEA_EVALS=100000 cargo run -p eea-bench --bin fig5 --release   # paper budget
+//! ```
+
+use eea_bench::{env_u64, env_usize, run_case_study_exploration};
+use eea_dse::{fig5_ascii, fig5_csv, fig5_points};
+
+fn main() {
+    let evaluations = env_usize("EEA_EVALS", 10_000);
+    let seed = env_u64("EEA_SEED", 2014);
+    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed);
+
+    println!(
+        "{} evaluations in {:.1} s ({:.0} evals/s); paper: 100,000 in ~29 min (~57/s, 8 cores)",
+        result.evaluations,
+        result.duration_s,
+        result.evals_per_second()
+    );
+    println!(
+        "{} non-dominated implementations (paper: 176)",
+        result.front.len()
+    );
+
+    let points = fig5_points(&result.front);
+    let fast = points.iter().filter(|p| p.fast_shutoff).count();
+    println!(
+        "marker split at 20 s shut-off: {} fast (o / paper: bullet), {} slow (^ / paper: triangle)\n",
+        fast,
+        points.len() - fast
+    );
+    println!("{}", fig5_ascii(&points, 78, 22));
+
+    let csv = fig5_csv(&points);
+    std::fs::write("fig5.csv", &csv).expect("write fig5.csv");
+    println!("wrote fig5.csv ({} rows)", points.len());
+}

@@ -1,0 +1,54 @@
+//! Regenerates the **§IV-B headline numbers**:
+//!
+//! * evaluations per second (paper: 100,000 evaluations in ~29 min on an
+//!   8-core i7),
+//! * size of the non-dominated set (paper: 176),
+//! * best test quality within +3.7 % of the cost of a design without
+//!   structural tests (paper: 80.7 %).
+//!
+//! ```text
+//! cargo run -p eea-bench --bin headline --release
+//! EEA_EVALS=100000 cargo run -p eea-bench --bin headline --release
+//! ```
+
+use eea_bench::{env_u64, env_usize, run_case_study_exploration};
+use eea_dse::explore::baseline_cost;
+use eea_dse::headline_with_budget;
+use eea_model::paper_case_study;
+
+fn main() {
+    let evaluations = env_usize("EEA_EVALS", 10_000);
+    let seed = env_u64("EEA_SEED", 2014);
+    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed);
+
+    println!("== throughput ==");
+    println!(
+        "measured: {} evaluations in {:.1} s = {:.0} evals/s (single core)",
+        result.evaluations, result.duration_s, result.evals_per_second()
+    );
+    println!("paper:    100,000 evaluations in ~29 min = ~57 evals/s (8 cores)");
+
+    println!("\n== non-dominated set ==");
+    println!("measured: {} implementations", result.front.len());
+    println!("paper:    176 implementations (151 plotted in Fig. 5)");
+
+    println!("\n== quality within a +3.7 % cost budget ==");
+    let case = paper_case_study();
+    let base = baseline_cost(&case, 3_000, seed ^ 0xBA5E);
+    println!("baseline (cheapest design without structural tests): {base:.1}");
+    for factor in [1.01, 1.037, 1.10] {
+        match headline_with_budget(&result.front, Some(base), factor) {
+            Some(hl) => println!(
+                "budget +{:>4.1} %: best quality {:>6.2} % at actual +{:.2} %",
+                (factor - 1.0) * 100.0,
+                hl.best_quality_pct_in_budget,
+                hl.extra_cost_pct
+            ),
+            None => println!(
+                "budget +{:>4.1} %: no implementation fits",
+                (factor - 1.0) * 100.0
+            ),
+        }
+    }
+    println!("paper:    80.7 % test quality at < +3.7 %");
+}

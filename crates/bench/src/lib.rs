@@ -1,0 +1,93 @@
+//! Shared helpers of the experiment binaries and Criterion benches that
+//! regenerate the paper's tables and figures.
+//!
+//! Every experiment is deterministic for fixed parameters; environment
+//! variables scale the budgets:
+//!
+//! | variable | default | used by |
+//! |---|---|---|
+//! | `EEA_EVALS` | 10,000 | `fig5`, `fig6`, `headline` (paper: 100,000) |
+//! | `EEA_SEED` | 2014 | exploration seed |
+//! | `EEA_CUT_GATES` | 1,500 | `table1` CUT size |
+//! | `EEA_PRP_MAX` | 16,384 | `table1` largest PRP count (paper: 500,000) |
+
+use eea_bist::paper_table1;
+use eea_dse::{augment, explore, DiagSpec, DseConfig, DseResult};
+use eea_model::{paper_case_study, CaseStudy};
+
+/// Reads a `usize` environment knob with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` environment knob with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The paper's augmented case study: all 36 Table I profiles on all 15
+/// ECUs.
+pub fn paper_diag_spec() -> (CaseStudy, DiagSpec) {
+    let case = paper_case_study();
+    let diag = augment(&case, &paper_table1());
+    (case, diag)
+}
+
+/// Runs the case-study exploration with the standard experiment knobs.
+pub fn run_case_study_exploration(
+    evaluations: usize,
+    seed: u64,
+) -> (CaseStudy, DiagSpec, DseResult) {
+    let (case, diag) = paper_diag_spec();
+    let cfg = DseConfig {
+        nsga2: eea_moea::Nsga2Config {
+            population: 100.min(evaluations.max(2)),
+            evaluations,
+            seed,
+            ..eea_moea::Nsga2Config::default()
+        },
+    };
+    let result = explore(&diag, &cfg, |evals, archive| {
+        if evals % 2_000 < 100 {
+            eprintln!("  {evals} evaluations, archive = {archive}");
+        }
+    });
+    (case, diag, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_parse() {
+        std::env::remove_var("EEA_TEST_KNOB");
+        assert_eq!(env_usize("EEA_TEST_KNOB", 7), 7);
+        std::env::set_var("EEA_TEST_KNOB", "42");
+        assert_eq!(env_usize("EEA_TEST_KNOB", 7), 42);
+        assert_eq!(env_u64("EEA_TEST_KNOB", 7), 42);
+        std::env::set_var("EEA_TEST_KNOB", "garbage");
+        assert_eq!(env_usize("EEA_TEST_KNOB", 7), 7);
+        std::env::remove_var("EEA_TEST_KNOB");
+    }
+
+    #[test]
+    fn paper_spec_shape() {
+        let (case, diag) = paper_diag_spec();
+        assert_eq!(case.ecus().len(), 15);
+        assert_eq!(diag.options.len(), 540);
+    }
+
+    #[test]
+    fn tiny_exploration_runs() {
+        let (_, _, res) = run_case_study_exploration(50, 1);
+        assert_eq!(res.evaluations, 50);
+        assert!(!res.front.is_empty());
+    }
+}

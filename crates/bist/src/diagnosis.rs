@@ -1,0 +1,301 @@
+//! Logic diagnosis from fail data — the paper's *raison d'être*.
+//!
+//! Section I motivates the whole design flow with two consumers of the
+//! collected fail data:
+//!
+//! * **workshop repair** — the failing BIST session directly identifies the
+//!   faulty ECU (that part is the DSE's test-quality objective), and
+//! * **failure analysis** — "logic diagnosis of the faulty IC can proceed
+//!   with the collected information in the fail memory in order to find the
+//!   responsible faulty location" (Section IV-B).
+//!
+//! This module implements the second step in the spirit of the cited
+//! window-based diagnosis works (\[9\], \[10\]): with per-window MISR
+//! signatures ("strong windows"), the *set* of failing windows fingerprints
+//! a fault. Candidate stuck-at faults are ranked by the Jaccard similarity
+//! between their *predicted* failing-window set (from fault simulation of
+//! the session's pattern stream) and the *observed* one.
+
+use eea_faultsim::{Fault, FaultSim, FaultUniverse};
+use eea_netlist::Circuit;
+
+use crate::fail::FailData;
+use crate::lfsr::Lfsr;
+use crate::stumps::lfsr_pattern_block;
+
+/// A ranked diagnosis candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The candidate fault.
+    pub fault: Fault,
+    /// Match score in `[0, 1]` (1 = the candidate explains the observed
+    /// fail data perfectly).
+    pub score: f64,
+}
+
+/// Window-based logic diagnosis for one BIST session configuration.
+///
+/// Precomputes, per candidate fault, the set of windows whose signatures
+/// the fault would corrupt; [`diagnose`](Self::diagnose) then ranks
+/// candidates against observed fail data.
+///
+/// # Example
+///
+/// ```
+/// use eea_netlist::{synthesize, SynthConfig, ScanChains};
+/// use eea_bist::{Diagnoser, StumpsSession};
+/// use eea_faultsim::FaultUniverse;
+///
+/// let c = synthesize(&SynthConfig { gates: 120, inputs: 8, dffs: 16, seed: 3, ..SynthConfig::default() });
+/// let chains = ScanChains::balanced(&c, 4);
+/// let session = StumpsSession::new(&c, &chains, 0xACE1, 16);
+/// let golden = session.run_golden(128);
+///
+/// // Injected defect:
+/// let universe = FaultUniverse::collapsed(&c);
+/// let defect = universe.fault(7);
+/// let observed = session.run_with_fault(defect, &golden);
+///
+/// let diagnoser = Diagnoser::new(&c, &chains, 0xACE1, 16, 128);
+/// let ranked = diagnoser.diagnose(&observed);
+/// assert!(!observed.is_pass());
+/// // The true defect ranks at (or ties for) the top.
+/// let best = ranked[0].score;
+/// assert!(ranked.iter().any(|cand| cand.fault == defect && cand.score == best));
+/// ```
+#[derive(Debug)]
+pub struct Diagnoser {
+    /// Candidate faults with their predicted failing-window set (sorted;
+    /// empty for faults the session does not detect at all).
+    dictionary: Vec<(Fault, Vec<u32>)>,
+    windows: u32,
+}
+
+impl Diagnoser {
+    /// Builds the fault dictionary by simulating the session's pattern
+    /// stream once per fault (window granularity).
+    ///
+    /// Parameters mirror [`StumpsSession::new`](crate::StumpsSession::new)
+    /// plus the session length in `patterns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `patterns == 0`.
+    pub fn new(
+        circuit: &Circuit,
+        chains: &eea_netlist::ScanChains,
+        lfsr_seed: u64,
+        window: u64,
+        patterns: u64,
+    ) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(patterns > 0, "session must apply patterns");
+        let universe = FaultUniverse::collapsed(circuit);
+        let mut failing: Vec<std::collections::BTreeSet<u32>> =
+            vec![std::collections::BTreeSet::new(); universe.num_faults()];
+        let mut sim = FaultSim::new(circuit);
+        let mut lfsr = Lfsr::new(32, lfsr_seed);
+        let mut done = 0u64;
+        while done < patterns {
+            let count = ((patterns - done).min(64)) as usize;
+            let block = lfsr_pattern_block(circuit, chains, &mut lfsr, count);
+            sim.run_good(&block);
+            for fi in 0..universe.num_faults() {
+                let mut mask = sim.detect_mask(universe.fault(fi), &block, false);
+                while mask != 0 {
+                    let j = mask.trailing_zeros();
+                    mask &= mask - 1;
+                    let pattern_idx = done + u64::from(j);
+                    failing[fi].insert((pattern_idx / window) as u32);
+                }
+            }
+            done += count as u64;
+        }
+        let dictionary = (0..universe.num_faults())
+            .map(|fi| {
+                (
+                    universe.fault(fi),
+                    failing[fi].iter().copied().collect::<Vec<u32>>(),
+                )
+            })
+            .collect();
+        Diagnoser {
+            dictionary,
+            windows: (patterns / window) as u32,
+        }
+    }
+
+    /// Number of candidate faults in the dictionary.
+    pub fn num_candidates(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// Ranks candidate faults against observed fail data, best first.
+    ///
+    /// Scoring: Jaccard similarity of the predicted and observed
+    /// failing-window sets (1.0 = the candidate explains exactly the
+    /// observed windows). For a PASS observation, session-undetectable
+    /// candidates score 1.0 and everything else 0.
+    pub fn diagnose(&self, observed: &FailData) -> Vec<Candidate> {
+        let observed_set: Vec<u32> = observed.entries().iter().map(|e| e.window).collect();
+        let mut out: Vec<Candidate> = self
+            .dictionary
+            .iter()
+            .map(|(fault, predicted)| {
+                let score = if observed_set.is_empty() && predicted.is_empty() {
+                    1.0
+                } else {
+                    let inter = predicted
+                        .iter()
+                        .filter(|w| observed_set.binary_search(w).is_ok())
+                        .count();
+                    let union = predicted.len() + observed_set.len() - inter;
+                    if union == 0 {
+                        1.0
+                    } else {
+                        inter as f64 / union as f64
+                    }
+                };
+                Candidate {
+                    fault: *fault,
+                    score,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(a.fault.cmp(&b.fault))
+        });
+        out
+    }
+
+    /// Diagnostic resolution for a given observation: the number of
+    /// candidates sharing the top score (1 = perfect resolution).
+    pub fn resolution(&self, observed: &FailData) -> usize {
+        let ranked = self.diagnose(observed);
+        match ranked.first() {
+            None => 0,
+            Some(best) => ranked
+                .iter()
+                .take_while(|c| c.score == best.score)
+                .count(),
+        }
+    }
+
+    /// Number of signature windows of the configured session.
+    pub fn windows(&self) -> u32 {
+        self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stumps::StumpsSession;
+    use eea_netlist::{synthesize, ScanChains, SynthConfig};
+
+    fn setup() -> (Circuit, ScanChains) {
+        let c = synthesize(&SynthConfig {
+            gates: 150,
+            inputs: 10,
+            dffs: 12,
+            seed: 0xD1A6,
+            ..SynthConfig::default()
+        });
+        let chains = ScanChains::balanced(&c, 4);
+        (c, chains)
+    }
+
+    #[test]
+    fn true_fault_ranks_top() {
+        let (c, chains) = setup();
+        let session = StumpsSession::new(&c, &chains, 0xACE1, 8);
+        let golden = session.run_golden(256);
+        let diagnoser = Diagnoser::new(&c, &chains, 0xACE1, 8, 256);
+        let universe = FaultUniverse::collapsed(&c);
+
+        let mut diagnosed = 0;
+        let mut tried = 0;
+        for fi in (0..universe.num_faults()).step_by(7) {
+            let defect = universe.fault(fi);
+            let observed = session.run_with_fault(defect, &golden);
+            if observed.is_pass() {
+                continue; // undetected by this session
+            }
+            tried += 1;
+            let ranked = diagnoser.diagnose(&observed);
+            let best = ranked[0].score;
+            if ranked
+                .iter()
+                .take_while(|cand| cand.score == best)
+                .any(|cand| cand.fault == defect)
+            {
+                diagnosed += 1;
+            }
+        }
+        assert!(tried > 10, "too few detectable defects exercised");
+        assert_eq!(
+            diagnosed, tried,
+            "every injected defect must rank within the top equivalence class"
+        );
+    }
+
+    #[test]
+    fn pass_observation_scores_undetectable_faults() {
+        let (c, chains) = setup();
+        let diagnoser = Diagnoser::new(&c, &chains, 0xACE1, 8, 64);
+        let ranked = diagnoser.diagnose(&FailData::new());
+        // Top candidates of a PASS are exactly the session-undetectable
+        // faults.
+        assert!(ranked[0].score == 1.0 || ranked[0].score == 0.0);
+        for cand in ranked.iter().filter(|c| c.score == 1.0) {
+            let in_dict = diagnoser
+                .dictionary
+                .iter()
+                .find(|(f, _)| *f == cand.fault)
+                .expect("candidate from dictionary");
+            assert!(in_dict.1.is_empty());
+        }
+    }
+
+    #[test]
+    fn longer_sessions_improve_resolution() {
+        let (c, chains) = setup();
+        let universe = FaultUniverse::collapsed(&c);
+        // Average resolution with small vs large window counts.
+        let mut resolutions = Vec::new();
+        for (window, patterns) in [(64u64, 128u64), (4, 128)] {
+            let session = StumpsSession::new(&c, &chains, 0xACE1, window);
+            let golden = session.run_golden(patterns);
+            let diagnoser = Diagnoser::new(&c, &chains, 0xACE1, window, patterns);
+            let mut total = 0usize;
+            let mut count = 0usize;
+            for fi in (0..universe.num_faults()).step_by(11) {
+                let observed = session.run_with_fault(universe.fault(fi), &golden);
+                if observed.is_pass() {
+                    continue;
+                }
+                total += diagnoser.resolution(&observed);
+                count += 1;
+            }
+            resolutions.push(total as f64 / count.max(1) as f64);
+        }
+        // Finer windows (more signatures) give at-least-as-good resolution
+        // (fewer candidates tied at the top).
+        assert!(
+            resolutions[1] <= resolutions[0] + 1e-9,
+            "finer windows should not hurt resolution: {resolutions:?}"
+        );
+    }
+
+    #[test]
+    fn dictionary_covers_universe() {
+        let (c, chains) = setup();
+        let diagnoser = Diagnoser::new(&c, &chains, 1, 16, 64);
+        let universe = FaultUniverse::collapsed(&c);
+        assert_eq!(diagnoser.num_candidates(), universe.num_faults());
+        assert_eq!(diagnoser.windows(), 4);
+    }
+}

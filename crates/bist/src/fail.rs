@@ -1,0 +1,97 @@
+//! Fail data: the diagnostic payload a BIST session leaves behind.
+//!
+//! Whenever an intermediate signature differs from the expected *response
+//! data*, the observed signature is stored together with its window index.
+//! The paper notes the fail data is tiny — "roughly 638 Bytes" per ECU —
+//! and is shipped to the central gateway where task `b^R` aggregates it for
+//! later chip-level logic diagnosis.
+
+use std::fmt;
+
+/// Fixed upper bound of the fail-data payload per BIST session, as reported
+/// in Section IV-A of the paper (638 bytes for the industrial CUT).
+pub const FAIL_DATA_BYTES: u64 = 638;
+
+/// One failing signature window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FailEntry {
+    /// Index of the intermediate-signature window in the test sequence —
+    /// the "signature index to identify the faulty signature".
+    pub window: u32,
+    /// The observed (faulty) signature.
+    pub signature: u64,
+}
+
+/// The fail memory of one BIST session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailData {
+    entries: Vec<FailEntry>,
+}
+
+impl FailData {
+    /// Empty fail memory (a passing session).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a failing window.
+    pub fn push(&mut self, window: u32, signature: u64) {
+        self.entries.push(FailEntry { window, signature });
+    }
+
+    /// Recorded entries in window order.
+    pub fn entries(&self) -> &[FailEntry] {
+        &self.entries
+    }
+
+    /// Whether the session passed (no mismatching window).
+    pub fn is_pass(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialized size of this fail data in bytes (4-byte window index +
+    /// 8-byte signature per entry), clamped to [`FAIL_DATA_BYTES`] — the
+    /// on-chip fail memory is bounded, so at most the first windows that fit
+    /// are kept.
+    pub fn byte_size(&self) -> u64 {
+        ((self.entries.len() as u64) * 12).min(FAIL_DATA_BYTES)
+    }
+}
+
+impl fmt::Display for FailData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pass() {
+            write!(f, "PASS")
+        } else {
+            write!(f, "FAIL ({} windows)", self.entries.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_and_fail() {
+        let mut fd = FailData::new();
+        assert!(fd.is_pass());
+        assert_eq!(fd.to_string(), "PASS");
+        fd.push(3, 0xDEAD);
+        assert!(!fd.is_pass());
+        assert_eq!(fd.entries()[0].window, 3);
+        assert_eq!(fd.to_string(), "FAIL (1 windows)");
+    }
+
+    #[test]
+    fn byte_size_clamped() {
+        let mut fd = FailData::new();
+        for i in 0..1000 {
+            fd.push(i, u64::from(i));
+        }
+        assert_eq!(fd.byte_size(), FAIL_DATA_BYTES);
+        let mut small = FailData::new();
+        small.push(0, 1);
+        assert_eq!(small.byte_size(), 12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Galois linear-feedback shift registers — the pseudo-random TPG of the
+//! STUMPS architecture.
+
+use std::fmt;
+
+/// Maximal-length feedback polynomials (Galois form) for supported widths.
+/// Each entry `(width, mask)` yields a period of `2^width - 1`.
+const POLYS: &[(u32, u64)] = &[
+    (8, 0xB8),
+    (16, 0xB400),
+    (24, 0xE1_0000),
+    (32, 0x8020_0003),
+    (64, 0xD800_0000_0000_0000),
+];
+
+/// A Galois LFSR of a supported width (8, 16, 24, 32 or 64 bits).
+///
+/// # Example
+///
+/// ```
+/// use eea_bist::Lfsr;
+///
+/// let mut l = Lfsr::new(16, 0xACE1);
+/// let first: Vec<bool> = (0..8).map(|_| l.next_bit()).collect();
+/// let mut l2 = Lfsr::new(16, 0xACE1);
+/// let again: Vec<bool> = (0..8).map(|_| l2.next_bit()).collect();
+/// assert_eq!(first, again); // deterministic per seed
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u64,
+    mask: u64,
+    width_mask: u64,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of `width` bits seeded with `seed` (the zero state is
+    /// replaced by all-ones, since zero is the lock-up state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not one of 8, 16, 24, 32, 64.
+    pub fn new(width: u32, seed: u64) -> Self {
+        let &(_, mask) = POLYS
+            .iter()
+            .find(|&&(w, _)| w == width)
+            .unwrap_or_else(|| panic!("unsupported LFSR width {width}"));
+        let width_mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let mut state = seed & width_mask;
+        if state == 0 {
+            state = width_mask;
+        }
+        Lfsr {
+            state,
+            mask,
+            width_mask,
+        }
+    }
+
+    /// Current register state.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances one clock and returns the shifted-out bit.
+    #[inline]
+    pub fn next_bit(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        self.state >>= 1;
+        if out {
+            self.state ^= self.mask;
+        }
+        self.state &= self.width_mask;
+        out
+    }
+
+    /// Produces the next `n` bits as the low bits of a word (bit 0 first).
+    pub fn next_word(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        let mut w = 0u64;
+        for i in 0..n {
+            if self.next_bit() {
+                w |= 1 << i;
+            }
+        }
+        w
+    }
+
+    /// Period of the register (`2^width - 1` for the supported maximal
+    /// polynomials).
+    pub fn period(&self) -> u64 {
+        self.width_mask
+    }
+}
+
+impl fmt::Display for Lfsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lfsr(state={:#x})", self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_period_8bit() {
+        let mut l = Lfsr::new(8, 1);
+        let start = l.state();
+        let mut count = 0u64;
+        loop {
+            l.next_bit();
+            count += 1;
+            if l.state() == start {
+                break;
+            }
+            assert!(count <= 255, "period exceeded 2^8-1");
+        }
+        assert_eq!(count, 255);
+    }
+
+    #[test]
+    fn full_period_16bit() {
+        let mut l = Lfsr::new(16, 0xACE1);
+        let start = l.state();
+        let mut count = 0u64;
+        loop {
+            l.next_bit();
+            count += 1;
+            if l.state() == start {
+                break;
+            }
+            assert!(count <= 65535, "period exceeded 2^16-1");
+        }
+        assert_eq!(count, 65535);
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let mut l = Lfsr::new(16, 0);
+        assert_ne!(l.state(), 0);
+        l.next_bit();
+        assert_ne!(l.state(), 0);
+    }
+
+    #[test]
+    fn bit_balance_is_reasonable() {
+        let mut l = Lfsr::new(32, 0xDEADBEEF);
+        let ones: u32 = (0..10_000).map(|_| u32::from(l.next_bit())).sum();
+        assert!((4_500..=5_500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported LFSR width")]
+    fn rejects_unsupported_width() {
+        let _ = Lfsr::new(13, 1);
+    }
+
+    #[test]
+    fn next_word_packs_bits() {
+        let mut a = Lfsr::new(16, 0xACE1);
+        let mut b = Lfsr::new(16, 0xACE1);
+        let w = a.next_word(16);
+        for i in 0..16 {
+            assert_eq!((w >> i) & 1 == 1, b.next_bit());
+        }
+    }
+}

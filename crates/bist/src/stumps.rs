@@ -1,0 +1,281 @@
+//! Behavioural STUMPS session simulation.
+//!
+//! A session shifts LFSR-generated (and optionally deterministic) patterns
+//! through the scan chains, captures the combinational response, and
+//! compacts scan-out streams into a MISR. Every `window` patterns the
+//! intermediate signature is compared against the expected *response data*
+//! and the MISR is reset — the *strong windows* scheme of the
+//! diagnosis-oriented STUMPS extension the paper builds on (\[9\],
+//! \[10\]): with per-window signatures, the set of failing windows
+//! fingerprints the fault instead of merely flagging the first corruption.
+
+use eea_faultsim::{Fault, FaultSim, GoodSim, PatternBlock};
+use eea_netlist::{Circuit, ScanChains};
+
+use crate::fail::FailData;
+use crate::lfsr::Lfsr;
+use crate::misr::Misr;
+
+/// Fills a pattern block from the LFSR bit stream, mimicking parallel shift
+/// into all scan chains (one LFSR bit per primary input and scan cell, in
+/// chain order). Shared by [`StumpsSession`] and the profile generator so
+/// both consume the identical TPG stream.
+pub fn lfsr_pattern_block(
+    circuit: &Circuit,
+    chains: &ScanChains,
+    lfsr: &mut Lfsr,
+    count: usize,
+) -> PatternBlock {
+    let mut block = PatternBlock::zeroed(circuit, count);
+    let n_pi = circuit.num_inputs();
+    for j in 0..count {
+        // Primary inputs first.
+        for i in 0..n_pi {
+            block.set(i, j, lfsr.next_bit());
+        }
+        // Scan cells, in chain order (chain-parallel shift). The balanced
+        // partition is round-robin, so dff_index = pos * chains + chain.
+        for ci in 0..chains.num_chains() {
+            for pos in 0..chains.chain(ci).len() {
+                let dff_index = pos * chains.num_chains() + ci;
+                if dff_index < circuit.num_dffs() {
+                    block.set(n_pi + dff_index, j, lfsr.next_bit());
+                }
+            }
+        }
+    }
+    block
+}
+
+/// Outcome of a [`StumpsSession`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionResult {
+    /// Intermediate signatures, one per window.
+    pub signatures: Vec<u64>,
+    /// Final signature over the complete session.
+    pub final_signature: u64,
+    /// Number of patterns applied.
+    pub patterns: u64,
+}
+
+/// A STUMPS session configuration bound to a circuit and scan architecture.
+///
+/// # Example
+///
+/// ```
+/// use eea_netlist::{synthesize, SynthConfig, ScanChains};
+/// use eea_bist::StumpsSession;
+///
+/// let c = synthesize(&SynthConfig { gates: 120, inputs: 8, dffs: 16, seed: 3, ..SynthConfig::default() });
+/// let chains = ScanChains::balanced(&c, 4);
+/// let session = StumpsSession::new(&c, &chains, 0xACE1, 16);
+/// let golden = session.run_golden(64);
+/// assert_eq!(golden.signatures.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct StumpsSession<'c> {
+    circuit: &'c Circuit,
+    chains: &'c ScanChains,
+    lfsr_seed: u64,
+    /// Patterns per intermediate-signature window.
+    window: u64,
+}
+
+impl<'c> StumpsSession<'c> {
+    /// Creates a session. `window` is the number of patterns between
+    /// intermediate signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(circuit: &'c Circuit, chains: &'c ScanChains, lfsr_seed: u64, window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        StumpsSession {
+            circuit,
+            chains,
+            lfsr_seed,
+            window,
+        }
+    }
+
+    /// Generates the next 64-pattern block from the LFSR stream.
+    fn next_block(&self, lfsr: &mut Lfsr, count: usize) -> PatternBlock {
+        lfsr_pattern_block(self.circuit, self.chains, lfsr, count)
+    }
+
+    fn compact_response(&self, misr: &mut Misr, sim: &GoodSim<'_>, block: &PatternBlock, j: usize) {
+        // One MISR absorption per pattern: pack the response bits of pattern
+        // j into words of 64 and absorb them (behavioural abstraction of
+        // per-shift-cycle compaction).
+        let r = sim.response(block);
+        let mut word = 0u64;
+        let mut k = 0;
+        for i in 0..r.width() {
+            if (r.word(i) >> j) & 1 == 1 {
+                word |= 1 << k;
+            }
+            k += 1;
+            if k == 64 {
+                misr.absorb(word);
+                word = 0;
+                k = 0;
+            }
+        }
+        if k > 0 {
+            misr.absorb(word);
+        }
+    }
+
+    /// Runs the fault-free session for `patterns` patterns, producing the
+    /// expected *response data* (intermediate signatures).
+    pub fn run_golden(&self, patterns: u64) -> SessionResult {
+        let mut lfsr = Lfsr::new(32, self.lfsr_seed);
+        let mut sim = GoodSim::new(self.circuit);
+        let mut misr = Misr::new();
+        let mut signatures = Vec::new();
+        let mut done = 0u64;
+        while done < patterns {
+            let count = ((patterns - done).min(64)) as usize;
+            let block = self.next_block(&mut lfsr, count);
+            sim.run(&block);
+            for j in 0..count {
+                self.compact_response(&mut misr, &sim, &block, j);
+                done += 1;
+                if done % self.window == 0 {
+                    signatures.push(misr.signature());
+                    misr.reset();
+                }
+            }
+        }
+        // With per-window resets the running MISR is zero at an exact
+        // window boundary; the final signature is then the last window's.
+        let final_signature = if done % self.window == 0 && !signatures.is_empty() {
+            *signatures.last().expect("nonempty")
+        } else {
+            misr.signature()
+        };
+        SessionResult {
+            final_signature,
+            signatures,
+            patterns,
+        }
+    }
+
+    /// Runs the session with `fault` injected and compares against
+    /// `golden`, returning the collected fail data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `golden` was produced with a different pattern count.
+    pub fn run_with_fault(&self, fault: Fault, golden: &SessionResult) -> FailData {
+        let patterns = golden.patterns;
+        let mut lfsr = Lfsr::new(32, self.lfsr_seed);
+        let mut fsim = FaultSim::new(self.circuit);
+        let mut misr = Misr::new();
+        let mut fail = FailData::new();
+        let mut done = 0u64;
+        let mut window_idx = 0u32;
+        while done < patterns {
+            let count = ((patterns - done).min(64)) as usize;
+            let block = self.next_block(&mut lfsr, count);
+            fsim.run_good(&block);
+            let detect = fsim.detect_mask(fault, &block, false);
+            for j in 0..count {
+                // The faulty response differs from the good response exactly
+                // in the detected patterns; flip one response bit to model
+                // the corrupted capture (behavioural abstraction — the MISR
+                // diverges permanently afterwards, as in reality).
+                self.compact_response(&mut misr, fsim.good_sim(), &block, j);
+                if (detect >> j) & 1 == 1 {
+                    misr.absorb(1); // corrupt: extra error word
+                }
+                done += 1;
+                if done % self.window == 0 {
+                    let sig = misr.signature();
+                    let expected = golden.signatures[window_idx as usize];
+                    if sig != expected {
+                        fail.push(window_idx, sig);
+                    }
+                    misr.reset();
+                    window_idx += 1;
+                }
+            }
+        }
+        fail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eea_faultsim::FaultUniverse;
+    use eea_netlist::{synthesize, ScanChains, SynthConfig};
+
+    fn setup() -> (eea_netlist::Circuit, ScanChains) {
+        let c = synthesize(&SynthConfig {
+            gates: 120,
+            inputs: 8,
+            dffs: 16,
+            seed: 3,
+            ..SynthConfig::default()
+        });
+        let chains = ScanChains::balanced(&c, 4);
+        (c, chains)
+    }
+
+    #[test]
+    fn golden_is_deterministic() {
+        let (c, chains) = setup();
+        let s = StumpsSession::new(&c, &chains, 0xACE1, 16);
+        let a = s.run_golden(128);
+        let b = s.run_golden(128);
+        assert_eq!(a, b);
+        assert_eq!(a.signatures.len(), 8);
+    }
+
+    #[test]
+    fn different_seed_different_signature() {
+        let (c, chains) = setup();
+        let a = StumpsSession::new(&c, &chains, 0xACE1, 16).run_golden(64);
+        let b = StumpsSession::new(&c, &chains, 0xBEEF, 16).run_golden(64);
+        assert_ne!(a.final_signature, b.final_signature);
+    }
+
+    #[test]
+    fn fault_free_run_passes() {
+        let (c, chains) = setup();
+        let s = StumpsSession::new(&c, &chains, 0xACE1, 16);
+        let golden = s.run_golden(128);
+        // Injecting a fault that 128 patterns do not detect yields PASS;
+        // easiest fault-free check: compare golden against itself via a
+        // detectable fault's *absence*: run with an undetected fault.
+        let universe = FaultUniverse::collapsed(&c);
+        let mut fsim = eea_faultsim::FaultSim::new(&c);
+        // Find a fault detected within the window to assert FAIL below, and
+        // sanity-check window accounting.
+        let mut lfsr = Lfsr::new(32, 0xACE1);
+        let block = s.next_block(&mut lfsr, 64);
+        fsim.run_good(&block);
+        let mut detected_fault = None;
+        for fi in 0..universe.num_faults() {
+            if fsim.detect_mask(universe.fault(fi), &block, true) != 0 {
+                detected_fault = Some(universe.fault(fi));
+                break;
+            }
+        }
+        let fault = detected_fault.expect("some fault detected in 64 patterns");
+        let fail = s.run_with_fault(fault, &golden);
+        assert!(!fail.is_pass(), "detected fault must corrupt a signature");
+        // The first failing window index is within range.
+        assert!((fail.entries()[0].window as usize) < golden.signatures.len());
+    }
+
+    #[test]
+    fn window_count_matches() {
+        let (c, chains) = setup();
+        let s = StumpsSession::new(&c, &chains, 7, 10);
+        let golden = s.run_golden(95);
+        assert_eq!(golden.signatures.len(), 9); // floor(95/10)
+        assert_eq!(golden.patterns, 95);
+    }
+}

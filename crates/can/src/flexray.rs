@@ -1,0 +1,191 @@
+//! FlexRay static-segment modelling — the second "other field bus".
+//!
+//! FlexRay's static segment is TDMA: each slot of every communication
+//! cycle belongs to exactly one sender. Non-intrusiveness is then *by
+//! construction*: a BIST data stream that only uses the inactive ECU's own
+//! slots cannot shift anyone else's frames by a single bit. The Eq. (1)
+//! analogue is the slot payload the ECU owns per cycle.
+
+use std::error::Error;
+use std::fmt;
+
+/// FlexRay static-segment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlexRayConfig {
+    /// Communication cycle length in microseconds (typically 5000).
+    pub cycle_us: u64,
+    /// Number of static slots per cycle.
+    pub static_slots: u16,
+    /// Payload bytes per static slot (2 x payload words; up to 254).
+    pub slot_payload_bytes: u16,
+}
+
+impl Default for FlexRayConfig {
+    fn default() -> Self {
+        FlexRayConfig {
+            cycle_us: 5_000,
+            static_slots: 62,
+            slot_payload_bytes: 32,
+        }
+    }
+}
+
+/// Error from slot assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlexRayError {
+    /// The slot index is out of range.
+    SlotOutOfRange(u16),
+    /// The slot is already owned by another sender.
+    SlotTaken(u16),
+}
+
+impl fmt::Display for FlexRayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlexRayError::SlotOutOfRange(s) => write!(f, "static slot {s} is out of range"),
+            FlexRayError::SlotTaken(s) => write!(f, "static slot {s} is already assigned"),
+        }
+    }
+}
+
+impl Error for FlexRayError {}
+
+/// A static-segment schedule: slot → owning node (opaque `u32` tags).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlexRaySchedule {
+    config: FlexRayConfig,
+    owners: Vec<Option<u32>>,
+}
+
+impl FlexRaySchedule {
+    /// Creates an empty schedule for `config`.
+    pub fn new(config: FlexRayConfig) -> Self {
+        FlexRaySchedule {
+            owners: vec![None; config.static_slots as usize],
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> FlexRayConfig {
+        self.config
+    }
+
+    /// Assigns `slot` to `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError`] when the slot is out of range or taken.
+    pub fn assign(&mut self, slot: u16, node: u32) -> Result<(), FlexRayError> {
+        let idx = usize::from(slot);
+        if idx >= self.owners.len() {
+            return Err(FlexRayError::SlotOutOfRange(slot));
+        }
+        if self.owners[idx].is_some() {
+            return Err(FlexRayError::SlotTaken(slot));
+        }
+        self.owners[idx] = Some(node);
+        Ok(())
+    }
+
+    /// Owner of a slot.
+    pub fn owner(&self, slot: u16) -> Option<u32> {
+        self.owners.get(usize::from(slot)).copied().flatten()
+    }
+
+    /// Slots owned by `node`.
+    pub fn slots_of(&self, node: u32) -> Vec<u16> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o == Some(node))
+            .map(|(i, _)| i as u16)
+            .collect()
+    }
+
+    /// Static-segment utilisation: assigned slots / total slots.
+    pub fn utilization(&self) -> f64 {
+        let assigned = self.owners.iter().filter(|o| o.is_some()).count();
+        assigned as f64 / self.owners.len().max(1) as f64
+    }
+
+    /// The Eq. (1) analogue for FlexRay: payload bandwidth (bytes/s) a
+    /// node's own static slots provide — the rate at which mirrored BIST
+    /// data can stream without touching any other slot.
+    pub fn node_bandwidth_bytes_per_s(&self, node: u32) -> f64 {
+        let slots = self.slots_of(node).len() as f64;
+        slots * f64::from(self.config.slot_payload_bytes) * 1e6 / self.config.cycle_us as f64
+    }
+
+    /// Transfer time (seconds) of `data_bytes` over the node's own slots;
+    /// infinite when the node owns no slot.
+    pub fn transfer_time_s(&self, node: u32, data_bytes: u64) -> f64 {
+        let bw = self.node_bandwidth_bytes_per_s(node);
+        if bw <= 0.0 {
+            f64::INFINITY
+        } else {
+            data_bytes as f64 / bw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> FlexRaySchedule {
+        let mut s = FlexRaySchedule::new(FlexRayConfig::default());
+        s.assign(0, 10).unwrap();
+        s.assign(1, 10).unwrap();
+        s.assign(2, 20).unwrap();
+        s
+    }
+
+    #[test]
+    fn assignment_rules() {
+        let mut s = schedule();
+        assert_eq!(s.owner(0), Some(10));
+        assert_eq!(s.owner(3), None);
+        assert_eq!(s.assign(0, 30), Err(FlexRayError::SlotTaken(0)));
+        assert_eq!(s.assign(99, 30), Err(FlexRayError::SlotOutOfRange(99)));
+        assert_eq!(s.slots_of(10), vec![0, 1]);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_slots() {
+        let s = schedule();
+        // Node 10 owns 2 slots x 32 B per 5 ms cycle = 12,800 B/s.
+        assert!((s.node_bandwidth_bytes_per_s(10) - 12_800.0).abs() < 1e-9);
+        assert!((s.node_bandwidth_bytes_per_s(20) - 6_400.0).abs() < 1e-9);
+        assert!(s.node_bandwidth_bytes_per_s(99) == 0.0);
+    }
+
+    #[test]
+    fn transfer_time_analogue_of_eq1() {
+        let s = schedule();
+        // 2.4 MB of profile-1 test data over node 10's slots.
+        let t = s.transfer_time_s(10, 2_399_185);
+        assert!((t - 2_399_185.0 / 12_800.0).abs() < 1e-6);
+        assert!(s.transfer_time_s(99, 1).is_infinite());
+    }
+
+    #[test]
+    fn utilization_counts_assigned() {
+        let s = schedule();
+        assert!((s.utilization() - 3.0 / 62.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tdma_is_non_intrusive_by_construction() {
+        // Reassigning the content of node 10's slots (functional frames ->
+        // BIST data) leaves every other node's slots untouched: the
+        // schedule object is the proof — slots are exclusive.
+        let s = schedule();
+        for slot in s.slots_of(20) {
+            assert_eq!(s.owner(slot), Some(20));
+        }
+        for slot in s.slots_of(10) {
+            assert_ne!(s.owner(slot), Some(20));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! CAN bus modelling: frames, arbitration, response-time analysis and the
+//! paper's non-intrusive schedule mirroring.
+//!
+//! The paper transfers encoded deterministic test patterns over a regular
+//! CAN field bus as the *test access mechanism* (TAM). To keep the
+//! certified bus schedule untouched, the test-data messages `c'` *mirror*
+//! the communication properties — size, period and relative priority — of
+//! the ECU's now-inactive functional messages `c` (Fig. 4). Eq. (1) of the
+//! paper then gives the transfer time of a pattern set as its size divided
+//! by the mirrored messages' aggregate bandwidth.
+//!
+//! Provided here:
+//!
+//! * [`CanId`]/[`frame_bits`] — identifiers and worst-case (bit-stuffed)
+//!   frame lengths of CAN 2.0A data frames,
+//! * [`Message`] — periodic messages with jitter and offset,
+//! * [`response_time`]/[`analyze`] — the classic worst-case response-time
+//!   analysis for CAN (non-preemptive fixed-priority arbitration),
+//! * [`BusSim`] — an event-driven simulator of ID-based arbitration used to
+//!   cross-check the analysis and to *demonstrate* non-intrusiveness rather
+//!   than assume it,
+//! * [`mirror_messages`]/[`transfer_time_s`] — the schedule mirroring and
+//!   Eq. (1).
+//!
+//! # Example
+//!
+//! ```
+//! use eea_can::{transfer_time_s, Message, CanId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An ECU sending 2 messages: 4 bytes @ 10 ms and 8 bytes @ 20 ms.
+//! let msgs = vec![
+//!     Message::new(CanId::new(0x100)?, 4, 10_000)?,
+//!     Message::new(CanId::new(0x200)?, 8, 20_000)?,
+//! ];
+//! // Eq. (1): q = s / (sum of size/period). 1 MiB of test data:
+//! let q = transfer_time_s(1 << 20, &msgs);
+//! assert!(q > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bus;
+pub mod fd;
+pub mod flexray;
+mod frame;
+mod message;
+mod mirror;
+mod rta;
+
+pub use bus::{BusSim, MessageStats, SimResult};
+pub use frame::{frame_bits, CanId, InvalidCanIdError, BUS_BITRATE_BPS};
+pub use message::{InvalidMessageError, Message};
+pub use mirror::{mirror_messages, mirror_messages_auto, transfer_time_s, MirrorError};
+pub use rta::{analyze, response_time, RtaResult};

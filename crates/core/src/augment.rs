@@ -1,0 +1,211 @@
+//! Augmentation of a functional specification with diagnostic tasks
+//! (Section III-A, Fig. 3 of the paper).
+//!
+//! For every BIST-capable ECU `r` and every available BIST profile `b`:
+//!
+//! * a BIST **test task** `b^T_r` mappable only to `r`,
+//! * a BIST **data task** `b^D_r` holding the encoded deterministic test
+//!   data and response data, mappable to `r` (local storage) or to the
+//!   central gateway (shared storage),
+//! * a message `c^D` carrying the test patterns from `b^D` to `b^T`,
+//! * a message `c^R` carrying the fail data from `b^T` to the mandatory
+//!   **collection task** `b^R` on the gateway.
+
+use eea_bist::{BistProfile, FAIL_DATA_BYTES};
+use eea_model::{
+    CaseStudy, DiagRole, MessageId, ResourceId, ResourceKind, Specification, TaskId, TaskKind,
+};
+
+/// Bookkeeping for one (ECU, profile) BIST option.
+#[derive(Debug, Clone)]
+pub struct BistOption {
+    /// The ECU under test.
+    pub ecu: ResourceId,
+    /// The test task `b^T`.
+    pub test: TaskId,
+    /// The data task `b^D`.
+    pub data: TaskId,
+    /// The pattern message `c^D` (`b^D -> b^T`).
+    pub msg_data: MessageId,
+    /// The fail-data message `c^R` (`b^T -> b^R`).
+    pub msg_fail: MessageId,
+    /// The profile's characteristics.
+    pub profile: BistProfile,
+}
+
+/// A diagnosis-augmented specification.
+#[derive(Debug, Clone)]
+pub struct DiagSpec {
+    /// The augmented specification (functional + diagnostic parts).
+    pub spec: Specification,
+    /// All BIST options, grouped by nothing — use
+    /// [`options_of`](Self::options_of) for per-ECU access.
+    pub options: Vec<BistOption>,
+    /// The mandatory fail-data collection task `b^R` on the gateway.
+    pub collect: TaskId,
+    /// The gateway resource.
+    pub gateway: ResourceId,
+}
+
+impl DiagSpec {
+    /// The BIST options available on one ECU.
+    pub fn options_of(&self, ecu: ResourceId) -> impl Iterator<Item = &BistOption> + '_ {
+        self.options.iter().filter(move |o| o.ecu == ecu)
+    }
+
+    /// ECUs that received BIST options.
+    pub fn bist_ecus(&self) -> Vec<ResourceId> {
+        let mut out: Vec<ResourceId> = Vec::new();
+        for o in &self.options {
+            if !out.contains(&o.ecu) {
+                out.push(o.ecu);
+            }
+        }
+        out
+    }
+}
+
+/// Augments the case study's specification with the given BIST profiles on
+/// every BIST-capable ECU (the paper instantiates all 36 Table I profiles
+/// on each of the 15 ECUs).
+///
+/// The fail-data message `c^R` uses the fixed fail-data size
+/// ([`FAIL_DATA_BYTES`]); the pattern message `c^D` carries the profile's
+/// `data_bytes` (its transfer time is evaluated by Eq. (1), not by the
+/// schedule, so the nominal period only tags the message).
+///
+/// An empty `profiles` slice produces a functional-only specification
+/// (plus the collection task), which is the *baseline* a diagnosis-capable
+/// design is compared against in the paper's "+3.7 % extra cost" headline.
+///
+/// # Panics
+///
+/// Panics if the architecture has no gateway.
+pub fn augment(case: &CaseStudy, profiles: &[BistProfile]) -> DiagSpec {
+    let mut spec = case.spec.clone();
+    let gateway = spec
+        .architecture
+        .of_kind(ResourceKind::Gateway)
+        .next()
+        .expect("architecture has a gateway");
+
+    // The mandatory collection task b^R on the gateway.
+    let collect = spec
+        .application
+        .add_task("bist_collect", TaskKind::Functional);
+    spec.add_mapping(collect, gateway);
+
+    let mut options = Vec::new();
+    let ecus: Vec<ResourceId> = case
+        .ecus()
+        .into_iter()
+        .filter(|&r| spec.architecture.resource(r).bist_capable)
+        .collect();
+    for ecu in ecus {
+        let ecu_name = spec.architecture.resource(ecu).name.clone();
+        for p in profiles {
+            let test = spec.application.add_task(
+                &format!("bist_t_{ecu_name}_p{}", p.id),
+                TaskKind::Diagnostic(DiagRole::Test {
+                    coverage: p.coverage,
+                    runtime_ms: p.runtime_ms,
+                    data_bytes: p.data_bytes,
+                }),
+            );
+            let data = spec.application.add_task(
+                &format!("bist_d_{ecu_name}_p{}", p.id),
+                TaskKind::Diagnostic(DiagRole::Data {
+                    data_bytes: p.data_bytes,
+                }),
+            );
+            let msg_data = spec.application.add_message(
+                &format!("cD_{ecu_name}_p{}", p.id),
+                data,
+                &[test],
+                p.data_bytes,
+                1_000_000,
+            );
+            let msg_fail = spec.application.add_message(
+                &format!("cR_{ecu_name}_p{}", p.id),
+                test,
+                &[collect],
+                FAIL_DATA_BYTES,
+                1_000_000,
+            );
+            spec.add_mapping(test, ecu);
+            spec.add_mapping(data, ecu);
+            spec.add_mapping(data, gateway);
+            options.push(BistOption {
+                ecu,
+                test,
+                data,
+                msg_data,
+                msg_fail,
+                profile: p.clone(),
+            });
+        }
+    }
+
+    DiagSpec {
+        spec,
+        options,
+        collect,
+        gateway,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eea_bist::paper_table1;
+    use eea_model::paper_case_study;
+
+    #[test]
+    fn paper_augmentation_counts() {
+        let case = paper_case_study();
+        let diag = augment(&case, &paper_table1());
+        // 15 ECUs x 36 profiles = 540 BIST options.
+        assert_eq!(diag.options.len(), 540);
+        // Tasks: 45 functional + 1 collect + 2 x 540 diagnostic.
+        assert_eq!(diag.spec.application.num_tasks(), 45 + 1 + 1080);
+        // Messages: 41 functional + 2 x 540.
+        assert_eq!(diag.spec.application.num_messages(), 41 + 1080);
+        assert_eq!(diag.bist_ecus().len(), 15);
+        for ecu in diag.bist_ecus() {
+            assert_eq!(diag.options_of(ecu).count(), 36);
+        }
+    }
+
+    #[test]
+    fn data_task_has_local_and_gateway_option() {
+        let case = paper_case_study();
+        let diag = augment(&case, &paper_table1()[..2]);
+        for o in &diag.options {
+            let opts = diag.spec.mapping_options(o.data);
+            assert_eq!(opts.len(), 2);
+            assert!(opts.contains(&o.ecu));
+            assert!(opts.contains(&diag.gateway));
+            assert_eq!(diag.spec.mapping_options(o.test), &[o.ecu]);
+        }
+    }
+
+    #[test]
+    fn collect_task_on_gateway_only() {
+        let case = paper_case_study();
+        let diag = augment(&case, &paper_table1()[..1]);
+        assert_eq!(diag.spec.mapping_options(diag.collect), &[diag.gateway]);
+        assert!(!diag
+            .spec
+            .application
+            .task(diag.collect)
+            .kind
+            .is_diagnostic());
+    }
+
+    #[test]
+    fn augmented_spec_validates() {
+        let case = paper_case_study();
+        let diag = augment(&case, &paper_table1()[..4]);
+        diag.spec.validate().unwrap();
+    }
+}

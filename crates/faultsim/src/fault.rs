@@ -1,0 +1,141 @@
+use std::fmt;
+
+use eea_netlist::{Circuit, GateId};
+
+/// A fault location: either the output *stem* of a gate or one of its
+/// input-pin *branches*.
+///
+/// Stems and branches are distinct fault sites whenever the driving signal
+/// fans out to several gates — a branch fault affects only one receiver,
+/// while a stem fault affects all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// The output of `GateId`.
+    Stem(GateId),
+    /// Input pin `pin` of gate `gate`.
+    Pin {
+        /// Receiving gate.
+        gate: GateId,
+        /// Zero-based fanin index.
+        pin: u16,
+    },
+}
+
+impl FaultSite {
+    /// The gate whose evaluation the fault perturbs first.
+    #[inline]
+    pub fn gate(self) -> GateId {
+        match self {
+            FaultSite::Stem(g) => g,
+            FaultSite::Pin { gate, .. } => gate,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Stem(g) => write!(f, "{g}"),
+            FaultSite::Pin { gate, pin } => write!(f, "{gate}.in{pin}"),
+        }
+    }
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fault {
+    /// Where the line is stuck.
+    pub site: FaultSite,
+    /// Stuck-at value: `false` = stuck-at-0, `true` = stuck-at-1.
+    pub stuck_at: bool,
+}
+
+impl Fault {
+    /// Stuck-at-0 fault at `site`.
+    pub fn sa0(site: FaultSite) -> Self {
+        Fault {
+            site,
+            stuck_at: false,
+        }
+    }
+
+    /// Stuck-at-1 fault at `site`.
+    pub fn sa1(site: FaultSite) -> Self {
+        Fault {
+            site,
+            stuck_at: true,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/sa{}", self.site, u8::from(self.stuck_at))
+    }
+}
+
+/// Enumerates the complete (uncollapsed) stuck-at fault universe of a
+/// circuit: two faults per gate output stem and two per input-pin branch of
+/// every logic gate and flip-flop data pin.
+///
+/// Branch faults are only enumerated where the driver actually fans out to
+/// more than one pin; for a fanout-free connection the branch is electrically
+/// the same line as the stem and would be trivially equivalent.
+pub fn enumerate_faults(circuit: &Circuit) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for g in circuit.gate_ids() {
+        // Every driven line has a stem.
+        faults.push(Fault::sa0(FaultSite::Stem(g)));
+        faults.push(Fault::sa1(FaultSite::Stem(g)));
+    }
+    for g in circuit.gate_ids() {
+        for (pin, &src) in circuit.fanin(g).iter().enumerate() {
+            if circuit.fanout(src).len() > 1 {
+                let site = FaultSite::Pin {
+                    gate: g,
+                    pin: pin as u16,
+                };
+                faults.push(Fault::sa0(site));
+                faults.push(Fault::sa1(site));
+            }
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eea_netlist::bench_format;
+
+    #[test]
+    fn c17_fault_count() {
+        // c17: 11 lines fanout-free reading... classic count: 22 lines
+        // before collapsing when counting stems + branches of multi-fanout
+        // nets. Our model: 11 gates (5 PI + 6 NAND) -> 22 stem faults, plus
+        // branches for nets with fanout > 1.
+        let c = bench_format::parse(bench_format::C17).unwrap();
+        let faults = enumerate_faults(&c);
+        // Multi-fanout nets in c17: input 3 (g2), net 11, net 16 — each with
+        // fanout 2 -> 4 branch faults each.
+        assert_eq!(faults.len(), 22 + 12);
+    }
+
+    #[test]
+    fn display_format() {
+        let f = Fault::sa1(FaultSite::Stem(GateId::from_index(3)));
+        assert_eq!(f.to_string(), "g3/sa1");
+        let f = Fault::sa0(FaultSite::Pin {
+            gate: GateId::from_index(2),
+            pin: 1,
+        });
+        assert_eq!(f.to_string(), "g2.in1/sa0");
+    }
+
+    #[test]
+    fn site_gate() {
+        let g = GateId::from_index(5);
+        assert_eq!(FaultSite::Stem(g).gate(), g);
+        assert_eq!(FaultSite::Pin { gate: g, pin: 0 }.gate(), g);
+    }
+}

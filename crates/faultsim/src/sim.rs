@@ -1,0 +1,332 @@
+use eea_netlist::{Circuit, GateId};
+
+/// Up to 64 test patterns, bit-packed one pattern per bit position.
+///
+/// A pattern assigns values to the full-scan *pattern sources*: the primary
+/// inputs (first, in `Circuit::inputs()` order) followed by the flip-flops
+/// (in `Circuit::dffs()` order). `words[i]` holds the value of source `i`
+/// across all patterns: bit `j` is the value in pattern `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternBlock {
+    words: Vec<u64>,
+    count: u32,
+}
+
+impl PatternBlock {
+    /// Creates an all-zero block of `count` patterns for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `count > 64`.
+    pub fn zeroed(circuit: &Circuit, count: usize) -> Self {
+        assert!((1..=64).contains(&count), "block holds 1..=64 patterns");
+        PatternBlock {
+            words: vec![0; circuit.pattern_width()],
+            count: count as u32,
+        }
+    }
+
+    /// Builds a block from per-pattern bit vectors (`patterns[j][i]` = value
+    /// of source `i` in pattern `j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty, holds more than 64 patterns, or a
+    /// pattern's length differs from `circuit.pattern_width()`.
+    pub fn from_patterns(circuit: &Circuit, patterns: &[Vec<bool>]) -> Self {
+        assert!(
+            (1..=64).contains(&patterns.len()),
+            "block holds 1..=64 patterns"
+        );
+        let width = circuit.pattern_width();
+        let mut words = vec![0u64; width];
+        for (j, p) in patterns.iter().enumerate() {
+            assert_eq!(p.len(), width, "pattern width mismatch");
+            for (i, &bit) in p.iter().enumerate() {
+                if bit {
+                    words[i] |= 1 << j;
+                }
+            }
+        }
+        PatternBlock {
+            words,
+            count: patterns.len() as u32,
+        }
+    }
+
+    /// Exhaustive block covering all input combinations. Only possible when
+    /// `pattern_width() <= 6` (at most 64 combinations); returns `None`
+    /// otherwise.
+    pub fn exhaustive(circuit: &Circuit) -> Option<Self> {
+        let width = circuit.pattern_width();
+        if width > 6 {
+            return None;
+        }
+        let count = 1usize << width;
+        let mut words = vec![0u64; width];
+        for j in 0..count {
+            for (i, word) in words.iter_mut().enumerate() {
+                if (j >> i) & 1 == 1 {
+                    *word |= 1 << j;
+                }
+            }
+        }
+        Some(PatternBlock {
+            words,
+            count: count as u32,
+        })
+    }
+
+    /// Number of patterns in the block (1..=64).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the block holds no patterns (never true for a constructed
+    /// block; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bit mask with one bit set per valid pattern.
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        if self.count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.count) - 1
+        }
+    }
+
+    /// The packed word of source `i`.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Mutable access to the packed word of source `i`.
+    #[inline]
+    pub fn word_mut(&mut self, i: usize) -> &mut u64 {
+        &mut self.words[i]
+    }
+
+    /// Sets the value of source `i` in pattern `j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        debug_assert!(j < self.count as usize);
+        if value {
+            self.words[i] |= 1 << j;
+        } else {
+            self.words[i] &= !(1 << j);
+        }
+    }
+
+    /// Value of source `i` in pattern `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        (self.words[i] >> j) & 1 == 1
+    }
+
+    /// Extracts pattern `j` as a bit vector.
+    pub fn pattern(&self, j: usize) -> Vec<bool> {
+        assert!(j < self.count as usize, "pattern index out of range");
+        self.words.iter().map(|&w| (w >> j) & 1 == 1).collect()
+    }
+}
+
+/// A bit-parallel response: the values observed at primary outputs followed
+/// by flip-flop data inputs, packed like [`PatternBlock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    words: Vec<u64>,
+    count: u32,
+}
+
+impl Response {
+    /// Number of patterns the response covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the response covers no patterns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Packed word of observation point `i` (outputs first, then FF data
+    /// inputs).
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Number of observation points.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The response of pattern `j` as a bit vector.
+    pub fn pattern(&self, j: usize) -> Vec<bool> {
+        assert!(j < self.count as usize, "pattern index out of range");
+        self.words.iter().map(|&w| (w >> j) & 1 == 1).collect()
+    }
+}
+
+/// Bit-parallel good-machine simulator for the full-scan combinational core.
+///
+/// Reusable across blocks: internal buffers are allocated once.
+#[derive(Debug)]
+pub struct GoodSim<'c> {
+    circuit: &'c Circuit,
+    values: Vec<u64>,
+}
+
+impl<'c> GoodSim<'c> {
+    /// Creates a simulator for `circuit`.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        GoodSim {
+            circuit,
+            values: vec![0; circuit.num_gates()],
+        }
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Simulates one block and leaves per-gate values accessible via
+    /// [`value`](Self::value).
+    pub fn run(&mut self, block: &PatternBlock) {
+        let c = self.circuit;
+        for (i, &pi) in c.inputs().iter().enumerate() {
+            self.values[pi.index()] = block.word(i);
+        }
+        let n_pi = c.num_inputs();
+        for (i, &ff) in c.dffs().iter().enumerate() {
+            self.values[ff.index()] = block.word(n_pi + i);
+        }
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for &g in c.topo_order() {
+            fanin_buf.clear();
+            fanin_buf.extend(c.fanin(g).iter().map(|&f| self.values[f.index()]));
+            self.values[g.index()] = c.kind(g).eval_words(&fanin_buf);
+        }
+    }
+
+    /// The simulated word of gate `g` (valid after [`run`](Self::run)).
+    #[inline]
+    pub fn value(&self, g: GateId) -> u64 {
+        self.values[g.index()]
+    }
+
+    /// All gate values (indexed by gate id), valid after [`run`](Self::run).
+    #[inline]
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Extracts the observable response (primary outputs, then flip-flop
+    /// data inputs) of the last simulated block.
+    pub fn response(&self, block: &PatternBlock) -> Response {
+        let c = self.circuit;
+        let mut words = Vec::with_capacity(c.response_width());
+        for &o in c.outputs() {
+            words.push(self.values[o.index()] & block.mask());
+        }
+        for &ff in c.dffs() {
+            let d = c.fanin(ff)[0];
+            words.push(self.values[d.index()] & block.mask());
+        }
+        Response {
+            words,
+            count: block.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eea_netlist::bench_format;
+    use eea_netlist::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn c17_known_vector() {
+        let c = bench_format::parse(bench_format::C17).unwrap();
+        // Inputs in declaration order: 1, 2, 3, 6, 7.
+        // Pattern 00000 -> 10=1, 11=1, 16=1, 19=1, 22=NAND(1,1)=0, 23=0.
+        // Pattern 11111 -> 10=0, 11=0, 16=1, 19=1, 22=1, 23=0.
+        let block =
+            PatternBlock::from_patterns(&c, &[vec![false; 5], vec![true; 5]]);
+        let mut sim = GoodSim::new(&c);
+        sim.run(&block);
+        let r = sim.response(&block);
+        assert_eq!(r.pattern(0), vec![false, false]); // 22, 23
+        assert_eq!(r.pattern(1), vec![true, false]);
+    }
+
+    #[test]
+    fn exhaustive_block_width() {
+        let c = bench_format::parse(bench_format::C17).unwrap();
+        let b = PatternBlock::exhaustive(&c).expect("5 inputs fit");
+        assert_eq!(b.len(), 32);
+        assert!(b.get(0, 1));
+        assert!(!b.get(0, 0));
+        assert!(b.get(4, 16));
+    }
+
+    #[test]
+    fn exhaustive_refuses_wide_circuits() {
+        let mut bld = CircuitBuilder::new();
+        let ins: Vec<_> = (0..7).map(|i| bld.input(&format!("i{i}"))).collect();
+        let g = bld.gate(GateKind::And, &ins, "g");
+        bld.output(g);
+        let c = bld.finish().unwrap();
+        assert!(PatternBlock::exhaustive(&c).is_none());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let c = bench_format::parse(bench_format::C17).unwrap();
+        let mut b = PatternBlock::zeroed(&c, 10);
+        b.set(2, 7, true);
+        assert!(b.get(2, 7));
+        assert!(!b.get(2, 6));
+        b.set(2, 7, false);
+        assert!(!b.get(2, 7));
+    }
+
+    #[test]
+    fn dff_response_observed() {
+        let c = bench_format::parse(bench_format::S27).unwrap();
+        let block = PatternBlock::zeroed(&c, 1);
+        let mut sim = GoodSim::new(&c);
+        sim.run(&block);
+        let r = sim.response(&block);
+        // 1 PO + 3 FF data inputs.
+        assert_eq!(r.width(), 4);
+    }
+
+    #[test]
+    fn mask_full_and_partial() {
+        let c = bench_format::parse(bench_format::C17).unwrap();
+        assert_eq!(PatternBlock::zeroed(&c, 64).mask(), u64::MAX);
+        assert_eq!(PatternBlock::zeroed(&c, 3).mask(), 0b111);
+    }
+
+    #[test]
+    fn pattern_extraction() {
+        let c = bench_format::parse(bench_format::C17).unwrap();
+        let p0 = vec![true, false, true, false, true];
+        let p1 = vec![false, true, false, true, false];
+        let b = PatternBlock::from_patterns(&c, &[p0.clone(), p1.clone()]);
+        assert_eq!(b.pattern(0), p0);
+        assert_eq!(b.pattern(1), p1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property test: the cone-restricted PPSFP simulator agrees with a
+//! brute-force whole-circuit faulty simulation on random circuits and
+//! random pattern blocks.
+
+use eea_faultsim::{Fault, FaultSim, FaultUniverse, GoodSim, PatternBlock};
+use eea_netlist::{synthesize, Circuit, SynthConfig};
+use proptest::prelude::*;
+
+/// Brute-force oracle: simulate the entire faulty circuit without cone
+/// restriction and diff the observable response.
+fn oracle_detect(c: &Circuit, f: Fault, block: &PatternBlock) -> u64 {
+    use eea_faultsim::FaultSite;
+    let forced = if f.stuck_at { u64::MAX } else { 0 };
+    let mut vals = vec![0u64; c.num_gates()];
+    for (i, &pi) in c.inputs().iter().enumerate() {
+        vals[pi.index()] = block.word(i);
+    }
+    let npi = c.num_inputs();
+    for (i, &ff) in c.dffs().iter().enumerate() {
+        vals[ff.index()] = block.word(npi + i);
+    }
+    if let FaultSite::Stem(g) = f.site {
+        if c.kind(g).is_combinational_source() {
+            vals[g.index()] = forced;
+        }
+    }
+    for &g in c.topo_order() {
+        let mut fanin: Vec<u64> = c.fanin(g).iter().map(|&x| vals[x.index()]).collect();
+        if let FaultSite::Pin { gate, pin } = f.site {
+            if gate == g {
+                fanin[pin as usize] = forced;
+            }
+        }
+        let mut v = c.kind(g).eval_words(&fanin);
+        if let FaultSite::Stem(s) = f.site {
+            if s == g {
+                v = forced;
+            }
+        }
+        vals[g.index()] = v;
+    }
+    let mut good = GoodSim::new(c);
+    good.run(block);
+    let mut det = 0u64;
+    for &o in c.outputs() {
+        det |= vals[o.index()] ^ good.value(o);
+    }
+    for &ff in c.dffs() {
+        let d = c.fanin(ff)[0];
+        let mut fv = vals[d.index()];
+        if let FaultSite::Pin { gate, .. } = f.site {
+            if gate == ff {
+                fv = forced;
+            }
+        }
+        det |= fv ^ good.value(d);
+    }
+    det & block.mask()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ppsfp_matches_oracle(
+        seed in any::<u64>(),
+        gates in 30usize..120,
+        inputs in 4usize..12,
+        dffs in 0usize..8,
+        pattern_seed in any::<u64>(),
+    ) {
+        let c = synthesize(&SynthConfig {
+            gates,
+            inputs,
+            dffs,
+            seed,
+            ..SynthConfig::default()
+        });
+        let mut block = PatternBlock::zeroed(&c, 64);
+        let mut s = pattern_seed | 1;
+        for i in 0..c.pattern_width() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *block.word_mut(i) = s;
+        }
+        let universe = FaultUniverse::collapsed(&c);
+        let mut sim = FaultSim::new(&c);
+        sim.run_good(&block);
+        for fi in 0..universe.num_faults() {
+            let fault = universe.fault(fi);
+            let fast = sim.detect_mask(fault, &block, false);
+            let slow = oracle_detect(&c, fault, &block);
+            prop_assert_eq!(fast, slow, "fault {} disagrees", fault);
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_patterns(seed in any::<u64>()) {
+        let c = synthesize(&SynthConfig {
+            gates: 80,
+            inputs: 8,
+            dffs: 4,
+            seed,
+            ..SynthConfig::default()
+        });
+        let mut universe = FaultUniverse::collapsed(&c);
+        let mut sim = FaultSim::new(&c);
+        let mut s = seed | 1;
+        let mut last = 0.0;
+        for _ in 0..6 {
+            let mut block = PatternBlock::zeroed(&c, 64);
+            for i in 0..c.pattern_width() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                *block.word_mut(i) = s;
+            }
+            sim.detect_block(&block, &mut universe);
+            prop_assert!(universe.coverage() >= last);
+            last = universe.coverage();
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The architecture graph `g_A = (R, E_A)`: available resources and their
+//! interconnect.
+
+use std::fmt;
+
+use crate::ids::ResourceId;
+
+/// Kind of a resource vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Electronic control unit — executes tasks; may support BIST.
+    Ecu,
+    /// The central gateway: interconnects buses, stores shared test data,
+    /// hosts the fail-data collection task.
+    Gateway,
+    /// Smart sensor node.
+    Sensor,
+    /// Smart actuator node.
+    Actuator,
+    /// CAN field bus (communication-only resource).
+    CanBus,
+}
+
+impl ResourceKind {
+    /// Whether tasks can be bound to this resource (everything except a
+    /// bus).
+    pub fn is_computational(self) -> bool {
+        !matches!(self, ResourceKind::CanBus)
+    }
+}
+
+/// A resource vertex with its cost attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resource {
+    /// Human-readable name.
+    pub name: String,
+    /// Kind of resource.
+    pub kind: ResourceKind,
+    /// Base monetary cost of allocating the resource (virtual cost units).
+    pub cost: f64,
+    /// Cost per byte of permanent memory placed on this resource (the
+    /// encoded test data storage of the paper's cost objective).
+    pub memory_cost_per_byte: f64,
+    /// Whether the ECU variant has BIST support (only meaningful for ECUs;
+    /// BIST-capable variants may carry a higher base cost).
+    pub bist_capable: bool,
+}
+
+/// The architecture graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Architecture {
+    resources: Vec<Resource>,
+    adjacency: Vec<Vec<ResourceId>>,
+}
+
+impl Architecture {
+    /// Creates an empty architecture.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a resource and returns its id.
+    pub fn add_resource(&mut self, resource: Resource) -> ResourceId {
+        let id = ResourceId::from_index(self.resources.len());
+        self.resources.push(resource);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Connects two resources bidirectionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is unknown, `a == b`, or the edge already exists.
+    pub fn connect(&mut self, a: ResourceId, b: ResourceId) {
+        assert!(a.index() < self.resources.len(), "unknown resource {a}");
+        assert!(b.index() < self.resources.len(), "unknown resource {b}");
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(
+            !self.adjacency[a.index()].contains(&b),
+            "edge {a}-{b} already exists"
+        );
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+    }
+
+    /// Resource lookup.
+    #[inline]
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.index()]
+    }
+
+    /// Number of resources.
+    #[inline]
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Neighbours of a resource.
+    #[inline]
+    pub fn neighbors(&self, id: ResourceId) -> &[ResourceId] {
+        &self.adjacency[id.index()]
+    }
+
+    /// Whether `a` and `b` are directly connected.
+    pub fn connected(&self, a: ResourceId, b: ResourceId) -> bool {
+        self.adjacency[a.index()].contains(&b)
+    }
+
+    /// Iterator over all resource ids.
+    pub fn resource_ids(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        (0..self.resources.len()).map(ResourceId::from_index)
+    }
+
+    /// Ids of resources of the given kind.
+    pub fn of_kind(&self, kind: ResourceKind) -> impl Iterator<Item = ResourceId> + '_ {
+        self.resource_ids()
+            .filter(move |&r| self.resource(r).kind == kind)
+    }
+
+    /// Shortest hop distance between two resources (`None` if unreachable).
+    pub fn hop_distance(&self, from: ResourceId, to: ResourceId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist = vec![u32::MAX; self.resources.len()];
+        dist[from.index()] = 0;
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(r) = queue.pop_front() {
+            for &n in self.neighbors(r) {
+                if dist[n.index()] == u32::MAX {
+                    dist[n.index()] = dist[r.index()] + 1;
+                    if n == to {
+                        return Some(dist[n.index()]);
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// Diameter of the graph (longest shortest path), useful for sizing the
+    /// time-indexed routing encoding `T` of the DSE.
+    pub fn diameter(&self) -> u32 {
+        let mut best = 0;
+        for a in self.resource_ids() {
+            for b in self.resource_ids() {
+                if let Some(d) = self.hop_distance(a, b) {
+                    best = best.max(d);
+                }
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let count = |k: ResourceKind| self.of_kind(k).count();
+        write!(
+            f,
+            "architecture: {} ECUs, {} sensors, {} actuators, {} buses, {} gateways",
+            count(ResourceKind::Ecu),
+            count(ResourceKind::Sensor),
+            count(ResourceKind::Actuator),
+            count(ResourceKind::CanBus),
+            count(ResourceKind::Gateway)
+        )
+    }
+}
+
+/// Convenience constructor for a [`Resource`].
+pub fn resource(name: &str, kind: ResourceKind, cost: f64) -> Resource {
+    Resource {
+        name: name.to_owned(),
+        kind,
+        cost,
+        memory_cost_per_byte: 0.0,
+        bist_capable: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Architecture, ResourceId, ResourceId, ResourceId) {
+        let mut a = Architecture::new();
+        let e1 = a.add_resource(resource("e1", ResourceKind::Ecu, 10.0));
+        let bus = a.add_resource(resource("bus", ResourceKind::CanBus, 5.0));
+        let e2 = a.add_resource(resource("e2", ResourceKind::Ecu, 12.0));
+        a.connect(e1, bus);
+        a.connect(bus, e2);
+        (a, e1, bus, e2)
+    }
+
+    #[test]
+    fn connectivity() {
+        let (a, e1, bus, e2) = tiny();
+        assert!(a.connected(e1, bus));
+        assert!(a.connected(bus, e1));
+        assert!(!a.connected(e1, e2));
+        assert_eq!(a.hop_distance(e1, e2), Some(2));
+        assert_eq!(a.diameter(), 2);
+    }
+
+    #[test]
+    fn kind_filters() {
+        let (a, ..) = tiny();
+        assert_eq!(a.of_kind(ResourceKind::Ecu).count(), 2);
+        assert_eq!(a.of_kind(ResourceKind::CanBus).count(), 1);
+        assert!(ResourceKind::Ecu.is_computational());
+        assert!(!ResourceKind::CanBus.is_computational());
+    }
+
+    #[test]
+    fn unreachable_distance() {
+        let mut a = Architecture::new();
+        let x = a.add_resource(resource("x", ResourceKind::Ecu, 1.0));
+        let y = a.add_resource(resource("y", ResourceKind::Ecu, 1.0));
+        assert_eq!(a.hop_distance(x, y), None);
+        assert_eq!(a.hop_distance(x, x), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_edge_rejected() {
+        let (mut a, e1, bus, _) = tiny();
+        a.connect(e1, bus);
+    }
+
+    #[test]
+    fn display_counts() {
+        let (a, ..) = tiny();
+        assert!(a.to_string().contains("2 ECUs"));
+    }
+}

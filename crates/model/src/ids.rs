@@ -1,0 +1,68 @@
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Dense index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a dense index. Only meaningful for
+            /// indices handed out by the owning container.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a task (functional or diagnostic) in an
+    /// [`Application`](crate::Application).
+    TaskId,
+    "t"
+);
+id_type!(
+    /// Identifier of a message (data dependency) in an
+    /// [`Application`](crate::Application).
+    MessageId,
+    "c"
+);
+id_type!(
+    /// Identifier of a resource (ECU, bus, sensor, ...) in an
+    /// [`Architecture`](crate::Architecture).
+    ResourceId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let t = TaskId::from_index(4);
+        assert_eq!(t.index(), 4);
+        assert_eq!(t.to_string(), "t4");
+        assert_eq!(MessageId::from_index(1).to_string(), "c1");
+        assert_eq!(ResourceId::from_index(9).to_string(), "r9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TaskId::from_index(1) < TaskId::from_index(2));
+    }
+}

@@ -1,0 +1,122 @@
+//! Unbounded Pareto archive.
+//!
+//! The paper reports "176 not Pareto-dominated implementations" out of
+//! 100,000 evaluated ones: every evaluated solution streams through an
+//! archive like this one, which keeps exactly the non-dominated set.
+
+use crate::dominance::dominates;
+
+/// An entry of the archive: objectives plus a caller-supplied payload
+/// (typically the genotype or a decoded implementation handle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveEntry<P> {
+    /// Objective vector (minimised).
+    pub objectives: Vec<f64>,
+    /// Caller payload.
+    pub payload: P,
+}
+
+/// Unbounded archive of mutually non-dominated solutions.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoArchive<P> {
+    entries: Vec<ArchiveEntry<P>>,
+}
+
+impl<P> ParetoArchive<P> {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        ParetoArchive {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Offers a solution. Returns `true` if it was admitted (i.e. it is not
+    /// dominated by any archived solution); dominated incumbents are
+    /// evicted. Duplicate objective vectors are rejected to keep the
+    /// archive a set.
+    pub fn offer(&mut self, objectives: Vec<f64>, payload: P) -> bool {
+        for e in &self.entries {
+            if dominates(&e.objectives, &objectives) || e.objectives == objectives {
+                return false;
+            }
+        }
+        self.entries
+            .retain(|e| !dominates(&objectives, &e.objectives));
+        self.entries.push(ArchiveEntry {
+            objectives,
+            payload,
+        });
+        true
+    }
+
+    /// Archived entries (mutually non-dominated).
+    pub fn entries(&self) -> &[ArchiveEntry<P>] {
+        &self.entries
+    }
+
+    /// Number of archived solutions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consumes the archive and returns its entries.
+    pub fn into_entries(self) -> Vec<ArchiveEntry<P>> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_non_dominated_only() {
+        let mut a = ParetoArchive::new();
+        assert!(a.offer(vec![2.0, 2.0], "b"));
+        assert!(a.offer(vec![1.0, 3.0], "a"));
+        assert!(a.offer(vec![3.0, 1.0], "c"));
+        assert_eq!(a.len(), 3);
+        // Dominates "b": evicts it.
+        assert!(a.offer(vec![1.5, 1.5], "d"));
+        assert_eq!(a.len(), 3);
+        assert!(!a.entries().iter().any(|e| e.payload == "b"));
+        // Dominated: rejected.
+        assert!(!a.offer(vec![4.0, 4.0], "e"));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut a = ParetoArchive::new();
+        assert!(a.offer(vec![1.0, 1.0], ()));
+        assert!(!a.offer(vec![1.0, 1.0], ()));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn archive_invariant_random_stream() {
+        // Property: after any stream of offers, entries are mutually
+        // non-dominated.
+        let mut rng = crate::rng::Rng::new(99);
+        let mut a = ParetoArchive::new();
+        for _ in 0..500 {
+            let v = vec![rng.unit(), rng.unit(), rng.unit()];
+            a.offer(v, ());
+        }
+        for i in 0..a.len() {
+            for j in 0..a.len() {
+                if i != j {
+                    assert!(!dominates(
+                        &a.entries()[i].objectives,
+                        &a.entries()[j].objectives
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! ISCAS-style `.bench` netlist format.
+//!
+//! The `.bench` format is the lingua franca of the test-generation
+//! literature (ISCAS-85/89 benchmark suites). Grammar per line:
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! OUTPUT(f)
+//! f = NAND(a, b)
+//! q = DFF(d)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use eea_netlist::bench_format;
+//!
+//! # fn main() -> Result<(), bench_format::ParseBenchError> {
+//! let src = "\
+//! INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = NAND(a, b)\n";
+//! let c = bench_format::parse(src)?;
+//! assert_eq!(c.num_inputs(), 2);
+//! let round = bench_format::to_bench(&c);
+//! assert_eq!(bench_format::parse(&round)?.num_gates(), c.num_gates());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::circuit::{BuildCircuitError, Circuit, CircuitBuilder};
+use crate::gate::{GateId, GateKind};
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line could not be parsed; carries the 1-based line number and text.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line.
+        text: String,
+    },
+    /// An unknown gate type was used.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate-type token.
+        kind: String,
+    },
+    /// A signal was referenced but never defined.
+    UndefinedSignal(String),
+    /// A signal was defined twice.
+    Redefined(String),
+    /// The assembled circuit failed validation.
+    Build(BuildCircuitError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::Syntax { line, text } => {
+                write!(f, "syntax error on line {line}: {text:?}")
+            }
+            ParseBenchError::UnknownGate { line, kind } => {
+                write!(f, "unknown gate type {kind:?} on line {line}")
+            }
+            ParseBenchError::UndefinedSignal(s) => write!(f, "undefined signal {s:?}"),
+            ParseBenchError::Redefined(s) => write!(f, "signal {s:?} defined twice"),
+            ParseBenchError::Build(e) => write!(f, "invalid circuit: {e}"),
+        }
+    }
+}
+
+impl Error for ParseBenchError {}
+
+impl From<BuildCircuitError> for ParseBenchError {
+    fn from(e: BuildCircuitError) -> Self {
+        ParseBenchError::Build(e)
+    }
+}
+
+fn gate_kind(token: &str) -> Option<GateKind> {
+    match token.to_ascii_uppercase().as_str() {
+        "AND" => Some(GateKind::And),
+        "NAND" => Some(GateKind::Nand),
+        "OR" => Some(GateKind::Or),
+        "NOR" => Some(GateKind::Nor),
+        "XOR" => Some(GateKind::Xor),
+        "XNOR" => Some(GateKind::Xnor),
+        "NOT" | "INV" => Some(GateKind::Not),
+        "BUF" | "BUFF" => Some(GateKind::Buf),
+        "DFF" => Some(GateKind::Dff),
+        _ => None,
+    }
+}
+
+enum Stmt {
+    Input(String),
+    Output(String),
+    Gate {
+        out: String,
+        kind: GateKind,
+        fanin: Vec<String>,
+    },
+}
+
+fn parse_line(line_no: usize, line: &str) -> Result<Option<Stmt>, ParseBenchError> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let syntax = || ParseBenchError::Syntax {
+        line: line_no,
+        text: line.to_owned(),
+    };
+    if let Some(rest) = line
+        .strip_prefix("INPUT")
+        .or_else(|| line.strip_prefix("input"))
+    {
+        let name = rest
+            .trim()
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(syntax)?;
+        return Ok(Some(Stmt::Input(name.trim().to_owned())));
+    }
+    if let Some(rest) = line
+        .strip_prefix("OUTPUT")
+        .or_else(|| line.strip_prefix("output"))
+    {
+        let name = rest
+            .trim()
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(syntax)?;
+        return Ok(Some(Stmt::Output(name.trim().to_owned())));
+    }
+    let (out, rhs) = line.split_once('=').ok_or_else(syntax)?;
+    let rhs = rhs.trim();
+    let open = rhs.find('(').ok_or_else(syntax)?;
+    let close = rhs.rfind(')').ok_or_else(syntax)?;
+    if close < open {
+        return Err(syntax());
+    }
+    let kind_token = rhs[..open].trim();
+    let kind = gate_kind(kind_token).ok_or_else(|| ParseBenchError::UnknownGate {
+        line: line_no,
+        kind: kind_token.to_owned(),
+    })?;
+    let fanin: Vec<String> = rhs[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if fanin.is_empty() {
+        return Err(syntax());
+    }
+    Ok(Some(Stmt::Gate {
+        out: out.trim().to_owned(),
+        kind,
+        fanin,
+    }))
+}
+
+/// Parses `.bench` source text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, unknown gate kinds,
+/// undefined or redefined signals, and on circuit validation failures.
+pub fn parse(src: &str) -> Result<Circuit, ParseBenchError> {
+    let mut stmts = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(s) = parse_line(i + 1, line)? {
+            stmts.push(s);
+        }
+    }
+
+    let mut b = CircuitBuilder::new();
+    let mut ids: HashMap<String, GateId> = HashMap::new();
+    // Pass 1: declare inputs and (deferred) flip-flops so that forward and
+    // feedback references resolve.
+    for s in &stmts {
+        match s {
+            Stmt::Input(name) => {
+                if ids.contains_key(name) {
+                    return Err(ParseBenchError::Redefined(name.clone()));
+                }
+                ids.insert(name.clone(), b.input(name));
+            }
+            Stmt::Gate {
+                out,
+                kind: GateKind::Dff,
+                ..
+            } => {
+                if ids.contains_key(out) {
+                    return Err(ParseBenchError::Redefined(out.clone()));
+                }
+                ids.insert(out.clone(), b.dff_deferred(out));
+            }
+            _ => {}
+        }
+    }
+    // Pass 2: logic gates, in dependency order via iterative resolution.
+    // `.bench` files list gates in arbitrary order, so loop until settled.
+    let mut pending: Vec<&Stmt> = stmts
+        .iter()
+        .filter(|s| matches!(s, Stmt::Gate { kind, .. } if *kind != GateKind::Dff))
+        .collect();
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|s| {
+            if let Stmt::Gate { out, kind, fanin } = s {
+                let resolved: Option<Vec<GateId>> =
+                    fanin.iter().map(|n| ids.get(n).copied()).collect();
+                if let Some(fi) = resolved {
+                    ids.insert(out.clone(), b.gate(*kind, &fi, out));
+                    return false;
+                }
+            }
+            true
+        });
+        if pending.len() == before {
+            // A fanin is genuinely undefined (or a combinational cycle via
+            // undeclared names). Report the first unresolved signal.
+            if let Some(Stmt::Gate { fanin, .. }) = pending.first() {
+                let missing = fanin
+                    .iter()
+                    .find(|n| !ids.contains_key(*n))
+                    .cloned()
+                    .unwrap_or_default();
+                return Err(ParseBenchError::UndefinedSignal(missing));
+            }
+            unreachable!("pending only holds gate statements");
+        }
+    }
+    // Pass 3: connect flip-flop data inputs and outputs.
+    for s in &stmts {
+        match s {
+            Stmt::Gate {
+                out,
+                kind: GateKind::Dff,
+                fanin,
+            } => {
+                let ff = ids[out.as_str()];
+                let data = *ids
+                    .get(&fanin[0])
+                    .ok_or_else(|| ParseBenchError::UndefinedSignal(fanin[0].clone()))?;
+                b.connect_dff(ff, data);
+            }
+            Stmt::Output(name) => {
+                let g = *ids
+                    .get(name)
+                    .ok_or_else(|| ParseBenchError::UndefinedSignal(name.clone()))?;
+                b.output(g);
+            }
+            _ => {}
+        }
+    }
+    Ok(b.finish()?)
+}
+
+/// Serialises a [`Circuit`] to `.bench` text. Unnamed gates receive their
+/// id-derived name (`g<N>`).
+pub fn to_bench(c: &Circuit) -> String {
+    let name = |g: GateId| -> String {
+        let n = c.name(g);
+        if n.is_empty() {
+            g.to_string()
+        } else {
+            n.to_owned()
+        }
+    };
+    let mut out = String::new();
+    out.push_str("# generated by eea-netlist\n");
+    for &i in c.inputs() {
+        out.push_str(&format!("INPUT({})\n", name(i)));
+    }
+    for &o in c.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", name(o)));
+    }
+    for &ff in c.dffs() {
+        out.push_str(&format!("{} = DFF({})\n", name(ff), name(c.fanin(ff)[0])));
+    }
+    for &g in c.topo_order() {
+        let fanin: Vec<String> = c.fanin(g).iter().map(|&f| name(f)).collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            name(g),
+            c.kind(g).name().to_ascii_uppercase(),
+            fanin.join(", ")
+        ));
+    }
+    out
+}
+
+/// The ISCAS-85 `c17` benchmark, the canonical smoke-test circuit of the
+/// testing literature (6 NAND gates, 5 inputs, 2 outputs).
+pub const C17: &str = "\
+# ISCAS-85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// A small sequential example (ISCAS-89 `s27`-like: 3 flip-flops).
+pub const S27: &str = "\
+# ISCAS-89 s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_c17() {
+        let c = parse(C17).expect("c17 parses");
+        let s = c.stats();
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.logic_gates, 6);
+        assert_eq!(s.dffs, 0);
+    }
+
+    #[test]
+    fn parses_s27() {
+        let c = parse(S27).expect("s27 parses");
+        let s = c.stats();
+        assert_eq!(s.inputs, 4);
+        assert_eq!(s.dffs, 3);
+        assert_eq!(s.outputs, 1);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        for src in [C17, S27] {
+            let c = parse(src).expect("parses");
+            let text = to_bench(&c);
+            let c2 = parse(&text).expect("roundtrip parses");
+            assert_eq!(c.stats(), c2.stats());
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err = parse("INPUT(a)\nOUTPUT(f)\nf = FOO(a)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::UnknownGate { .. }));
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let err = parse("INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n").unwrap_err();
+        assert_eq!(err, ParseBenchError::UndefinedSignal("ghost".into()));
+    }
+
+    #[test]
+    fn rejects_redefinition() {
+        let err = parse("INPUT(a)\nINPUT(a)\nOUTPUT(a)\n").unwrap_err();
+        assert_eq!(err, ParseBenchError::Redefined("a".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = parse("INPUT(a)\nwhat even is this\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn out_of_order_definitions_resolve() {
+        let src = "INPUT(a)\nOUTPUT(f)\nf = NOT(g)\ng = BUF(a)\n";
+        let c = parse(src).expect("forward reference resolves");
+        assert_eq!(c.stats().logic_gates, 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# header\n\nINPUT(a) # trailing\nOUTPUT(f)\nf = NOT(a)\n";
+        assert!(parse(src).is_ok());
+    }
+}

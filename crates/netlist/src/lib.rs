@@ -1,0 +1,50 @@
+//! Gate-level circuit model used as the circuit-under-test (CUT) substrate
+//! for BIST profile generation.
+//!
+//! The paper characterises each BIST session on an automotive microprocessor
+//! from Infineon (371,900 collapsed faults, 100 scan chains, maximum chain
+//! length 77). That netlist is proprietary, so this crate provides the
+//! closest open equivalent: a full-scan gate-level circuit model with
+//!
+//! * a typed gate library ([`GateKind`]),
+//! * a validated, levelised circuit graph ([`Circuit`]) built through
+//!   [`CircuitBuilder`],
+//! * an ISCAS-style `.bench` parser/writer ([`bench_format`]),
+//! * a seeded synthetic random-logic generator ([`synth`]) able to produce
+//!   circuits of arbitrary size with realistic fanin/fanout distributions, and
+//! * scan-chain insertion ([`scan`]) that partitions the state elements into
+//!   balanced scan chains, exactly like the STUMPS architecture requires.
+//!
+//! Downstream, [`eea-faultsim`](https://example.invalid) enumerates stuck-at
+//! faults on this representation and `eea-bist` shifts pseudo-random and
+//! deterministic patterns through the scan chains.
+//!
+//! # Example
+//!
+//! ```
+//! use eea_netlist::{CircuitBuilder, GateKind};
+//!
+//! # fn main() -> Result<(), eea_netlist::BuildCircuitError> {
+//! let mut b = CircuitBuilder::new();
+//! let a = b.input("a");
+//! let c = b.input("c");
+//! let g = b.gate(GateKind::Nand, &[a, c], "g");
+//! b.output(g);
+//! let circuit = b.finish()?;
+//! assert_eq!(circuit.num_inputs(), 2);
+//! assert_eq!(circuit.num_outputs(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod circuit;
+mod gate;
+pub mod bench_format;
+pub mod scan;
+pub mod synth;
+pub mod verilog;
+
+pub use circuit::{BuildCircuitError, Circuit, CircuitBuilder, CircuitStats};
+pub use gate::{GateId, GateKind};
+pub use scan::{ScanChains, ScanConfig};
+pub use synth::{SynthConfig, synthesize};

@@ -1,0 +1,198 @@
+//! Indexed max-heap over variables, ordered by (static priority, dynamic
+//! activity).
+//!
+//! The static priority implements SAT-decoding: the MOEA genotype assigns
+//! one priority per decision variable and the solver branches in that
+//! order. The dynamic VSIDS activity breaks ties (and drives the search
+//! when no priorities are set).
+
+/// Branching order heap. Keys are compared lexicographically:
+/// static priority first, then activity.
+#[derive(Debug, Default)]
+pub struct VarHeap {
+    /// Heap of variable indices.
+    heap: Vec<usize>,
+    /// Position of each variable in `heap`, or `usize::MAX`.
+    pos: Vec<usize>,
+    static_priority: Vec<f64>,
+    activity: Vec<f64>,
+}
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the key arrays to `n` variables and inserts the new ones.
+    pub fn grow(&mut self, n: usize) {
+        while self.pos.len() < n {
+            let i = self.pos.len();
+            self.pos.push(usize::MAX);
+            self.static_priority.push(0.0);
+            self.activity.push(0.0);
+            self.insert(i);
+        }
+    }
+
+    #[inline]
+    fn better(&self, a: usize, b: usize) -> bool {
+        let ka = (self.static_priority[a], self.activity[a]);
+        let kb = (self.static_priority[b], self.activity[b]);
+        ka > kb
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.better(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.pos[self.heap[i]] = i;
+                self.pos[self.heap[parent]] = parent;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && self.better(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.better(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap.swap(i, best);
+            self.pos[self.heap[i]] = i;
+            self.pos[self.heap[best]] = best;
+            i = best;
+        }
+    }
+
+    fn insert(&mut self, v: usize) {
+        if self.pos[v] != usize::MAX {
+            return;
+        }
+        self.pos[v] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Sets the static (decode) priority of a variable.
+    pub fn set_static_priority(&mut self, v: usize, p: f64) {
+        self.static_priority[v] = p;
+        self.resift(v);
+    }
+
+    /// Sets the dynamic (VSIDS) activity of a variable.
+    pub fn set_dynamic_activity(&mut self, v: usize, a: f64) {
+        self.activity[v] = a;
+        self.resift(v);
+    }
+
+    fn resift(&mut self, v: usize) {
+        let i = self.pos[v];
+        if i != usize::MAX {
+            self.sift_up(i);
+            self.sift_down(self.pos[v]);
+        }
+    }
+
+    /// Reinserts a variable (after unassignment during backtracking).
+    pub fn reinsert(&mut self, v: usize) {
+        self.insert(v);
+    }
+
+    /// Reinserts every variable (start of a solve).
+    pub fn rebuild(&mut self) {
+        for v in 0..self.pos.len() {
+            self.insert(v);
+        }
+    }
+
+    /// Removes and returns the best variable, or `None` when empty.
+    pub fn pop_max(&mut self) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top] = usize::MAX;
+        let last = self.heap.pop().expect("nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last] = 0;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// Number of queued variables.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut h = VarHeap::new();
+        h.grow(5);
+        for (v, p) in [(0, 1.0), (1, 5.0), (2, 3.0), (3, 4.0), (4, 2.0)] {
+            h.set_static_priority(v, p);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max()).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn activity_breaks_ties() {
+        let mut h = VarHeap::new();
+        h.grow(3);
+        h.set_dynamic_activity(1, 9.0);
+        h.set_dynamic_activity(2, 4.0);
+        assert_eq!(h.pop_max(), Some(1));
+        assert_eq!(h.pop_max(), Some(2));
+        assert_eq!(h.pop_max(), Some(0));
+        assert_eq!(h.pop_max(), None);
+    }
+
+    #[test]
+    fn static_dominates_activity() {
+        let mut h = VarHeap::new();
+        h.grow(2);
+        h.set_dynamic_activity(0, 100.0);
+        h.set_static_priority(1, 0.1);
+        assert_eq!(h.pop_max(), Some(1));
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut h = VarHeap::new();
+        h.grow(2);
+        assert_eq!(h.len(), 2);
+        h.reinsert(0);
+        assert_eq!(h.len(), 2);
+        h.pop_max();
+        h.pop_max();
+        assert!(h.is_empty());
+        h.rebuild();
+        assert_eq!(h.len(), 2);
+    }
+}

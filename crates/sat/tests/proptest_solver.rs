@@ -1,0 +1,119 @@
+//! Property tests: the CDCL solver agrees with brute-force enumeration on
+//! random small formulas, for arbitrary priority/polarity hints.
+
+use eea_sat::{Lit, SolveResult, Solver};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Formula {
+    num_vars: usize,
+    clauses: Vec<Vec<(usize, bool)>>,
+    amo: Vec<usize>,
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    (3usize..9).prop_flat_map(|num_vars| {
+        let clause = proptest::collection::vec((0..num_vars, any::<bool>()), 1..4);
+        let clauses = proptest::collection::vec(clause, 1..16);
+        let amo = proptest::collection::vec(0..num_vars, 0..num_vars.min(5));
+        (clauses, amo).prop_map(move |(clauses, mut amo)| {
+            amo.sort_unstable();
+            amo.dedup();
+            Formula {
+                num_vars,
+                clauses,
+                amo,
+            }
+        })
+    })
+}
+
+fn brute_force_sat(f: &Formula) -> bool {
+    'outer: for bits in 0u32..(1 << f.num_vars) {
+        let val = |i: usize| (bits >> i) & 1 == 1;
+        for cl in &f.clauses {
+            if !cl.iter().any(|&(v, s)| val(v) == s) {
+                continue 'outer;
+            }
+        }
+        if f.amo.iter().filter(|&&v| val(v)).count() > 1 {
+            continue 'outer;
+        }
+        return true;
+    }
+    false
+}
+
+fn build_solver(f: &Formula, hints: Option<(&[f64], &[bool])>) -> Solver {
+    let mut s = Solver::new();
+    let vars: Vec<_> = (0..f.num_vars).map(|_| s.new_var()).collect();
+    for cl in &f.clauses {
+        let lits: Vec<Lit> = cl.iter().map(|&(i, sg)| vars[i].lit(sg)).collect();
+        s.add_clause(&lits);
+    }
+    if f.amo.len() >= 2 {
+        let lits: Vec<Lit> = f.amo.iter().map(|&i| vars[i].positive()).collect();
+        s.add_at_most_one(&lits);
+    }
+    if let Some((prio, pol)) = hints {
+        for (i, &v) in vars.iter().enumerate() {
+            s.set_priority(v, prio[i % prio.len()]);
+            s.set_polarity(v, pol[i % pol.len()]);
+        }
+    }
+    s
+}
+
+fn model_satisfies(f: &Formula, s: &Solver) -> bool {
+    let val = |i: usize| {
+        let v = eea_sat::Var::from_index(i);
+        s.value(v)
+    };
+    f.clauses
+        .iter()
+        .all(|cl| cl.iter().any(|&(v, sg)| val(v) == sg))
+        && f.amo.iter().filter(|&&v| val(v)).count() <= 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_matches_brute_force(f in formula_strategy()) {
+        let expected = brute_force_sat(&f);
+        let mut s = build_solver(&f, None);
+        let got = s.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expected);
+        if got {
+            prop_assert!(model_satisfies(&f, &s));
+        }
+    }
+
+    #[test]
+    fn hints_never_change_satisfiability(
+        f in formula_strategy(),
+        prio in proptest::collection::vec(0.0f64..1.0, 1..6),
+        pol in proptest::collection::vec(any::<bool>(), 1..6),
+    ) {
+        let expected = brute_force_sat(&f);
+        let mut s = build_solver(&f, Some((&prio, &pol)));
+        let got = s.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expected, "hints changed satisfiability");
+        if got {
+            prop_assert!(model_satisfies(&f, &s));
+        }
+    }
+
+    #[test]
+    fn resolving_is_consistent(f in formula_strategy()) {
+        // Solving twice (with learned clauses retained) gives the same
+        // satisfiability and a valid model each time.
+        let mut s = build_solver(&f, None);
+        let first = s.solve();
+        let second = s.solve();
+        prop_assert_eq!(first, second);
+        if first == SolveResult::Sat {
+            prop_assert!(model_satisfies(&f, &s));
+        }
+    }
+}

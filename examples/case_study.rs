@@ -1,0 +1,94 @@
+//! The paper's full case study (Section IV): all 36 Table I profiles on
+//! all 15 ECUs, multi-objective exploration, and the Fig. 5 / Fig. 6 /
+//! headline outputs.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p eea-dse --example case_study --release            # 10k evaluations
+//! EEA_EVALS=100000 cargo run -p eea-dse --example case_study --release   # paper budget
+//! ```
+
+use eea_bist::paper_table1;
+use eea_dse::explore::baseline_cost;
+use eea_dse::{
+    augment, explore, fig5_ascii, fig5_csv, fig5_points, fig6_csv, fig6_rows, headline, DseConfig,
+};
+use eea_model::paper_case_study;
+
+fn main() {
+    let evaluations: usize = std::env::var("EEA_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+
+    let case = paper_case_study();
+    let diag = augment(&case, &paper_table1());
+    println!(
+        "case study: {} tasks, {} messages, {} mapping edges after augmentation",
+        diag.spec.application.num_tasks(),
+        diag.spec.application.num_messages(),
+        diag.spec.num_mappings()
+    );
+
+    let mut cfg = DseConfig::default();
+    cfg.nsga2.evaluations = evaluations;
+    cfg.nsga2.population = 100;
+    cfg.nsga2.seed = 2014;
+    let result = explore(&diag, &cfg, |evals, archive| {
+        if evals % 2_000 < 200 {
+            eprintln!("  {evals}/{evaluations} evaluations, archive = {archive}");
+        }
+    });
+    println!(
+        "\n{} evaluations in {:.1} s ({:.0} evals/s; paper: 100,000 in ~29 min on 8 cores)",
+        result.evaluations,
+        result.duration_s,
+        result.evals_per_second()
+    );
+    println!(
+        "{} non-dominated implementations (paper: 176)",
+        result.front.len()
+    );
+
+    // Headline: best quality within +3.7 % of the diagnosis-free baseline.
+    let base = baseline_cost(&case, 2_000, 77);
+    println!("baseline (no structural test) cost: {base:.1}");
+    match headline(&result.front, Some(base)) {
+        Some(hl) => println!(
+            "headline: {:.1} % test quality within +3.7 % budget (actual +{:.2} %); paper: 80.7 % at < 3.7 %",
+            hl.best_quality_pct_in_budget, hl.extra_cost_pct
+        ),
+        None => println!("headline: no implementation fits the +3.7 % budget"),
+    }
+
+    // Fig. 5.
+    let points = fig5_points(&result.front);
+    println!("\n== Fig. 5: cost vs test quality ==");
+    println!("{}", fig5_ascii(&points, 76, 20));
+    let fast = points.iter().filter(|p| p.fast_shutoff).count();
+    println!(
+        "{} implementations below the 20 s shut-off split (o), {} above (^)",
+        fast,
+        points.len() - fast
+    );
+
+    // Fig. 6.
+    println!("\n== Fig. 6: memory split and shut-off of 7 representatives ==");
+    println!(
+        "{:>4} {:>14} {:>14} {:>14} {:>10} {:>8}",
+        "impl", "gateway [B]", "local [B]", "shut-off [s]", "quality", "cost"
+    );
+    let rows = fig6_rows(&result.front, 7);
+    for r in &rows {
+        println!(
+            "{:>4} {:>14} {:>14} {:>14.3} {:>9.2}% {:>8.1}",
+            r.number, r.gateway_bytes, r.distributed_bytes, r.shutoff_s, r.quality_pct, r.cost
+        );
+    }
+
+    // CSV exports for external plotting.
+    std::fs::write("fig5.csv", fig5_csv(&points)).expect("write fig5.csv");
+    std::fs::write("fig6.csv", fig6_csv(&rows)).expect("write fig6.csv");
+    println!("\nwrote fig5.csv and fig6.csv");
+}
