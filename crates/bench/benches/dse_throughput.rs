@@ -31,9 +31,37 @@ fn bench_encode(c: &mut Criterion) {
     });
 }
 
+/// Batched decode+evaluate at 1/2/4/8 worker threads, one EVAL_LANES-sized
+/// batch per iteration (the NSGA-II offspring granularity). The lane scheme
+/// keeps the objective vectors bit-identical across the sweep.
+fn bench_thread_sweep(c: &mut Criterion) {
+    let (_case, diag) = paper_diag_spec();
+    let mut group = c.benchmark_group("dse_thread_sweep");
+    group.sample_size(10);
+
+    for threads in [1usize, 2, 4, 8] {
+        let mut problem = DseProblem::with_threads(&diag, threads);
+        let n = problem.genotype_len();
+        let mut rng = Rng::new(0xD5E);
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter_batched(
+                || {
+                    (0..eea_dse::EVAL_LANES)
+                        .map(|_| (0..n).map(|_| rng.unit()).collect::<Vec<f64>>())
+                        .collect::<Vec<_>>()
+                },
+                |batch| problem.evaluate_batch(&batch),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_decode_evaluate, bench_encode
+    targets = bench_decode_evaluate, bench_encode, bench_thread_sweep
 }
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! generation tractable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eea_faultsim::{FaultSim, FaultUniverse, PatternBlock};
+use eea_faultsim::{FaultSim, FaultUniverse, ParFaultSim, PatternBlock};
 use eea_netlist::{synthesize, SynthConfig};
 
 fn random_block(c: &eea_netlist::Circuit, rng: &mut u64, count: usize) -> PatternBlock {
@@ -56,5 +56,35 @@ fn bench_parallel_vs_serial(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_vs_serial);
+/// Worklist-parallel PPSFP at 1/2/4/8 worker threads. Detection results are
+/// bit-identical across the sweep; only the wall clock moves (bounded by the
+/// machine's core count).
+fn bench_thread_sweep(c: &mut Criterion) {
+    let circuit = synthesize(&SynthConfig {
+        gates: 2_000,
+        inputs: 32,
+        dffs: 96,
+        seed: 0xFA58,
+        ..SynthConfig::default()
+    });
+
+    let mut group = c.benchmark_group("faultsim_thread_sweep");
+    group.sample_size(10);
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            let mut sim = ParFaultSim::new(&circuit, threads);
+            let mut rng = 0x5EEDu64;
+            b.iter(|| {
+                let mut universe = FaultUniverse::collapsed(&circuit);
+                let block = random_block(&circuit, &mut rng, 64);
+                sim.detect_block(&block, &mut universe)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_vs_serial, bench_thread_sweep);
 criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Thread-scaling sweep of the two parallel evaluation engines:
+//!
+//! * worklist-parallel PPSFP fault simulation ([`eea_faultsim::ParFaultSim`]),
+//! * lane-based SAT-decoding DSE evaluation ([`eea_dse::DseProblem`]).
+//!
+//! Each engine runs the same workload at 1/2/4/8 worker threads and the
+//! results are checked to be bit-identical across the sweep before any
+//! timing is reported. Timings land in `BENCH_parallel.json` (machine
+//! readable, includes the machine's core count — speedups saturate at the
+//! physical parallelism available, so a 1-core container reports ~1x).
+//!
+//! ```text
+//! cargo run -p eea-bench --bin bench_parallel --release
+//! EEA_BENCH_BLOCKS=64 EEA_BENCH_BATCHES=8 cargo run -p eea-bench --bin bench_parallel --release
+//! ```
+
+use std::time::Instant;
+
+use eea_bench::{env_usize, paper_diag_spec};
+use eea_dse::{DseProblem, EVAL_LANES};
+use eea_faultsim::{FaultUniverse, ParFaultSim, PatternBlock};
+use eea_moea::{Problem, Rng};
+use eea_netlist::{synthesize, Circuit, SynthConfig};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct SweepPoint {
+    threads: usize,
+    seconds: f64,
+    /// Work items per second (pattern blocks or genotype evaluations).
+    throughput: f64,
+}
+
+fn random_block(c: &Circuit, rng: &mut u64, count: usize) -> PatternBlock {
+    let mut block = PatternBlock::zeroed(c, count);
+    for i in 0..c.pattern_width() {
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        *block.word_mut(i) = *rng;
+    }
+    block
+}
+
+/// One faultsim workload: a fresh collapsed universe pushed through `blocks`
+/// 64-pattern blocks. Returns the per-block detection counts (the
+/// determinism fingerprint).
+fn faultsim_workload(
+    circuit: &Circuit,
+    sim: &mut ParFaultSim,
+    blocks: usize,
+) -> Vec<usize> {
+    let mut universe = FaultUniverse::collapsed(circuit);
+    let mut rng = 0x5EEDu64;
+    (0..blocks)
+        .map(|_| {
+            let block = random_block(circuit, &mut rng, 64);
+            sim.detect_block(&block, &mut universe)
+        })
+        .collect()
+}
+
+fn faultsim_sweep(blocks: usize) -> (Vec<SweepPoint>, bool) {
+    let circuit = synthesize(&SynthConfig {
+        gates: 2_000,
+        inputs: 32,
+        dffs: 96,
+        seed: 0xFA58,
+        ..SynthConfig::default()
+    });
+    let mut points = Vec::new();
+    let mut reference: Option<Vec<usize>> = None;
+    let mut identical = true;
+    for &threads in &THREAD_SWEEP {
+        let mut sim = ParFaultSim::new(&circuit, threads);
+        faultsim_workload(&circuit, &mut sim, blocks); // warm-up
+        let start = Instant::now();
+        let fingerprint = faultsim_workload(&circuit, &mut sim, blocks);
+        let seconds = start.elapsed().as_secs_f64();
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(r) => identical &= *r == fingerprint,
+        }
+        points.push(SweepPoint {
+            threads,
+            seconds,
+            throughput: blocks as f64 / seconds,
+        });
+        eprintln!(
+            "faultsim  threads={threads}: {blocks} blocks in {seconds:.3} s"
+        );
+    }
+    (points, identical)
+}
+
+fn dse_sweep(batches: usize) -> (Vec<SweepPoint>, bool) {
+    let (_case, diag) = paper_diag_spec();
+    let mut points = Vec::new();
+    let mut reference: Option<Vec<Option<Vec<f64>>>> = None;
+    let mut identical = true;
+    for &threads in &THREAD_SWEEP {
+        let mut problem = DseProblem::with_threads(&diag, threads);
+        let n = problem.genotype_len();
+        let mut rng = Rng::new(0xD5E);
+        let inputs: Vec<Vec<Vec<f64>>> = (0..batches)
+            .map(|_| {
+                (0..EVAL_LANES)
+                    .map(|_| (0..n).map(|_| rng.unit()).collect())
+                    .collect()
+            })
+            .collect();
+        problem.evaluate_batch(&inputs[0]); // warm-up
+        let mut problem = DseProblem::with_threads(&diag, threads);
+        let start = Instant::now();
+        let mut outputs = Vec::new();
+        for batch in &inputs {
+            outputs.extend(problem.evaluate_batch(batch));
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let evals = batches * EVAL_LANES;
+        match &reference {
+            None => reference = Some(outputs),
+            Some(r) => identical &= *r == outputs,
+        }
+        points.push(SweepPoint {
+            threads,
+            seconds,
+            throughput: evals as f64 / seconds,
+        });
+        eprintln!(
+            "dse       threads={threads}: {evals} evaluations in {seconds:.3} s"
+        );
+    }
+    (points, identical)
+}
+
+fn json_sweep(name: &str, unit: &str, points: &[SweepPoint], identical: bool) -> String {
+    let base = points[0].seconds;
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"seconds\": {:.6}, \"{unit}_per_s\": {:.2}, \"speedup_vs_1_thread\": {:.3}}}",
+                p.threads,
+                p.seconds,
+                p.throughput,
+                base / p.seconds
+            )
+        })
+        .collect();
+    format!(
+        "  \"{name}\": {{\n   \"bit_identical_across_sweep\": {identical},\n   \"sweep\": [\n{}\n   ]\n  }}",
+        entries.join(",\n")
+    )
+}
+
+fn main() {
+    let blocks = env_usize("EEA_BENCH_BLOCKS", 32);
+    let batches = env_usize("EEA_BENCH_BATCHES", 4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("machine: {cores} core(s) available\n");
+
+    let (fs_points, fs_identical) = faultsim_sweep(blocks);
+    let (dse_points, dse_identical) = dse_sweep(batches);
+    assert!(fs_identical, "faultsim results diverged across thread counts");
+    assert!(dse_identical, "dse results diverged across thread counts");
+
+    let json = format!
+(
+        "{{\n  \"machine_cores\": {cores},\n  \"workload\": {{\"faultsim_blocks\": {blocks}, \"dse_batches\": {batches}, \"dse_batch_size\": {EVAL_LANES}}},\n{},\n{}\n}}\n",
+        json_sweep("faultsim", "blocks", &fs_points, fs_identical),
+        json_sweep("dse", "evals", &dse_points, dse_identical),
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("{json}");
+    println!("wrote BENCH_parallel.json");
+}

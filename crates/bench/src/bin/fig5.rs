@@ -12,7 +12,7 @@ use eea_dse::{fig5_ascii, fig5_csv, fig5_points};
 fn main() {
     let evaluations = env_usize("EEA_EVALS", 10_000);
     let seed = env_u64("EEA_SEED", 2014);
-    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed);
+    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed, 0);
 
     println!(
         "{} evaluations in {:.1} s ({:.0} evals/s); paper: 100,000 in ~29 min (~57/s, 8 cores)",

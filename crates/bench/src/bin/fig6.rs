@@ -13,7 +13,7 @@ use eea_dse::{fig6_csv, fig6_rows};
 fn main() {
     let evaluations = env_usize("EEA_EVALS", 10_000);
     let seed = env_u64("EEA_SEED", 2014);
-    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed);
+    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed, 0);
     let rows = fig6_rows(&result.front, 7);
 
     println!("seven representative implementations (spread across test quality):\n");

@@ -19,12 +19,17 @@ use eea_model::paper_case_study;
 fn main() {
     let evaluations = env_usize("EEA_EVALS", 10_000);
     let seed = env_u64("EEA_SEED", 2014);
-    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed);
+    // 0 = one worker per CPU; the EEA_THREADS environment variable overrides.
+    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed, 0);
 
     println!("== throughput ==");
     println!(
-        "measured: {} evaluations in {:.1} s = {:.0} evals/s (single core)",
-        result.evaluations, result.duration_s, result.evals_per_second()
+        "measured: {} evaluations in {:.1} s = {:.0} evals/s ({} worker thread{})",
+        result.evaluations,
+        result.duration_s,
+        result.evals_per_second(),
+        result.threads,
+        if result.threads == 1 { "" } else { "s" }
     );
     println!("paper:    100,000 evaluations in ~29 min = ~57 evals/s (8 cores)");
 
@@ -34,7 +39,7 @@ fn main() {
 
     println!("\n== quality within a +3.7 % cost budget ==");
     let case = paper_case_study();
-    let base = baseline_cost(&case, 3_000, seed ^ 0xBA5E);
+    let base = baseline_cost(&case, 3_000, seed ^ 0xBA5E, 0);
     println!("baseline (cheapest design without structural tests): {base:.1}");
     for factor in [1.01, 1.037, 1.10] {
         match headline_with_budget(&result.front, Some(base), factor) {

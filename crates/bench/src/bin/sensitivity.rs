@@ -48,9 +48,10 @@ fn main() {
                     seed,
                     ..Nsga2Config::default()
                 },
+                threads: 0,
             };
             let res = explore(&diag, &cfg, |_, _| {});
-            let base = baseline_cost(&case, 800, seed ^ 1);
+            let base = baseline_cost(&case, 800, seed ^ 1, 0);
             match headline_with_budget(&res.front, Some(base), 1.037) {
                 Some(hl) => {
                     // Storage mix of the best in-budget design.

@@ -10,6 +10,7 @@
 //! | `EEA_SEED` | 2014 | exploration seed |
 //! | `EEA_CUT_GATES` | 1,500 | `table1` CUT size |
 //! | `EEA_PRP_MAX` | 16,384 | `table1` largest PRP count (paper: 500,000) |
+//! | `EEA_THREADS` | auto | worker threads for evaluation (results are bit-identical at any count) |
 
 use eea_bist::paper_table1;
 use eea_dse::{augment, explore, DiagSpec, DseConfig, DseResult};
@@ -40,9 +41,13 @@ pub fn paper_diag_spec() -> (CaseStudy, DiagSpec) {
 }
 
 /// Runs the case-study exploration with the standard experiment knobs.
+///
+/// `threads = 0` means one worker per available CPU (overridable via
+/// `EEA_THREADS`); the result is bit-identical at any thread count.
 pub fn run_case_study_exploration(
     evaluations: usize,
     seed: u64,
+    threads: usize,
 ) -> (CaseStudy, DiagSpec, DseResult) {
     let (case, diag) = paper_diag_spec();
     let cfg = DseConfig {
@@ -52,6 +57,7 @@ pub fn run_case_study_exploration(
             seed,
             ..eea_moea::Nsga2Config::default()
         },
+        threads,
     };
     let result = explore(&diag, &cfg, |evals, archive| {
         if evals % 2_000 < 100 {
@@ -86,7 +92,7 @@ mod tests {
 
     #[test]
     fn tiny_exploration_runs() {
-        let (_, _, res) = run_case_study_exploration(50, 1);
+        let (_, _, res) = run_case_study_exploration(50, 1, 1);
         assert_eq!(res.evaluations, 50);
         assert!(!res.front.is_empty());
     }

@@ -17,7 +17,7 @@
 //! the pattern count.
 
 use eea_atpg::{generate_tests_for, AtpgConfig};
-use eea_faultsim::{FaultSim, FaultUniverse};
+use eea_faultsim::{resolve_threads, FaultUniverse, ParFaultSim};
 use eea_netlist::{Circuit, ScanChains};
 
 use crate::lfsr::Lfsr;
@@ -100,6 +100,10 @@ pub struct ProfileConfig {
     pub bits_per_care_bit: f64,
     /// Fixed per-pattern header bytes in the encoded stream.
     pub pattern_header_bytes: u64,
+    /// Worker threads for the fault-simulation phase. `0` means one per
+    /// available CPU; the `EEA_THREADS` environment variable overrides
+    /// either setting. Profiles are bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for ProfileConfig {
@@ -121,6 +125,7 @@ impl Default for ProfileConfig {
             atpg: AtpgConfig::default(),
             bits_per_care_bit: 1.25,
             pattern_header_bytes: 4,
+            threads: 0,
         }
     }
 }
@@ -142,9 +147,10 @@ pub fn generate_profiles(circuit: &Circuit, cfg: &ProfileConfig) -> Vec<BistProf
     counts.dedup();
 
     // Phase 1: simulate the shared LFSR stream once, snapshotting the
-    // detection state at every requested PRP count.
+    // detection state at every requested PRP count. Worklist-parallel, with
+    // results bit-identical to serial at any thread count.
     let mut universe = FaultUniverse::collapsed(circuit);
-    let mut sim = FaultSim::new(circuit);
+    let mut sim = ParFaultSim::new(circuit, resolve_threads(cfg.threads));
     let mut lfsr = Lfsr::new(32, cfg.lfsr_seed);
     let mut snapshots: Vec<(u64, FaultUniverse)> = Vec::with_capacity(counts.len());
     let mut done = 0u64;

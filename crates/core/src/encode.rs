@@ -62,10 +62,18 @@ impl Encoding {
     /// Only meaningful directly after a satisfiable
     /// [`solve`](eea_sat::Solver::solve).
     pub fn extract(&self, spec: &Specification) -> Implementation {
+        self.extract_model(&self.solver, spec)
+    }
+
+    /// Like [`extract`](Self::extract), but reads the model of an external
+    /// `solver` — a clone of [`solver`](Self::solver) holding the same
+    /// formula (and hence the same variable numbering). This is what lets
+    /// per-worker solver replicas share one encoding.
+    pub fn extract_model(&self, solver: &Solver, spec: &Specification) -> Implementation {
         let mut x = Implementation::new();
         for (ti, opts) in self.m_vars.iter().enumerate() {
             for &(r, v) in opts {
-                if self.solver.value(v) {
+                if solver.value(v) {
                     x.bind(TaskId::from_index(ti), r);
                 }
             }
@@ -80,10 +88,10 @@ impl Encoding {
             // the route reads sender-outward.
             let mut hops: Vec<(u32, ResourceId)> = Vec::new();
             for (&r, &v) in &self.c_vars[mi] {
-                if self.solver.value(v) {
+                if solver.value(v) {
                     let tau = self.ct_vars[mi]
                         .iter()
-                        .filter(|&(&(rr, _), &tv)| rr == r && self.solver.value(tv))
+                        .filter(|&(&(rr, _), &tv)| rr == r && solver.value(tv))
                         .map(|(&(_, tau), _)| tau)
                         .min()
                         .unwrap_or(u32::MAX);

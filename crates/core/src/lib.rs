@@ -49,7 +49,10 @@ pub mod schedule;
 
 pub use augment::{augment, BistOption, DiagSpec};
 pub use encode::{encode, Encoding};
-pub use explore::{baseline_cost, explore, DseConfig, DseProblem, DseResult, ExploredImplementation};
+pub use explore::{
+    baseline_cost, explore, resolve_threads, DseConfig, DseProblem, DseResult,
+    ExploredImplementation, EVAL_LANES,
+};
 pub use objectives::{evaluate, MemorySummary, Objectives, MAX_SHUTOFF_S};
 pub use schedule::{check_schedulability, derive_bus_schedules, BusSchedule, ScheduleError};
 pub use report::{

@@ -16,6 +16,8 @@
 //!   the full-scan combinational core,
 //! * [`FaultSim`] — PPSFP (parallel-pattern single-fault propagation) with
 //!   event-driven cone simulation and early exit,
+//! * [`ParFaultSim`] — worklist-parallel PPSFP over `std::thread::scope`
+//!   workers, bit-identical to the serial path at any thread count,
 //! * [`FaultUniverse`] — detection bookkeeping and coverage curves.
 //!
 //! # Example
@@ -38,6 +40,7 @@
 
 mod collapsing;
 mod fault;
+mod par;
 mod ppsfp;
 mod sim;
 mod transition;
@@ -45,6 +48,7 @@ mod universe;
 
 pub use collapsing::{collapse, CollapseReport};
 pub use fault::{enumerate_faults, Fault, FaultSite};
+pub use par::{resolve_threads, ParFaultSim};
 pub use ppsfp::FaultSim;
 pub use sim::{GoodSim, PatternBlock, Response};
 pub use transition::{

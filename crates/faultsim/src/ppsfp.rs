@@ -194,17 +194,22 @@ impl<'c> FaultSim<'c> {
     /// Runs the good machine on `block`, then tries every yet-undetected
     /// fault in `universe`, marking newly detected ones. Returns the number
     /// of faults newly detected by this block.
+    ///
+    /// Iterates the universe's live worklist, so a block late in a session
+    /// costs only the remaining undetected faults, not the full universe.
     pub fn detect_block(&mut self, block: &PatternBlock, universe: &mut FaultUniverse) -> usize {
         self.run_good(block);
         let mut newly = 0;
-        for fi in 0..universe.num_faults() {
-            if universe.is_detected(fi) {
-                continue;
-            }
+        let mut p = 0;
+        while p < universe.num_live() {
+            let fi = universe.live_at(p);
             let fault = universe.fault(fi);
             if self.detect_mask(fault, block, true) != 0 {
+                // Swap-remove: the last live fault moves into position `p`.
                 universe.mark_detected(fi);
                 newly += 1;
+            } else {
+                p += 1;
             }
         }
         newly
@@ -212,8 +217,8 @@ impl<'c> FaultSim<'c> {
 
     /// Like [`detect_block`](Self::detect_block) but records, for each
     /// newly detected fault, the index (within the block) of the first
-    /// detecting pattern. Used by the BIST layer for intermediate-signature
-    /// bookkeeping.
+    /// detecting pattern, sorted by fault index. Used by the BIST layer for
+    /// intermediate-signature bookkeeping.
     pub fn detect_block_with_positions(
         &mut self,
         block: &PatternBlock,
@@ -221,17 +226,18 @@ impl<'c> FaultSim<'c> {
     ) -> Vec<(usize, u32)> {
         self.run_good(block);
         let mut hits = Vec::new();
-        for fi in 0..universe.num_faults() {
-            if universe.is_detected(fi) {
-                continue;
-            }
-            let fault = universe.fault(fi);
-            let mask = self.detect_mask(fault, block, false);
+        let mut p = 0;
+        while p < universe.num_live() {
+            let fi = universe.live_at(p);
+            let mask = self.detect_mask(universe.fault(fi), block, false);
             if mask != 0 {
                 universe.mark_detected(fi);
                 hits.push((fi, mask.trailing_zeros()));
+            } else {
+                p += 1;
             }
         }
+        hits.sort_unstable();
         hits
     }
 }

@@ -23,6 +23,12 @@ pub struct FaultUniverse {
     detected: Vec<bool>,
     num_detected: usize,
     curve: Vec<CoveragePoint>,
+    /// Undetected fault indices, unordered (swap-remove on detection).
+    /// Simulators iterate this worklist instead of scanning and skipping
+    /// all faults, and it is the partitioning unit of the parallel path.
+    live: Vec<u32>,
+    /// Position of each fault in `live`, or `u32::MAX` once detected.
+    live_pos: Vec<u32>,
 }
 
 impl FaultUniverse {
@@ -39,11 +45,14 @@ impl FaultUniverse {
     /// Builds a universe over an explicit fault list.
     pub fn from_faults(faults: Vec<Fault>) -> Self {
         let n = faults.len();
+        assert!(n <= u32::MAX as usize, "fault universe exceeds u32 indices");
         FaultUniverse {
             faults,
             detected: vec![false; n],
             num_detected: 0,
             curve: Vec::new(),
+            live: (0..n as u32).collect(),
+            live_pos: (0..n as u32).collect(),
         }
     }
 
@@ -70,7 +79,31 @@ impl FaultUniverse {
         if !self.detected[i] {
             self.detected[i] = true;
             self.num_detected += 1;
+            let p = self.live_pos[i] as usize;
+            self.live.swap_remove(p);
+            if p < self.live.len() {
+                self.live_pos[self.live[p] as usize] = p as u32;
+            }
+            self.live_pos[i] = u32::MAX;
         }
+    }
+
+    /// The undetected-fault worklist, in unspecified order.
+    #[inline]
+    pub fn live(&self) -> &[u32] {
+        &self.live
+    }
+
+    /// Number of undetected faults.
+    #[inline]
+    pub fn num_live(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The fault index at worklist position `p`.
+    #[inline]
+    pub fn live_at(&self, p: usize) -> usize {
+        self.live[p] as usize
     }
 
     /// Number of detected faults.
@@ -116,6 +149,11 @@ impl FaultUniverse {
         self.detected.iter_mut().for_each(|d| *d = false);
         self.num_detected = 0;
         self.curve.clear();
+        let n = self.faults.len() as u32;
+        self.live.clear();
+        self.live.extend(0..n);
+        self.live_pos.clear();
+        self.live_pos.extend(0..n);
     }
 }
 
@@ -164,5 +202,32 @@ mod tests {
     fn empty_universe_full_coverage() {
         let u = FaultUniverse::from_faults(Vec::new());
         assert_eq!(u.coverage(), 1.0);
+        assert_eq!(u.num_live(), 0);
+    }
+
+    #[test]
+    fn worklist_tracks_detection() {
+        let c = bench_format::parse(bench_format::C17).unwrap();
+        let mut u = FaultUniverse::collapsed(&c);
+        let n = u.num_faults();
+        assert_eq!(u.num_live(), n);
+        // Detect a scattered subset (twice, checking idempotence) and
+        // verify the worklist matches the detection flags exactly.
+        for &i in &[0usize, 7, 21, 7, 3] {
+            u.mark_detected(i);
+        }
+        assert_eq!(u.num_live(), n - 4);
+        let mut live: Vec<usize> = u.live().iter().map(|&i| i as usize).collect();
+        live.sort_unstable();
+        let expect: Vec<usize> = (0..n).filter(|&i| !u.is_detected(i)).collect();
+        assert_eq!(live, expect);
+        // Worklist positions stay consistent under swap-remove.
+        for p in 0..u.num_live() {
+            assert!(!u.is_detected(u.live_at(p)));
+        }
+        u.reset();
+        assert_eq!(u.num_live(), n);
+        u.mark_detected(n - 1);
+        assert_eq!(u.num_live(), n - 1);
     }
 }

@@ -2,7 +2,7 @@
 //! brute-force whole-circuit faulty simulation on random circuits and
 //! random pattern blocks.
 
-use eea_faultsim::{Fault, FaultSim, FaultUniverse, GoodSim, PatternBlock};
+use eea_faultsim::{Fault, FaultSim, FaultUniverse, GoodSim, ParFaultSim, PatternBlock};
 use eea_netlist::{synthesize, Circuit, SynthConfig};
 use proptest::prelude::*;
 
@@ -119,6 +119,46 @@ proptest! {
             sim.detect_block(&block, &mut universe);
             prop_assert!(universe.coverage() >= last);
             last = universe.coverage();
+        }
+    }
+
+    #[test]
+    fn parallel_detection_matches_serial(
+        seed in any::<u64>(),
+        gates in 60usize..200,
+        threads in 2usize..9,
+        blocks in 1usize..5,
+    ) {
+        let c = synthesize(&SynthConfig {
+            gates,
+            inputs: 10,
+            dffs: 6,
+            seed,
+            ..SynthConfig::default()
+        });
+        let mut serial_u = FaultUniverse::collapsed(&c);
+        let mut parallel_u = FaultUniverse::collapsed(&c);
+        let mut serial = FaultSim::new(&c);
+        let mut parallel = ParFaultSim::new(&c, threads);
+        let mut s = seed | 1;
+        for _ in 0..blocks {
+            let mut block = PatternBlock::zeroed(&c, 64);
+            for i in 0..c.pattern_width() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                *block.word_mut(i) = s;
+            }
+            let ns = serial.detect_block(&block, &mut serial_u);
+            let np = parallel.detect_block(&block, &mut parallel_u);
+            prop_assert_eq!(ns, np, "detection count diverged");
+            let sp = serial.detect_block_with_positions(&block, &mut serial_u);
+            let pp = parallel.detect_block_with_positions(&block, &mut parallel_u);
+            prop_assert_eq!(sp, pp, "first-detection positions diverged");
+        }
+        prop_assert_eq!(serial_u.num_live(), parallel_u.num_live());
+        for fi in 0..serial_u.num_faults() {
+            prop_assert_eq!(serial_u.is_detected(fi), parallel_u.is_detected(fi));
         }
     }
 }

@@ -24,6 +24,19 @@ pub trait Problem {
     /// Evaluates a genotype; `None` marks an infeasible decode (rare under
     /// SAT-decoding — only when the whole formula is unsatisfiable).
     fn evaluate(&mut self, genotype: &[f64]) -> Option<Vec<f64>>;
+
+    /// Evaluates a whole generation of genotypes, returning results in
+    /// input order. The default forwards serially to
+    /// [`evaluate`](Self::evaluate); problems with thread-safe evaluation
+    /// override this to fan a batch out across workers.
+    ///
+    /// [`run`] performs *every* evaluation through this hook and merges by
+    /// input index, so an override whose per-genotype results do not depend
+    /// on how the batch is split (see `eea-dse`'s lane scheme) makes the
+    /// whole evolution trajectory independent of the worker count.
+    fn evaluate_batch(&mut self, genotypes: &[Vec<f64>]) -> Vec<Option<Vec<f64>>> {
+        genotypes.iter().map(|g| self.evaluate(g)).collect()
+    }
 }
 
 /// NSGA-II configuration.
@@ -227,6 +240,13 @@ fn polynomial_mutation(rng: &mut Rng, genotype: &mut [f64], prob: f64, eta: f64)
 /// Runs NSGA-II on `problem`. The `progress` callback receives
 /// `(evaluations_done, archive_size)` after each generation and may be a
 /// no-op closure.
+///
+/// All evaluation happens in generation-sized batches through
+/// [`Problem::evaluate_batch`], merged by input index. Batch boundaries
+/// depend only on result *counts* (never on objective values), and the RNG
+/// is consumed exclusively while generating genotypes — so a batch
+/// override that is split-invariant keeps the run bit-identical to serial
+/// evaluation at any worker count.
 pub fn run<P: Problem>(
     problem: &mut P,
     cfg: &Nsga2Config,
@@ -240,56 +260,60 @@ pub fn run<P: Problem>(
     let mut evaluations = 0usize;
     let mut infeasible = 0usize;
 
-    let evaluate = |problem: &mut P,
-                        genotype: Vec<f64>,
-                        evaluations: &mut usize,
-                        infeasible: &mut usize,
-                        archive: &mut ParetoArchive<Vec<f64>>|
-     -> Option<Individual> {
-        *evaluations += 1;
-        match problem.evaluate(&genotype) {
-            Some(objectives) => {
-                archive.offer(objectives.clone(), genotype.clone());
-                Some(Individual {
-                    genotype,
-                    objectives,
-                })
-            }
-            None => {
-                *infeasible += 1;
-                None
-            }
-        }
+    let absorb = |problem: &mut P,
+                  batch: Vec<Vec<f64>>,
+                  evaluations: &mut usize,
+                  infeasible: &mut usize,
+                  archive: &mut ParetoArchive<Vec<f64>>|
+     -> Vec<Individual> {
+        let results = problem.evaluate_batch(&batch);
+        debug_assert_eq!(results.len(), batch.len());
+        *evaluations += batch.len();
+        batch
+            .into_iter()
+            .zip(results)
+            .filter_map(|(genotype, result)| match result {
+                Some(objectives) => {
+                    archive.offer(objectives.clone(), genotype.clone());
+                    Some(Individual {
+                        genotype,
+                        objectives,
+                    })
+                }
+                None => {
+                    *infeasible += 1;
+                    None
+                }
+            })
+            .collect()
     };
 
     // Initial population: injected seeds first, then uniform random.
+    let init_budget = cfg.evaluations.max(cfg.population);
     let mut population: Vec<Individual> = Vec::with_capacity(cfg.population);
-    for genotype in cfg.seeds.iter().cloned() {
+    let seed_batch: Vec<Vec<f64>> = cfg.seeds.iter().take(init_budget).cloned().collect();
+    for genotype in &seed_batch {
         assert_eq!(genotype.len(), n, "seed genotype length mismatch");
-        if evaluations >= cfg.evaluations.max(cfg.population) {
-            break;
-        }
-        if let Some(ind) = evaluate(
-            problem,
-            genotype,
-            &mut evaluations,
-            &mut infeasible,
-            &mut archive,
-        ) {
-            population.push(ind);
-        }
     }
-    while population.len() < cfg.population && evaluations < cfg.evaluations.max(cfg.population) {
-        let genotype: Vec<f64> = (0..n).map(|_| rng.unit()).collect();
-        if let Some(ind) = evaluate(
+    population.extend(absorb(
+        problem,
+        seed_batch,
+        &mut evaluations,
+        &mut infeasible,
+        &mut archive,
+    ));
+    while population.len() < cfg.population && evaluations < init_budget {
+        let need = (cfg.population - population.len()).min(init_budget - evaluations);
+        let batch: Vec<Vec<f64>> = (0..need)
+            .map(|_| (0..n).map(|_| rng.unit()).collect())
+            .collect();
+        population.extend(absorb(
             problem,
-            genotype,
+            batch,
             &mut evaluations,
             &mut infeasible,
             &mut archive,
-        ) {
-            population.push(ind);
-        }
+        ));
     }
     if population.is_empty() {
         return Nsga2Result {
@@ -311,34 +335,39 @@ pub fn run<P: Problem>(
         let ranks = non_dominated_ranks(&objectives);
         let crowding = crowding_distances(&objectives, &ranks);
 
-        // Offspring.
+        // Offspring, generated a batch at a time. The batch size depends
+        // only on how many feasible offspring earlier batches produced, so
+        // the RNG stream (consumed only here, during variation) is
+        // independent of how `evaluate_batch` schedules its work.
         let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
         while offspring.len() < cfg.population && evaluations < cfg.evaluations {
-            let a = tournament(&mut rng, &ranks, &crowding);
-            let b = tournament(&mut rng, &ranks, &crowding);
-            let (mut c1, mut c2) = sbx(
-                &mut rng,
-                &population[a].genotype,
-                &population[b].genotype,
-                cfg.crossover_prob,
-                cfg.eta_crossover,
-            );
-            polynomial_mutation(&mut rng, &mut c1, mutation_prob, cfg.eta_mutation);
-            polynomial_mutation(&mut rng, &mut c2, mutation_prob, cfg.eta_mutation);
-            for child in [c1, c2] {
-                if offspring.len() >= cfg.population || evaluations >= cfg.evaluations {
-                    break;
-                }
-                if let Some(ind) = evaluate(
-                    problem,
-                    child,
-                    &mut evaluations,
-                    &mut infeasible,
-                    &mut archive,
-                ) {
-                    offspring.push(ind);
+            let need =
+                (cfg.population - offspring.len()).min(cfg.evaluations - evaluations);
+            let mut batch: Vec<Vec<f64>> = Vec::with_capacity(need);
+            while batch.len() < need {
+                let a = tournament(&mut rng, &ranks, &crowding);
+                let b = tournament(&mut rng, &ranks, &crowding);
+                let (mut c1, mut c2) = sbx(
+                    &mut rng,
+                    &population[a].genotype,
+                    &population[b].genotype,
+                    cfg.crossover_prob,
+                    cfg.eta_crossover,
+                );
+                polynomial_mutation(&mut rng, &mut c1, mutation_prob, cfg.eta_mutation);
+                polynomial_mutation(&mut rng, &mut c2, mutation_prob, cfg.eta_mutation);
+                batch.push(c1);
+                if batch.len() < need {
+                    batch.push(c2);
                 }
             }
+            offspring.extend(absorb(
+                problem,
+                batch,
+                &mut evaluations,
+                &mut infeasible,
+                &mut archive,
+            ));
         }
 
         // Environmental selection over µ + λ.
@@ -453,6 +482,47 @@ mod tests {
         // Random search baseline for the same budget is much worse; verify
         // NSGA-II actually improved over the initial random population.
         assert!(res.archive.len() > 10);
+    }
+
+    /// Evaluates like Zdt1 but services batches back-to-front internally,
+    /// mimicking an arbitrary parallel schedule; results are still returned
+    /// in input order.
+    struct Zdt1Scrambled {
+        inner: Zdt1,
+    }
+
+    impl Problem for Zdt1Scrambled {
+        fn genotype_len(&self) -> usize {
+            self.inner.genotype_len()
+        }
+        fn num_objectives(&self) -> usize {
+            self.inner.num_objectives()
+        }
+        fn evaluate(&mut self, x: &[f64]) -> Option<Vec<f64>> {
+            self.inner.evaluate(x)
+        }
+        fn evaluate_batch(&mut self, genotypes: &[Vec<f64>]) -> Vec<Option<Vec<f64>>> {
+            let mut results: Vec<Option<Vec<f64>>> = vec![None; genotypes.len()];
+            for i in (0..genotypes.len()).rev() {
+                results[i] = self.inner.evaluate(&genotypes[i]);
+            }
+            results
+        }
+    }
+
+    #[test]
+    fn batch_schedule_does_not_change_the_run() {
+        let cfg = Nsga2Config {
+            population: 20,
+            evaluations: 600,
+            seed: 11,
+            ..Nsga2Config::default()
+        };
+        let serial = run(&mut Zdt1 { n: 6 }, &cfg, |_, _| {});
+        let scrambled = run(&mut Zdt1Scrambled { inner: Zdt1 { n: 6 } }, &cfg, |_, _| {});
+        assert_eq!(serial.population, scrambled.population);
+        assert_eq!(serial.evaluations, scrambled.evaluations);
+        assert_eq!(serial.archive.entries().len(), scrambled.archive.entries().len());
     }
 
     #[test]

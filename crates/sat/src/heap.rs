@@ -8,7 +8,7 @@
 
 /// Branching order heap. Keys are compared lexicographically:
 /// static priority first, then activity.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct VarHeap {
     /// Heap of variable indices.
     heap: Vec<usize>,

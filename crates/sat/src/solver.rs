@@ -25,7 +25,7 @@ enum Reason {
     None,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
     learned: bool,
@@ -57,7 +57,7 @@ pub enum SolveResult {
 /// assert_eq!(s.solve(), SolveResult::Sat);
 /// assert_ne!(s.value(a), s.value(b));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Solver {
     num_vars: usize,
     clauses: Vec<Clause>,

@@ -52,7 +52,7 @@ fn main() {
     );
 
     // Headline: best quality within +3.7 % of the diagnosis-free baseline.
-    let base = baseline_cost(&case, 2_000, 77);
+    let base = baseline_cost(&case, 2_000, 77, 0);
     println!("baseline (no structural test) cost: {base:.1}");
     match headline(&result.front, Some(base)) {
         Some(hl) => println!(
