@@ -134,7 +134,7 @@ pub fn generate_tests_for(
             AtpgOutcome::Test(cube) => {
                 specified_care_bits += cube.care_bits();
                 let filled = cube.filled_with(&mut fill);
-                let block = PatternBlock::from_patterns(circuit, &[filled.clone()]);
+                let block = PatternBlock::from_patterns(circuit, std::slice::from_ref(&filled));
                 let newly = sim.detect_block(&block, universe);
                 debug_assert!(newly > 0, "generated cube must detect its target");
                 // Store the *filled* pattern: compaction and downstream BIST
@@ -206,7 +206,7 @@ mod tests {
             dffs: 10,
             seed: 99,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         let run = generate_tests(&c, &AtpgConfig::default());
         // Every fault is detected, proven untestable, or aborted; aborted
         // faults may additionally be detected fortuitously by later cubes,

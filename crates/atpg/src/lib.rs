@@ -1,3 +1,7 @@
+// Library targets are panic-free by policy (see DESIGN.md, "Error
+// taxonomy"): unwrap/expect/panic! are denied outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! Deterministic test-pattern generation (PODEM) and test-set compaction.
 //!
 //! Mixed-mode BIST (Section II of the paper) applies pseudo-random patterns

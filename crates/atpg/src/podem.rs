@@ -409,23 +409,24 @@ impl<'c> Podem<'c> {
                 GateKind::Not => (first, !v),
                 GateKind::Buf => (first, v),
                 GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-                    let ctrl = kind.controlling_value().expect("has controlling value");
+                    let ctrl = kind.controlling_value()?;
                     let pre = v ^ kind.inverts();
                     if pre == ctrl {
                         // One controlling input suffices: pick the X input
                         // that is easiest to drive to the controlling value.
+                        // The chain starts with `first`, so min/max over it
+                        // can only be `None` if the iterator is empty —
+                        // impossible, but `?` keeps the path panic-free.
                         let pick = std::iter::once(first)
                             .chain(xs)
-                            .min_by_key(|&f| self.cc(f, ctrl))
-                            .expect("at least one X input");
+                            .min_by_key(|&f| self.cc(f, ctrl))?;
                         (pick, ctrl)
                     } else {
                         // All inputs must be non-controlling: tackle the
                         // hardest one first so conflicts surface early.
                         let pick = std::iter::once(first)
                             .chain(xs)
-                            .max_by_key(|&f| self.cc(f, !ctrl))
-                            .expect("at least one X input");
+                            .max_by_key(|&f| self.cc(f, !ctrl))?;
                         (pick, !ctrl)
                     }
                 }
@@ -440,7 +441,10 @@ impl<'c> Podem<'c> {
                     let need = v ^ (kind == GateKind::Xnor) ^ defined_parity;
                     (first, need)
                 }
-                GateKind::Input | GateKind::Dff => unreachable!("sources handled above"),
+                // Sources were handled by the is_combinational_source()
+                // early return; treat the impossible fall-through as an
+                // unreachable objective rather than panicking.
+                GateKind::Input | GateKind::Dff => return None,
             };
             v = v_next;
             g = next;
@@ -503,12 +507,14 @@ fn eval3(kind: GateKind, fanin: &[u8]) -> u8 {
                 v
             }
         }
-        GateKind::Not => match fanin[0] {
+        GateKind::Not => match fanin.first().copied().unwrap_or(X) {
             X => X,
             v => v ^ 1,
         },
-        GateKind::Buf => fanin[0],
-        GateKind::Input | GateKind::Dff => unreachable!("sources are not evaluated"),
+        GateKind::Buf => fanin.first().copied().unwrap_or(X),
+        // Sources are never evaluated (the simulator seeds them); answer X
+        // conservatively instead of panicking if one slips through.
+        GateKind::Input | GateKind::Dff => X,
     }
 }
 

@@ -21,7 +21,7 @@ fn bench_can(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("simulate_1s_30_messages", |b| {
-        let sim = BusSim::new(BUS_BITRATE_BPS);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("valid bitrate");
         b.iter(|| sim.run(&msgs, 1_000_000))
     });
 

@@ -10,7 +10,7 @@ use eea_dse::DseProblem;
 use eea_moea::{Problem, Rng};
 
 fn bench_decode_evaluate(c: &mut Criterion) {
-    let (_case, diag) = paper_diag_spec();
+    let (_case, diag) = paper_diag_spec().expect("paper case study augments");
     let mut problem = DseProblem::new(&diag);
     let n = problem.genotype_len();
     let mut rng = Rng::new(0xD5E);
@@ -25,7 +25,7 @@ fn bench_decode_evaluate(c: &mut Criterion) {
 }
 
 fn bench_encode(c: &mut Criterion) {
-    let (_case, diag) = paper_diag_spec();
+    let (_case, diag) = paper_diag_spec().expect("paper case study augments");
     c.bench_function("dse_encode_full_case_study", |b| {
         b.iter(|| eea_dse::encode(&diag))
     });
@@ -35,7 +35,7 @@ fn bench_encode(c: &mut Criterion) {
 /// batch per iteration (the NSGA-II offspring granularity). The lane scheme
 /// keeps the objective vectors bit-identical across the sweep.
 fn bench_thread_sweep(c: &mut Criterion) {
-    let (_case, diag) = paper_diag_spec();
+    let (_case, diag) = paper_diag_spec().expect("paper case study augments");
     let mut group = c.benchmark_group("dse_thread_sweep");
     group.sample_size(10);
 
@@ -43,7 +43,7 @@ fn bench_thread_sweep(c: &mut Criterion) {
         let mut problem = DseProblem::with_threads(&diag, threads);
         let n = problem.genotype_len();
         let mut rng = Rng::new(0xD5E);
-        group.bench_function(&format!("threads_{threads}"), |b| {
+        group.bench_function(format!("threads_{threads}"), |b| {
             b.iter_batched(
                 || {
                     (0..eea_dse::EVAL_LANES)

@@ -24,7 +24,7 @@ fn bench_parallel_vs_serial(c: &mut Criterion) {
         dffs: 48,
         seed: 0xFA57,
         ..SynthConfig::default()
-    });
+    }).expect("synthesizes");
 
     let mut group = c.benchmark_group("faultsim_64_patterns");
     group.sample_size(20);
@@ -66,13 +66,13 @@ fn bench_thread_sweep(c: &mut Criterion) {
         dffs: 96,
         seed: 0xFA58,
         ..SynthConfig::default()
-    });
+    }).expect("synthesizes");
 
     let mut group = c.benchmark_group("faultsim_thread_sweep");
     group.sample_size(10);
 
     for threads in [1usize, 2, 4, 8] {
-        group.bench_function(&format!("threads_{threads}"), |b| {
+        group.bench_function(format!("threads_{threads}"), |b| {
             let mut sim = ParFaultSim::new(&circuit, threads);
             let mut rng = 0x5EEDu64;
             b.iter(|| {

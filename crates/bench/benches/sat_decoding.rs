@@ -100,7 +100,7 @@ fn bench_decoding_strategies(c: &mut Criterion) {
     group.sample_size(10);
 
     // SAT-decoding on the full case study.
-    let (_case, diag) = paper_diag_spec();
+    let (_case, diag) = paper_diag_spec().expect("paper case study augments");
     let mut problem = DseProblem::new(&diag);
     let n = problem.genotype_len();
     let mut rng = Rng::new(7);
@@ -116,7 +116,7 @@ fn bench_decoding_strategies(c: &mut Criterion) {
     // that benchmarking time-per-success would not terminate, which is the
     // ablation's whole point.
     let case = paper_case_study();
-    let small = augment(&case, &paper_table1()[..2]);
+    let small = augment(&case, &paper_table1()[..2]).expect("gateway present");
     let mut rng2 = Rng::new(7);
     group.bench_function("rejection_sampling_one_attempt", |b| {
         b.iter(|| rejection_sample(&small, &mut rng2))

@@ -16,7 +16,7 @@ fn corner(problem: &DseProblem<'_>, idx: usize) -> Vec<f64> {
 }
 
 fn bench_storage_policies(c: &mut Criterion) {
-    let (_case, diag) = paper_diag_spec();
+    let (_case, diag) = paper_diag_spec().expect("paper case study augments");
     let mut problem = DseProblem::new(&diag);
     let _ = problem.genotype_len();
 

@@ -11,7 +11,7 @@
 //! ```
 
 use eea_bench::{env_u64, env_usize, paper_diag_spec};
-use eea_dse::DseProblem;
+use eea_dse::{DseProblem, EeaError};
 use eea_moea::{
     hypervolume, run, run_spea2, Nsga2Config, ParetoArchive, Problem, Rng,
 };
@@ -31,10 +31,10 @@ fn normalized_hypervolume(entries: &[Vec<f64>], bounds: &[(f64, f64); 3]) -> f64
     hypervolume(&front, &[1.0001, 1.0001, 1.0001])
 }
 
-fn main() {
+fn main() -> Result<(), EeaError> {
     let evaluations = env_usize("EEA_EVALS", 3_000);
     let seed = env_u64("EEA_SEED", 2014);
-    let (_case, diag) = paper_diag_spec();
+    let (_case, diag) = paper_diag_spec()?;
 
     // Shared objective bounds for normalisation (cost, -quality, shutoff).
     let bounds = [(600.0, 800.0), (-1.0, 0.0), (0.0, 90_000.0)];
@@ -132,4 +132,5 @@ fn main() {
         (nsga_hv / random_hv - 1.0) * 100.0,
         (spea_hv / random_hv - 1.0) * 100.0
     );
+    Ok(())
 }

@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use eea_bench::{env_usize, paper_diag_spec};
-use eea_dse::{DseProblem, EVAL_LANES};
+use eea_dse::{DseProblem, EeaError, EVAL_LANES};
 use eea_faultsim::{FaultUniverse, ParFaultSim, PatternBlock};
 use eea_moea::{Problem, Rng};
 use eea_netlist::{synthesize, Circuit, SynthConfig};
@@ -60,14 +60,14 @@ fn faultsim_workload(
         .collect()
 }
 
-fn faultsim_sweep(blocks: usize) -> (Vec<SweepPoint>, bool) {
+fn faultsim_sweep(blocks: usize) -> Result<(Vec<SweepPoint>, bool), EeaError> {
     let circuit = synthesize(&SynthConfig {
         gates: 2_000,
         inputs: 32,
         dffs: 96,
         seed: 0xFA58,
         ..SynthConfig::default()
-    });
+    })?;
     let mut points = Vec::new();
     let mut reference: Option<Vec<usize>> = None;
     let mut identical = true;
@@ -90,11 +90,11 @@ fn faultsim_sweep(blocks: usize) -> (Vec<SweepPoint>, bool) {
             "faultsim  threads={threads}: {blocks} blocks in {seconds:.3} s"
         );
     }
-    (points, identical)
+    Ok((points, identical))
 }
 
-fn dse_sweep(batches: usize) -> (Vec<SweepPoint>, bool) {
-    let (_case, diag) = paper_diag_spec();
+fn dse_sweep(batches: usize) -> Result<(Vec<SweepPoint>, bool), EeaError> {
+    let (_case, diag) = paper_diag_spec()?;
     let mut points = Vec::new();
     let mut reference: Option<Vec<Option<Vec<f64>>>> = None;
     let mut identical = true;
@@ -131,7 +131,7 @@ fn dse_sweep(batches: usize) -> (Vec<SweepPoint>, bool) {
             "dse       threads={threads}: {evals} evaluations in {seconds:.3} s"
         );
     }
-    (points, identical)
+    Ok((points, identical))
 }
 
 fn json_sweep(name: &str, unit: &str, points: &[SweepPoint], identical: bool) -> String {
@@ -154,7 +154,7 @@ fn json_sweep(name: &str, unit: &str, points: &[SweepPoint], identical: bool) ->
     )
 }
 
-fn main() {
+fn main() -> Result<(), EeaError> {
     let blocks = env_usize("EEA_BENCH_BLOCKS", 32);
     let batches = env_usize("EEA_BENCH_BATCHES", 4);
     let cores = std::thread::available_parallelism()
@@ -162,8 +162,8 @@ fn main() {
         .unwrap_or(1);
     eprintln!("machine: {cores} core(s) available\n");
 
-    let (fs_points, fs_identical) = faultsim_sweep(blocks);
-    let (dse_points, dse_identical) = dse_sweep(batches);
+    let (fs_points, fs_identical) = faultsim_sweep(blocks)?;
+    let (dse_points, dse_identical) = dse_sweep(batches)?;
     assert!(fs_identical, "faultsim results diverged across thread counts");
     assert!(dse_identical, "dse results diverged across thread counts");
 
@@ -173,7 +173,10 @@ fn main() {
         json_sweep("faultsim", "blocks", &fs_points, fs_identical),
         json_sweep("dse", "evals", &dse_points, dse_identical),
     );
-    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("{json}");
-    println!("wrote BENCH_parallel.json");
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("wrote BENCH_parallel.json"),
+        Err(e) => eprintln!("could not write BENCH_parallel.json: {e}"),
+    }
+    Ok(())
 }

@@ -7,12 +7,12 @@
 //! ```
 
 use eea_bench::{env_u64, env_usize, run_case_study_exploration};
-use eea_dse::{fig5_ascii, fig5_csv, fig5_points};
+use eea_dse::{fig5_ascii, fig5_csv, fig5_points, EeaError};
 
-fn main() {
+fn main() -> Result<(), EeaError> {
     let evaluations = env_usize("EEA_EVALS", 10_000);
     let seed = env_u64("EEA_SEED", 2014);
-    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed, 0);
+    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed, 0)?;
 
     println!(
         "{} evaluations in {:.1} s ({:.0} evals/s); paper: 100,000 in ~29 min (~57/s, 8 cores)",
@@ -35,6 +35,9 @@ fn main() {
     println!("{}", fig5_ascii(&points, 78, 22));
 
     let csv = fig5_csv(&points);
-    std::fs::write("fig5.csv", &csv).expect("write fig5.csv");
-    println!("wrote fig5.csv ({} rows)", points.len());
+    match std::fs::write("fig5.csv", &csv) {
+        Ok(()) => println!("wrote fig5.csv ({} rows)", points.len()),
+        Err(e) => eprintln!("could not write fig5.csv: {e}"),
+    }
+    Ok(())
 }

@@ -8,12 +8,12 @@
 //! ```
 
 use eea_bench::{env_u64, env_usize, run_case_study_exploration};
-use eea_dse::{fig6_csv, fig6_rows};
+use eea_dse::{fig6_csv, fig6_rows, EeaError};
 
-fn main() {
+fn main() -> Result<(), EeaError> {
     let evaluations = env_usize("EEA_EVALS", 10_000);
     let seed = env_u64("EEA_SEED", 2014);
-    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed, 0);
+    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed, 0)?;
     let rows = fig6_rows(&result.front, 7);
 
     println!("seven representative implementations (spread across test quality):\n");
@@ -48,6 +48,9 @@ fn main() {
          inverts the tradeoff (compare the rows above)."
     );
 
-    std::fs::write("fig6.csv", fig6_csv(&rows)).expect("write fig6.csv");
-    println!("\nwrote fig6.csv ({} rows)", rows.len());
+    match std::fs::write("fig6.csv", fig6_csv(&rows)) {
+        Ok(()) => println!("\nwrote fig6.csv ({} rows)", rows.len()),
+        Err(e) => eprintln!("could not write fig6.csv: {e}"),
+    }
+    Ok(())
 }

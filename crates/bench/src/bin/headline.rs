@@ -13,14 +13,14 @@
 
 use eea_bench::{env_u64, env_usize, run_case_study_exploration};
 use eea_dse::explore::baseline_cost;
-use eea_dse::headline_with_budget;
+use eea_dse::{headline_with_budget, EeaError};
 use eea_model::paper_case_study;
 
-fn main() {
+fn main() -> Result<(), EeaError> {
     let evaluations = env_usize("EEA_EVALS", 10_000);
     let seed = env_u64("EEA_SEED", 2014);
     // 0 = one worker per CPU; the EEA_THREADS environment variable overrides.
-    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed, 0);
+    let (_case, _diag, result) = run_case_study_exploration(evaluations, seed, 0)?;
 
     println!("== throughput ==");
     println!(
@@ -39,7 +39,7 @@ fn main() {
 
     println!("\n== quality within a +3.7 % cost budget ==");
     let case = paper_case_study();
-    let base = baseline_cost(&case, 3_000, seed ^ 0xBA5E, 0);
+    let base = baseline_cost(&case, 3_000, seed ^ 0xBA5E, 0)?;
     println!("baseline (cheapest design without structural tests): {base:.1}");
     for factor in [1.01, 1.037, 1.10] {
         match headline_with_budget(&result.front, Some(base), factor) {
@@ -56,4 +56,5 @@ fn main() {
         }
     }
     println!("paper:    80.7 % test quality at < +3.7 %");
+    Ok(())
 }

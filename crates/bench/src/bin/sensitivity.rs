@@ -15,11 +15,11 @@
 use eea_bench::{env_u64, env_usize};
 use eea_bist::paper_table1;
 use eea_dse::explore::baseline_cost;
-use eea_dse::{augment, explore, headline_with_budget, DseConfig};
+use eea_dse::{augment, explore, headline_with_budget, DseConfig, EeaError};
 use eea_model::{build_case_study, CaseStudyConfig};
 use eea_moea::Nsga2Config;
 
-fn main() {
+fn main() -> Result<(), EeaError> {
     let evaluations = env_usize("EEA_EVALS", 2_000);
     let seed = env_u64("EEA_SEED", 2014);
 
@@ -40,7 +40,7 @@ fn main() {
                 ..CaseStudyConfig::default()
             };
             let case = build_case_study(&cfg_case);
-            let diag = augment(&case, &paper_table1());
+            let diag = augment(&case, &paper_table1())?;
             let cfg = DseConfig {
                 nsga2: Nsga2Config {
                     population: 60.min(evaluations.max(2)),
@@ -51,22 +51,17 @@ fn main() {
                 threads: 0,
             };
             let res = explore(&diag, &cfg, |_, _| {});
-            let base = baseline_cost(&case, 800, seed ^ 1, 0);
-            match headline_with_budget(&res.front, Some(base), 1.037) {
-                Some(hl) => {
-                    // Storage mix of the best in-budget design.
-                    let budget = base * 1.037;
-                    let best = res
-                        .front
-                        .iter()
-                        .filter(|e| e.objectives.cost <= budget)
-                        .max_by(|a, b| {
-                            a.objectives
-                                .test_quality
-                                .partial_cmp(&b.objectives.test_quality)
-                                .expect("finite")
-                        })
-                        .expect("headline implies a best design");
+            let base = baseline_cost(&case, 800, seed ^ 1, 0)?;
+            // Storage mix of the best in-budget design (present whenever
+            // the headline is).
+            let budget = base * 1.037;
+            let best_in_budget = res
+                .front
+                .iter()
+                .filter(|e| e.objectives.cost <= budget)
+                .max_by(|a, b| a.objectives.test_quality.total_cmp(&b.objectives.test_quality));
+            match (headline_with_budget(&res.front, Some(base), 1.037), best_in_budget) {
+                (Some(hl), Some(best)) => {
                     println!(
                         "{:>12.0e} {:>10.0} {:>15.1}% {:>12.2} {:>14} {:>14}",
                         ecu_cost,
@@ -77,7 +72,7 @@ fn main() {
                         best.memory.distributed_bytes
                     );
                 }
-                None => println!(
+                _ => println!(
                     "{:>12.0e} {:>10.0} {:>16} {:>12} {:>14} {:>14}",
                     ecu_cost, ratio, "none fits", "-", "-", "-"
                 ),
@@ -89,4 +84,5 @@ fn main() {
          disappears (ratio 1), high coverage stops being nearly free — the paper's\n\
          headline lives in the cheap-shared-memory regime."
     );
+    Ok(())
 }

@@ -9,9 +9,10 @@
 
 use eea_bench::env_usize;
 use eea_bist::{generate_profiles, paper_table1, CoverageTarget, ProfileConfig};
+use eea_dse::EeaError;
 use eea_netlist::{synthesize, SynthConfig};
 
-fn main() {
+fn main() -> Result<(), EeaError> {
     let gates = env_usize("EEA_CUT_GATES", 1_500);
     let prp_max = env_usize("EEA_PRP_MAX", 16_384) as u64;
 
@@ -21,7 +22,7 @@ fn main() {
         dffs: 128,
         seed: 0xC07,
         ..SynthConfig::default()
-    });
+    })?;
     println!("substitute CUT: {} (paper: 371,900 collapsed faults, 100 chains x <=77, 40 MHz)", cut.stats());
 
     let mut prp_counts = vec![256u64, 512, 1_024, 4_096];
@@ -42,7 +43,7 @@ fn main() {
         ..ProfileConfig::default()
     };
     let t = std::time::Instant::now();
-    let measured = generate_profiles(&cut, &cfg);
+    let measured = generate_profiles(&cut, &cfg)?;
     let elapsed = t.elapsed();
 
     println!("\n== Table I (measured on the open CUT) ==");
@@ -85,7 +86,7 @@ fn main() {
     let runtime_monotone = groups
         .windows(2)
         .all(|w| w[1][0].runtime_ms > w[0][0].runtime_ms);
-    let data_shrinks = groups.first().zip(groups.last()).map_or(false, |(a, b)| {
+    let data_shrinks = groups.first().zip(groups.last()).is_some_and(|(a, b)| {
         b[cfg.targets.len() - 1].data_bytes <= a[cfg.targets.len() - 1].data_bytes
     });
     // Rows 1 and 2 of each group are two max-coverage variants (like the
@@ -98,4 +99,5 @@ fn main() {
     println!("runtime grows with PRPs (paper: 4.87 ms -> 965 ms): {runtime_monotone}");
     println!("deterministic data shrinks with PRPs (paper: 455 kB -> 172 kB @95%): {data_shrinks}");
     println!("coverage targets order rows within a group: {coverage_ordered}");
+    Ok(())
 }

@@ -12,8 +12,12 @@
 //! | `EEA_PRP_MAX` | 16,384 | `table1` largest PRP count (paper: 500,000) |
 //! | `EEA_THREADS` | auto | worker threads for evaluation (results are bit-identical at any count) |
 
+// Library targets are panic-free by policy (see DESIGN.md, "Error
+// taxonomy"): unwrap/expect/panic! are denied outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 use eea_bist::paper_table1;
-use eea_dse::{augment, explore, DiagSpec, DseConfig, DseResult};
+use eea_dse::{augment, explore, DiagSpec, DseConfig, DseResult, EeaError};
 use eea_model::{paper_case_study, CaseStudy};
 
 /// Reads a `usize` environment knob with a default.
@@ -34,10 +38,15 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
 
 /// The paper's augmented case study: all 36 Table I profiles on all 15
 /// ECUs.
-pub fn paper_diag_spec() -> (CaseStudy, DiagSpec) {
+///
+/// # Errors
+///
+/// Propagates any [`EeaError`] from the augmentation (the paper case study
+/// itself always augments cleanly).
+pub fn paper_diag_spec() -> Result<(CaseStudy, DiagSpec), EeaError> {
     let case = paper_case_study();
-    let diag = augment(&case, &paper_table1());
-    (case, diag)
+    let diag = augment(&case, &paper_table1())?;
+    Ok((case, diag))
 }
 
 /// Runs the case-study exploration with the standard experiment knobs.
@@ -48,8 +57,8 @@ pub fn run_case_study_exploration(
     evaluations: usize,
     seed: u64,
     threads: usize,
-) -> (CaseStudy, DiagSpec, DseResult) {
-    let (case, diag) = paper_diag_spec();
+) -> Result<(CaseStudy, DiagSpec, DseResult), EeaError> {
+    let (case, diag) = paper_diag_spec()?;
     let cfg = DseConfig {
         nsga2: eea_moea::Nsga2Config {
             population: 100.min(evaluations.max(2)),
@@ -64,7 +73,7 @@ pub fn run_case_study_exploration(
             eprintln!("  {evals} evaluations, archive = {archive}");
         }
     });
-    (case, diag, result)
+    Ok((case, diag, result))
 }
 
 #[cfg(test)]
@@ -85,14 +94,15 @@ mod tests {
 
     #[test]
     fn paper_spec_shape() {
-        let (case, diag) = paper_diag_spec();
+        let (case, diag) = paper_diag_spec().expect("paper case study augments");
         assert_eq!(case.ecus().len(), 15);
         assert_eq!(diag.options.len(), 540);
     }
 
     #[test]
     fn tiny_exploration_runs() {
-        let (_, _, res) = run_case_study_exploration(50, 1, 1);
+        let (_, _, res) =
+            run_case_study_exploration(50, 1, 1).expect("paper case study augments");
         assert_eq!(res.evaluations, 50);
         assert!(!res.front.is_empty());
     }

@@ -46,8 +46,8 @@ pub struct Candidate {
 /// use eea_bist::{Diagnoser, StumpsSession};
 /// use eea_faultsim::FaultUniverse;
 ///
-/// let c = synthesize(&SynthConfig { gates: 120, inputs: 8, dffs: 16, seed: 3, ..SynthConfig::default() });
-/// let chains = ScanChains::balanced(&c, 4);
+/// let c = synthesize(&SynthConfig { gates: 120, inputs: 8, dffs: 16, seed: 3, ..SynthConfig::default() }).expect("synthesizes");
+/// let chains = ScanChains::balanced(&c, 4).expect("at least one chain");
 /// let session = StumpsSession::new(&c, &chains, 0xACE1, 16);
 /// let golden = session.run_golden(128);
 ///
@@ -94,19 +94,19 @@ impl Diagnoser {
         let mut failing: Vec<std::collections::BTreeSet<u32>> =
             vec![std::collections::BTreeSet::new(); universe.num_faults()];
         let mut sim = FaultSim::new(circuit);
-        let mut lfsr = Lfsr::new(32, lfsr_seed);
+        let mut lfsr = Lfsr::new32(lfsr_seed);
         let mut done = 0u64;
         while done < patterns {
             let count = ((patterns - done).min(64)) as usize;
             let block = lfsr_pattern_block(circuit, chains, &mut lfsr, count);
             sim.run_good(&block);
-            for fi in 0..universe.num_faults() {
+            for (fi, fail_windows) in failing.iter_mut().enumerate() {
                 let mut mask = sim.detect_mask(universe.fault(fi), &block, false);
                 while mask != 0 {
                     let j = mask.trailing_zeros();
                     mask &= mask - 1;
                     let pattern_idx = done + u64::from(j);
-                    failing[fi].insert((pattern_idx / window) as u32);
+                    fail_windows.insert((pattern_idx / window) as u32);
                 }
             }
             done += count as u64;
@@ -164,8 +164,7 @@ impl Diagnoser {
             .collect();
         out.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .expect("scores are finite")
+                .total_cmp(&a.score)
                 .then(a.fault.cmp(&b.fault))
         });
         out
@@ -203,8 +202,8 @@ mod tests {
             dffs: 12,
             seed: 0xD1A6,
             ..SynthConfig::default()
-        });
-        let chains = ScanChains::balanced(&c, 4);
+        }).expect("synthesizes");
+        let chains = ScanChains::balanced(&c, 4).expect("at least one chain");
         (c, chains)
     }
 

@@ -1,7 +1,24 @@
 //! Galois linear-feedback shift registers — the pseudo-random TPG of the
 //! STUMPS architecture.
 
+use std::error::Error;
 use std::fmt;
+
+/// Error for LFSR widths without a tabulated maximal-length polynomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedLfsrWidthError(pub u32);
+
+impl fmt::Display for UnsupportedLfsrWidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsupported LFSR width {} (supported: 8, 16, 24, 32, 64)",
+            self.0
+        )
+    }
+}
+
+impl Error for UnsupportedLfsrWidthError {}
 
 /// Maximal-length feedback polynomials (Galois form) for supported widths.
 /// Each entry `(width, mask)` yields a period of `2^width - 1`.
@@ -20,9 +37,9 @@ const POLYS: &[(u32, u64)] = &[
 /// ```
 /// use eea_bist::Lfsr;
 ///
-/// let mut l = Lfsr::new(16, 0xACE1);
+/// let mut l = Lfsr::new(16, 0xACE1).expect("supported width");
 /// let first: Vec<bool> = (0..8).map(|_| l.next_bit()).collect();
-/// let mut l2 = Lfsr::new(16, 0xACE1);
+/// let mut l2 = Lfsr::new(16, 0xACE1).expect("supported width");
 /// let again: Vec<bool> = (0..8).map(|_| l2.next_bit()).collect();
 /// assert_eq!(first, again); // deterministic per seed
 /// ```
@@ -37,19 +54,31 @@ impl Lfsr {
     /// Creates an LFSR of `width` bits seeded with `seed` (the zero state is
     /// replaced by all-ones, since zero is the lock-up state).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width` is not one of 8, 16, 24, 32, 64.
-    pub fn new(width: u32, seed: u64) -> Self {
+    /// Returns [`UnsupportedLfsrWidthError`] if `width` is not one of 8,
+    /// 16, 24, 32, 64.
+    pub fn new(width: u32, seed: u64) -> Result<Self, UnsupportedLfsrWidthError> {
         let &(_, mask) = POLYS
             .iter()
             .find(|&&(w, _)| w == width)
-            .unwrap_or_else(|| panic!("unsupported LFSR width {width}"));
+            .ok_or(UnsupportedLfsrWidthError(width))?;
         let width_mask = if width == 64 {
             u64::MAX
         } else {
             (1u64 << width) - 1
         };
+        Ok(Self::from_poly(seed, mask, width_mask))
+    }
+
+    /// Infallible 32-bit constructor — the width the STUMPS pattern
+    /// generator uses throughout this crate.
+    pub fn new32(seed: u64) -> Self {
+        // POLYS[3] = (32, 0x8020_0003); inlined so the lookup cannot fail.
+        Self::from_poly(seed, 0x8020_0003, (1u64 << 32) - 1)
+    }
+
+    fn from_poly(seed: u64, mask: u64, width_mask: u64) -> Self {
         let mut state = seed & width_mask;
         if state == 0 {
             state = width_mask;
@@ -110,7 +139,7 @@ mod tests {
 
     #[test]
     fn full_period_8bit() {
-        let mut l = Lfsr::new(8, 1);
+        let mut l = Lfsr::new(8, 1).expect("supported width");
         let start = l.state();
         let mut count = 0u64;
         loop {
@@ -126,7 +155,7 @@ mod tests {
 
     #[test]
     fn full_period_16bit() {
-        let mut l = Lfsr::new(16, 0xACE1);
+        let mut l = Lfsr::new(16, 0xACE1).expect("supported width");
         let start = l.state();
         let mut count = 0u64;
         loop {
@@ -142,7 +171,7 @@ mod tests {
 
     #[test]
     fn zero_seed_is_fixed_up() {
-        let mut l = Lfsr::new(16, 0);
+        let mut l = Lfsr::new(16, 0).expect("supported width");
         assert_ne!(l.state(), 0);
         l.next_bit();
         assert_ne!(l.state(), 0);
@@ -150,21 +179,29 @@ mod tests {
 
     #[test]
     fn bit_balance_is_reasonable() {
-        let mut l = Lfsr::new(32, 0xDEADBEEF);
+        let mut l = Lfsr::new(32, 0xDEADBEEF).expect("supported width");
         let ones: u32 = (0..10_000).map(|_| u32::from(l.next_bit())).sum();
         assert!((4_500..=5_500).contains(&ones), "ones = {ones}");
     }
 
     #[test]
-    #[should_panic(expected = "unsupported LFSR width")]
     fn rejects_unsupported_width() {
-        let _ = Lfsr::new(13, 1);
+        assert_eq!(Lfsr::new(13, 1), Err(UnsupportedLfsrWidthError(13)));
+    }
+
+    #[test]
+    fn new32_matches_generic_constructor() {
+        let mut a = Lfsr::new(32, 0xACE1).expect("supported width");
+        let mut b = Lfsr::new32(0xACE1);
+        for _ in 0..64 {
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
     }
 
     #[test]
     fn next_word_packs_bits() {
-        let mut a = Lfsr::new(16, 0xACE1);
-        let mut b = Lfsr::new(16, 0xACE1);
+        let mut a = Lfsr::new(16, 0xACE1).expect("supported width");
+        let mut b = Lfsr::new(16, 0xACE1).expect("supported width");
         let w = a.next_word(16);
         for i in 0..16 {
             assert_eq!((w >> i) & 1 == 1, b.next_bit());

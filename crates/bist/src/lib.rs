@@ -1,3 +1,7 @@
+// Library targets are panic-free by policy (see DESIGN.md, "Error
+// taxonomy"): unwrap/expect/panic! are denied outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! Logic Built-In Self-Test: STUMPS architecture, mixed-mode sessions and
 //! BIST profile generation.
 //!
@@ -40,8 +44,10 @@ mod stumps;
 
 pub use diagnosis::{Candidate, Diagnoser};
 pub use fail::{FailData, FailEntry, FAIL_DATA_BYTES};
-pub use lfsr::Lfsr;
+pub use lfsr::{Lfsr, UnsupportedLfsrWidthError};
 pub use misr::Misr;
 pub use paper_data::{paper_table1, PAPER_CUT};
-pub use profile::{generate_profiles, BistProfile, CoverageTarget, PaperCutSpec, ProfileConfig};
+pub use profile::{
+    generate_profiles, BistProfile, CoverageTarget, PaperCutSpec, ProfileConfig, ProfileError,
+};
 pub use stumps::{lfsr_pattern_block, SessionResult, StumpsSession};

@@ -16,12 +16,44 @@
 //! the stored data shrinks, while the session runtime grows linearly with
 //! the pattern count.
 
+use std::error::Error;
+use std::fmt;
+
 use eea_atpg::{generate_tests_for, AtpgConfig};
 use eea_faultsim::{resolve_threads, FaultUniverse, ParFaultSim};
-use eea_netlist::{Circuit, ScanChains};
+use eea_netlist::{Circuit, ScanChains, ScanError};
 
 use crate::lfsr::Lfsr;
 use crate::stumps::lfsr_pattern_block;
+
+/// Error from [`generate_profiles`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// `prp_counts` is empty — no profile group to generate.
+    NoPrpCounts,
+    /// `targets` is empty — no profile per group to generate.
+    NoTargets,
+    /// Scan-chain insertion failed (e.g. zero chains configured).
+    Scan(ScanError),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::NoPrpCounts => write!(f, "need at least one PRP count"),
+            ProfileError::NoTargets => write!(f, "need at least one coverage target"),
+            ProfileError::Scan(e) => write!(f, "scan insertion: {e}"),
+        }
+    }
+}
+
+impl Error for ProfileError {}
+
+impl From<ScanError> for ProfileError {
+    fn from(e: ScanError) -> Self {
+        ProfileError::Scan(e)
+    }
+}
 
 /// One mixed-mode BIST profile, the unit of selection in the paper's design
 /// space exploration (at most one profile per ECU).
@@ -135,13 +167,21 @@ impl Default for ProfileConfig {
 ///
 /// Deterministic: equal inputs produce identical profiles.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `cfg.prp_counts` or `cfg.targets` is empty.
-pub fn generate_profiles(circuit: &Circuit, cfg: &ProfileConfig) -> Vec<BistProfile> {
-    assert!(!cfg.prp_counts.is_empty(), "need at least one PRP count");
-    assert!(!cfg.targets.is_empty(), "need at least one coverage target");
-    let chains = ScanChains::balanced(circuit, cfg.num_chains);
+/// Returns [`ProfileError`] if `cfg.prp_counts` or `cfg.targets` is empty,
+/// or if `cfg.num_chains` is zero.
+pub fn generate_profiles(
+    circuit: &Circuit,
+    cfg: &ProfileConfig,
+) -> Result<Vec<BistProfile>, ProfileError> {
+    if cfg.prp_counts.is_empty() {
+        return Err(ProfileError::NoPrpCounts);
+    }
+    if cfg.targets.is_empty() {
+        return Err(ProfileError::NoTargets);
+    }
+    let chains = ScanChains::balanced(circuit, cfg.num_chains)?;
     let mut counts = cfg.prp_counts.clone();
     counts.sort_unstable();
     counts.dedup();
@@ -151,7 +191,7 @@ pub fn generate_profiles(circuit: &Circuit, cfg: &ProfileConfig) -> Vec<BistProf
     // results bit-identical to serial at any thread count.
     let mut universe = FaultUniverse::collapsed(circuit);
     let mut sim = ParFaultSim::new(circuit, resolve_threads(cfg.threads));
-    let mut lfsr = Lfsr::new(32, cfg.lfsr_seed);
+    let mut lfsr = Lfsr::new32(cfg.lfsr_seed);
     let mut snapshots: Vec<(u64, FaultUniverse)> = Vec::with_capacity(counts.len());
     let mut done = 0u64;
     for &target in &counts {
@@ -237,7 +277,7 @@ pub fn generate_profiles(circuit: &Circuit, cfg: &ProfileConfig) -> Vec<BistProf
             id += 1;
         }
     }
-    profiles
+    Ok(profiles)
 }
 
 #[cfg(test)]
@@ -252,7 +292,7 @@ mod tests {
             dffs: 32,
             seed: 0xC07,
             ..SynthConfig::default()
-        })
+        }).expect("synthesizes")
     }
 
     fn quick_cfg() -> ProfileConfig {
@@ -271,7 +311,7 @@ mod tests {
     #[test]
     fn generates_expected_grid() {
         let c = small_cut();
-        let profiles = generate_profiles(&c, &quick_cfg());
+        let profiles = generate_profiles(&c, &quick_cfg()).expect("valid config");
         assert_eq!(profiles.len(), 9);
         assert_eq!(profiles[0].id, 1);
         assert_eq!(profiles[8].id, 9);
@@ -282,7 +322,7 @@ mod tests {
     #[test]
     fn table1_trends_hold() {
         let c = small_cut();
-        let profiles = generate_profiles(&c, &quick_cfg());
+        let profiles = generate_profiles(&c, &quick_cfg()).expect("valid config");
         // Within a group: Max coverage >= 98 % target >= 95 % target.
         for g in profiles.chunks(3) {
             assert!(g[0].coverage >= g[1].coverage - 1e-9);
@@ -303,8 +343,8 @@ mod tests {
     #[test]
     fn deterministic_generation() {
         let c = small_cut();
-        let a = generate_profiles(&c, &quick_cfg());
-        let b = generate_profiles(&c, &quick_cfg());
+        let a = generate_profiles(&c, &quick_cfg()).expect("valid config");
+        let b = generate_profiles(&c, &quick_cfg()).expect("valid config");
         assert_eq!(a, b);
     }
 
@@ -312,8 +352,8 @@ mod tests {
     fn runtime_model_matches_scan_math() {
         let c = small_cut();
         let cfg = quick_cfg();
-        let profiles = generate_profiles(&c, &cfg);
-        let chains = ScanChains::balanced(&c, cfg.num_chains);
+        let profiles = generate_profiles(&c, &cfg).expect("valid config");
+        let chains = ScanChains::balanced(&c, cfg.num_chains).expect("at least one chain");
         for p in &profiles {
             let expected = chains
                 .test_time_s(p.random_patterns + p.deterministic_patterns, cfg.shift_frequency_hz)

@@ -6,10 +6,35 @@
 //! response times and — crucially for the paper — to *demonstrate* that
 //! mirrored test traffic leaves functional latencies unchanged.
 
-use std::collections::HashMap;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
 
 use crate::frame::CanId;
 use crate::message::Message;
+
+/// Error from constructing or running a [`BusSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusSimError {
+    /// The bitrate must be positive — a 0 bit/s bus transmits nothing.
+    ZeroBitrate,
+    /// Two messages share an identifier; arbitration would be undefined on
+    /// a real bus (both nodes would win and collide past the ID field).
+    DuplicateId(CanId),
+}
+
+impl fmt::Display for BusSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusSimError::ZeroBitrate => write!(f, "bus bitrate must be positive"),
+            BusSimError::DuplicateId(id) => {
+                write!(f, "duplicate CAN identifier {id}: arbitration is undefined")
+            }
+        }
+    }
+}
+
+impl Error for BusSimError {}
 
 /// Observed per-message statistics of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +61,7 @@ impl MessageStats {
 }
 
 /// Result of a [`BusSim`] run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Per-message statistics, in the input message order.
     pub stats: Vec<MessageStats>,
@@ -62,29 +87,29 @@ pub struct BusSim {
 impl BusSim {
     /// Creates a simulator at the given bitrate.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bitrate_bps == 0`.
-    pub fn new(bitrate_bps: u64) -> Self {
-        assert!(bitrate_bps > 0, "bitrate must be positive");
-        BusSim { bitrate_bps }
+    /// Returns [`BusSimError::ZeroBitrate`] if `bitrate_bps == 0`.
+    pub fn new(bitrate_bps: u64) -> Result<Self, BusSimError> {
+        if bitrate_bps == 0 {
+            return Err(BusSimError::ZeroBitrate);
+        }
+        Ok(BusSim { bitrate_bps })
     }
 
     /// Simulates `messages` for `horizon_us` microseconds. All releases are
     /// strictly periodic at `offset + k·period`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if two messages share an identifier (arbitration would be
-    /// undefined on a real bus).
-    pub fn run(&self, messages: &[Message], horizon_us: u64) -> SimResult {
-        let mut seen: HashMap<u16, ()> = HashMap::new();
+    /// Returns [`BusSimError::DuplicateId`] if two messages share an
+    /// identifier.
+    pub fn run(&self, messages: &[Message], horizon_us: u64) -> Result<SimResult, BusSimError> {
+        let mut seen: HashSet<u16> = HashSet::new();
         for m in messages {
-            assert!(
-                seen.insert(m.id().value(), ()).is_none(),
-                "duplicate CAN identifier {}",
-                m.id()
-            );
+            if !seen.insert(m.id().value()) {
+                return Err(BusSimError::DuplicateId(m.id()));
+            }
         }
         let mut stats: Vec<MessageStats> = messages
             .iter()
@@ -142,11 +167,11 @@ impl BusSim {
                 }
             }
         }
-        SimResult {
+        Ok(SimResult {
             stats,
             utilization: busy_us as f64 / horizon_us.max(1) as f64,
             horizon_us,
-        }
+        })
     }
 }
 
@@ -167,8 +192,8 @@ mod tests {
     #[test]
     fn frame_counts_match_periods() {
         let msgs = [msg(1, 8, 10_000), msg(2, 4, 20_000)];
-        let sim = BusSim::new(BUS_BITRATE_BPS);
-        let res = sim.run(&msgs, 100_000);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("positive bitrate");
+        let res = sim.run(&msgs, 100_000).expect("unique ids");
         assert_eq!(res.stats[0].frames, 10);
         assert_eq!(res.stats[1].frames, 5);
     }
@@ -181,8 +206,8 @@ mod tests {
             msg(7, 8, 20_000),
             msg(11, 2, 50_000),
         ];
-        let sim = BusSim::new(BUS_BITRATE_BPS);
-        let res = sim.run(&msgs, 1_000_000);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("positive bitrate");
+        let res = sim.run(&msgs, 1_000_000).expect("unique ids");
         for (m, s) in msgs.iter().zip(&res.stats) {
             let bound = response_time(m, &msgs, BUS_BITRATE_BPS)
                 .expect("schedulable set");
@@ -201,30 +226,39 @@ mod tests {
         // Two messages released simultaneously: the lower ID must always
         // observe the smaller worst-case response.
         let msgs = [msg(0x10, 8, 1_000), msg(0x300, 8, 1_000)];
-        let sim = BusSim::new(BUS_BITRATE_BPS);
-        let res = sim.run(&msgs, 100_000);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("positive bitrate");
+        let res = sim.run(&msgs, 100_000).expect("unique ids");
         assert!(res.stats[0].max_response_us < res.stats[1].max_response_us);
     }
 
     #[test]
     fn utilization_accumulates() {
         let msgs = [msg(1, 8, 1_000)];
-        let sim = BusSim::new(BUS_BITRATE_BPS);
-        let res = sim.run(&msgs, 1_000_000);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("positive bitrate");
+        let res = sim.run(&msgs, 1_000_000).expect("unique ids");
         // 270us per 1000us period = 27 %.
         assert!((res.utilization - 0.27).abs() < 0.01);
     }
 
     #[test]
-    #[should_panic(expected = "duplicate CAN identifier")]
     fn duplicate_ids_rejected() {
         let msgs = [msg(1, 8, 1_000), msg(1, 4, 2_000)];
-        BusSim::new(BUS_BITRATE_BPS).run(&msgs, 10_000);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("positive bitrate");
+        assert_eq!(
+            sim.run(&msgs, 10_000),
+            Err(BusSimError::DuplicateId(id(1)))
+        );
+    }
+
+    #[test]
+    fn zero_bitrate_rejected() {
+        assert_eq!(BusSim::new(0).unwrap_err(), BusSimError::ZeroBitrate);
     }
 
     #[test]
     fn empty_set_idles() {
-        let res = BusSim::new(BUS_BITRATE_BPS).run(&[], 10_000);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("positive bitrate");
+        let res = sim.run(&[], 10_000).expect("unique ids");
         assert_eq!(res.utilization, 0.0);
         assert!(res.stats.is_empty());
     }

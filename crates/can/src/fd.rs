@@ -66,15 +66,15 @@ impl FdConfig {
     /// stuffing) transmitted at the data rate, plus the ACK/EOF tail at
     /// the nominal rate.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `payload` is not DLC-encodable (use
-    /// [`fd_payload_round_up`]).
-    pub fn frame_time_us(&self, payload: u8) -> u64 {
-        assert!(
-            FD_PAYLOADS.contains(&payload),
-            "{payload} bytes is not DLC-encodable"
-        );
+    /// Returns [`InvalidFdPayloadError`] if `payload` is not DLC-encodable
+    /// (use [`fd_payload_round_up`] first). Both rates of the configuration
+    /// are clamped to at least 1 bit/s to keep the arithmetic total.
+    pub fn frame_time_us(&self, payload: u8) -> Result<u64, InvalidFdPayloadError> {
+        if !FD_PAYLOADS.contains(&payload) {
+            return Err(InvalidFdPayloadError(payload));
+        }
         let arbitration_bits = 30u64; // SOF + 11-bit id + RRS/IDE/FDF/res + BRS
         let crc_bits: u64 = if payload <= 16 { 17 + 5 } else { 21 + 6 }; // incl. fixed stuff
         let data_field_bits = 8 * u64::from(payload);
@@ -82,23 +82,32 @@ impl FdConfig {
         let stuffable = 4 + data_field_bits; // ESI + DLC + data
         let data_phase_bits = stuffable + stuffable.div_ceil(4) + crc_bits;
         let tail_bits = 13u64; // CRC delim, ACK, EOF, part of IFS
-        let us = |bits: u64, bps: u64| (bits * 1_000_000).div_ceil(bps);
-        us(arbitration_bits, self.nominal_bps)
+        let us = |bits: u64, bps: u64| (bits * 1_000_000).div_ceil(bps.max(1));
+        Ok(us(arbitration_bits, self.nominal_bps)
             + us(data_phase_bits, self.data_bps)
-            + us(tail_bits, self.nominal_bps)
+            + us(tail_bits, self.nominal_bps))
     }
 
-    /// Effective payload bandwidth (bytes/s) of a periodic FD message.
+    /// Effective payload bandwidth (bytes/s) of a periodic FD message. A
+    /// zero period yields `f64::INFINITY` (degenerate input, documented
+    /// rather than panicking); callers validating messages via
+    /// [`crate::Message`] never hit it.
     pub fn payload_bandwidth_bytes_per_s(&self, payload: u8, period_us: u64) -> f64 {
-        assert!(period_us > 0, "period must be positive");
+        if period_us == 0 {
+            return f64::INFINITY;
+        }
         f64::from(payload) * 1e6 / period_us as f64
     }
 
     /// Speed-up of the mirrored Eq. (1) transfer when a classic CAN
     /// message of `classic_payload` bytes is upgraded to an FD frame of
-    /// `fd_payload` bytes at the same period: the bandwidth ratio.
+    /// `fd_payload` bytes at the same period: the bandwidth ratio. A zero
+    /// classic payload yields `f64::INFINITY` (no classic bandwidth to
+    /// compare against).
     pub fn eq1_speedup(&self, classic_payload: u8, fd_payload: u8) -> f64 {
-        assert!(classic_payload > 0, "classic payload must be positive");
+        if classic_payload == 0 {
+            return f64::INFINITY;
+        }
         f64::from(fd_payload) / f64::from(classic_payload)
     }
 }
@@ -122,9 +131,9 @@ mod tests {
     fn fd_frame_faster_per_byte_than_classic() {
         let fd = FdConfig::default();
         // 64 bytes FD vs 8 x 8-byte classic frames at 500 kbit/s.
-        let fd_time = fd.frame_time_us(64);
+        let fd_time = fd.frame_time_us(64).unwrap();
         let classic_time =
-            8 * (u64::from(frame_bits(8)) * 1_000_000).div_ceil(500_000);
+            8 * (u64::from(frame_bits(8).unwrap()) * 1_000_000).div_ceil(500_000);
         assert!(
             fd_time < classic_time / 2,
             "FD {fd_time}us vs classic {classic_time}us"
@@ -136,7 +145,7 @@ mod tests {
         let fd = FdConfig::default();
         let mut last = 0;
         for &p in &FD_PAYLOADS {
-            let t = fd.frame_time_us(p);
+            let t = fd.frame_time_us(p).unwrap();
             assert!(t >= last);
             last = t;
         }
@@ -152,7 +161,7 @@ mod tests {
             nominal_bps: 500_000,
             data_bps: 5_000_000,
         };
-        assert!(fast.frame_time_us(64) < slow.frame_time_us(64));
+        assert!(fast.frame_time_us(64).unwrap() < slow.frame_time_us(64).unwrap());
     }
 
     #[test]
@@ -167,8 +176,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not DLC-encodable")]
     fn rejects_bad_payload() {
-        FdConfig::default().frame_time_us(9);
+        assert_eq!(
+            FdConfig::default().frame_time_us(9),
+            Err(InvalidFdPayloadError(9))
+        );
     }
 }

@@ -66,6 +66,18 @@ impl TryFrom<u16> for CanId {
     }
 }
 
+/// Error for payloads exceeding the CAN 2.0 limit of 8 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidPayloadError(pub u8);
+
+impl fmt::Display for InvalidPayloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload of {} bytes exceeds the CAN 2.0 limit of 8", self.0)
+    }
+}
+
+impl Error for InvalidPayloadError {}
+
 /// Worst-case transmitted bits of a CAN 2.0A data frame with `payload`
 /// bytes, including the maximum possible bit stuffing.
 ///
@@ -78,11 +90,23 @@ impl TryFrom<u16> for CanId {
 /// bits(s) = 47 + 8·s + floor((34 + 8·s − 1) / 4)
 /// ```
 ///
-/// # Panics
+/// The `47 + 8·s` fixed bits break down as `8·s` data bits plus 44 bits of
+/// frame overhead (SOF, identifier, control, CRC, ACK, EOF) plus the 3-bit
+/// interframe space.
 ///
-/// Panics if `payload > 8`.
-pub fn frame_bits(payload: u8) -> u32 {
-    assert!(payload <= 8, "CAN 2.0 payload is at most 8 bytes");
+/// # Errors
+///
+/// Returns [`InvalidPayloadError`] if `payload > 8`.
+pub fn frame_bits(payload: u8) -> Result<u32, InvalidPayloadError> {
+    if payload > 8 {
+        return Err(InvalidPayloadError(payload));
+    }
+    Ok(frame_bits_checked_payload(payload))
+}
+
+/// Closed-form frame length for a payload already known to be `<= 8`
+/// (guaranteed by [`crate::Message`]'s constructor validation).
+pub(crate) fn frame_bits_checked_payload(payload: u8) -> u32 {
     let s = u32::from(payload);
     47 + 8 * s + (34 + 8 * s - 1) / 4
 }
@@ -112,18 +136,36 @@ mod tests {
     fn frame_bits_known_values() {
         // Standard literature values: 0-byte frame = 55 bits worst case,
         // 8-byte frame = 135 bits worst case.
-        assert_eq!(frame_bits(0), 55);
-        assert_eq!(frame_bits(8), 135);
+        assert_eq!(frame_bits(0), Ok(55));
+        assert_eq!(frame_bits(8), Ok(135));
         // Monotone in payload.
         for s in 0..8 {
-            assert!(frame_bits(s + 1) > frame_bits(s));
+            assert!(frame_bits(s + 1).unwrap() > frame_bits(s).unwrap());
         }
     }
 
     #[test]
-    #[should_panic(expected = "at most 8 bytes")]
+    fn frame_bits_matches_can20a_closed_form() {
+        // CAN 2.0A worst case for every legal payload n: 8n data bits plus
+        // 44 overhead bits (SOF, ID, RTR, control, CRC, ACK, EOF) plus the
+        // 3-bit interframe space, plus floor((34 + 8n - 1)/4) stuff bits in
+        // the stuffable region.
+        for n in 0u8..=8 {
+            let data_and_overhead = 8 * u32::from(n) + 44;
+            let interframe_space = 3;
+            let stuff_bits = (34 + 8 * u32::from(n) - 1) / 4;
+            assert_eq!(
+                frame_bits(n),
+                Ok(data_and_overhead + interframe_space + stuff_bits),
+                "payload {n}"
+            );
+        }
+    }
+
+    #[test]
     fn frame_bits_rejects_oversize() {
-        let _ = frame_bits(9);
+        assert_eq!(frame_bits(9), Err(InvalidPayloadError(9)));
+        assert_eq!(frame_bits(255), Err(InvalidPayloadError(255)));
     }
 
     #[test]

@@ -34,11 +34,15 @@
 //!     Message::new(CanId::new(0x200)?, 8, 20_000)?,
 //! ];
 //! // Eq. (1): q = s / (sum of size/period). 1 MiB of test data:
-//! let q = transfer_time_s(1 << 20, &msgs);
+//! let q = transfer_time_s(1 << 20, &msgs)?;
 //! assert!(q > 0.0);
 //! # Ok(())
 //! # }
 //! ```
+
+// Library targets are panic-free by policy (see DESIGN.md, "Error
+// taxonomy"): unwrap/expect/panic! are denied outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 mod bus;
 pub mod fd;
@@ -48,8 +52,98 @@ mod message;
 mod mirror;
 mod rta;
 
-pub use bus::{BusSim, MessageStats, SimResult};
-pub use frame::{frame_bits, CanId, InvalidCanIdError, BUS_BITRATE_BPS};
+pub use bus::{BusSim, BusSimError, MessageStats, SimResult};
+pub use frame::{frame_bits, CanId, InvalidCanIdError, InvalidPayloadError, BUS_BITRATE_BPS};
 pub use message::{InvalidMessageError, Message};
 pub use mirror::{mirror_messages, mirror_messages_auto, transfer_time_s, MirrorError};
-pub use rta::{analyze, response_time, RtaResult};
+pub use rta::{analyze, response_time, RtaError, RtaResult};
+
+use std::error::Error;
+use std::fmt;
+
+/// Crate-level error: every fallible `eea-can` API returns a variant of
+/// this (or an error that converts into it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CanError {
+    /// Identifier outside the 11-bit range.
+    Id(InvalidCanIdError),
+    /// Payload outside the CAN 2.0 limit.
+    Payload(InvalidPayloadError),
+    /// Inconsistent message parameters.
+    Message(InvalidMessageError),
+    /// Schedule mirroring failed.
+    Mirror(MirrorError),
+    /// Response-time analysis produced no bound.
+    Rta(RtaError),
+    /// Bus simulation rejected its input.
+    Sim(BusSimError),
+    /// CAN FD payload not DLC-encodable.
+    Fd(fd::InvalidFdPayloadError),
+    /// FlexRay slot assignment failed.
+    FlexRay(flexray::FlexRayError),
+}
+
+impl fmt::Display for CanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanError::Id(e) => e.fmt(f),
+            CanError::Payload(e) => e.fmt(f),
+            CanError::Message(e) => e.fmt(f),
+            CanError::Mirror(e) => e.fmt(f),
+            CanError::Rta(e) => e.fmt(f),
+            CanError::Sim(e) => e.fmt(f),
+            CanError::Fd(e) => e.fmt(f),
+            CanError::FlexRay(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for CanError {}
+
+impl From<InvalidCanIdError> for CanError {
+    fn from(e: InvalidCanIdError) -> Self {
+        CanError::Id(e)
+    }
+}
+
+impl From<InvalidPayloadError> for CanError {
+    fn from(e: InvalidPayloadError) -> Self {
+        CanError::Payload(e)
+    }
+}
+
+impl From<InvalidMessageError> for CanError {
+    fn from(e: InvalidMessageError) -> Self {
+        CanError::Message(e)
+    }
+}
+
+impl From<MirrorError> for CanError {
+    fn from(e: MirrorError) -> Self {
+        CanError::Mirror(e)
+    }
+}
+
+impl From<RtaError> for CanError {
+    fn from(e: RtaError) -> Self {
+        CanError::Rta(e)
+    }
+}
+
+impl From<BusSimError> for CanError {
+    fn from(e: BusSimError) -> Self {
+        CanError::Sim(e)
+    }
+}
+
+impl From<fd::InvalidFdPayloadError> for CanError {
+    fn from(e: fd::InvalidFdPayloadError) -> Self {
+        CanError::Fd(e)
+    }
+}
+
+impl From<flexray::FlexRayError> for CanError {
+    fn from(e: flexray::FlexRayError) -> Self {
+        CanError::FlexRay(e)
+    }
+}

@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::frame::{frame_bits, CanId};
+use crate::frame::{frame_bits_checked_payload, CanId};
 
 /// A periodic CAN message. Time unit: microseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -112,9 +112,13 @@ impl Message {
     }
 
     /// Worst-case frame transmission time in microseconds at `bitrate_bps`.
+    /// A zero bitrate means the frame never completes; the time saturates
+    /// to `u64::MAX` instead of panicking.
     pub fn tx_time_us(&self, bitrate_bps: u64) -> u64 {
-        assert!(bitrate_bps > 0, "bitrate must be positive");
-        (u64::from(frame_bits(self.payload)) * 1_000_000).div_ceil(bitrate_bps)
+        if bitrate_bps == 0 {
+            return u64::MAX;
+        }
+        (u64::from(frame_bits_checked_payload(self.payload)) * 1_000_000).div_ceil(bitrate_bps)
     }
 
     /// Long-run bandwidth share of this message: bytes of payload per
@@ -160,6 +164,12 @@ mod tests {
         // 8-byte frame, 135 bits worst case at 500 kbit/s = 270 us.
         let m = Message::new(id(1), 8, 10_000).unwrap();
         assert_eq!(m.tx_time_us(500_000), 270);
+    }
+
+    #[test]
+    fn zero_bitrate_saturates() {
+        let m = Message::new(id(1), 8, 10_000).unwrap();
+        assert_eq!(m.tx_time_us(0), u64::MAX);
     }
 
     #[test]

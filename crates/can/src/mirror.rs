@@ -159,28 +159,38 @@ pub fn mirror_messages_auto(
         match candidate {
             Some(v) => {
                 used.insert(v);
-                mirrored[idx] = Some(m.with_id(CanId::new(v).expect("v <= MAX")));
+                // `v < upper <= CanId::MAX + 1`, so the id is always legal;
+                // `?` keeps the path typed instead of unwrapping.
+                mirrored[idx] = Some(m.with_id(CanId::new(v)?));
             }
             None => return Err(MirrorError::GapExhausted(m.id())),
         }
     }
-    Ok(mirrored.into_iter().map(|m| m.expect("assigned")).collect())
+    // Every index of `order` was assigned above, so flattening drops
+    // nothing.
+    let assigned: Vec<Message> = mirrored.into_iter().flatten().collect();
+    debug_assert_eq!(assigned.len(), functional.len());
+    Ok(assigned)
 }
 
 /// Eq. (1): transfer time (seconds) of `data_bytes` of test data over the
 /// mirrored messages `functional` of the ECU under test.
 ///
-/// Returns `f64::INFINITY` when the ECU has no functional messages (no
-/// mirrored bandwidth exists).
-pub fn transfer_time_s(data_bytes: u64, functional: &[Message]) -> f64 {
+/// # Errors
+///
+/// Returns [`MirrorError::NoMessages`] when the set is empty or carries no
+/// payload bandwidth (all payloads zero) — previously this silently
+/// produced `inf`/`NaN`, which poisoned every downstream objective that
+/// consumed it.
+pub fn transfer_time_s(data_bytes: u64, functional: &[Message]) -> Result<f64, MirrorError> {
     let bandwidth: f64 = functional
         .iter()
         .map(Message::payload_bandwidth_bytes_per_s)
         .sum();
     if bandwidth <= 0.0 {
-        f64::INFINITY
+        Err(MirrorError::NoMessages)
     } else {
-        data_bytes as f64 / bandwidth
+        Ok(data_bytes as f64 / bandwidth)
     }
 }
 
@@ -202,19 +212,29 @@ mod tests {
     fn eq1_example() {
         // 2 MiB over (4B @ 10ms + 8B @ 20ms) = 400 + 400 = 800 B/s.
         let funcs = [msg(0x100, 4, 10_000), msg(0x101, 8, 20_000)];
-        let q = transfer_time_s(1600, &funcs);
+        let q = transfer_time_s(1600, &funcs).unwrap();
         assert!((q - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn eq1_monotone_in_size() {
         let funcs = [msg(0x100, 8, 10_000)];
-        assert!(transfer_time_s(2000, &funcs) > transfer_time_s(1000, &funcs));
+        assert!(transfer_time_s(2000, &funcs).unwrap() > transfer_time_s(1000, &funcs).unwrap());
     }
 
     #[test]
-    fn eq1_no_bandwidth() {
-        assert!(transfer_time_s(100, &[]).is_infinite());
+    fn eq1_no_bandwidth_is_typed_error() {
+        // Regression: an empty or all-zero-payload set used to yield `inf`
+        // — both now surface as a typed error.
+        assert_eq!(transfer_time_s(100, &[]), Err(MirrorError::NoMessages));
+        let zero_payload = [msg(0x100, 0, 10_000), msg(0x101, 0, 5_000)];
+        assert_eq!(
+            transfer_time_s(100, &zero_payload),
+            Err(MirrorError::NoMessages)
+        );
+        // Zero data over real bandwidth is a legitimate zero-time transfer.
+        let funcs = [msg(0x100, 4, 10_000)];
+        assert_eq!(transfer_time_s(0, &funcs), Ok(0.0));
     }
 
     #[test]
@@ -312,19 +332,19 @@ mod tests {
             msg(0x150, 6, 10_000),
             msg(0x300, 8, 50_000),
         ];
-        let sim = BusSim::new(BUS_BITRATE_BPS);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("positive bitrate");
         let horizon = 2_000_000;
 
         // Baseline: functional schedule.
         let mut baseline: Vec<Message> = others.to_vec();
         baseline.extend_from_slice(&ecu_a);
-        let base = sim.run(&baseline, horizon);
+        let base = sim.run(&baseline, horizon).expect("unique ids");
 
         // Test session: ECU A inactive, mirrored messages take its place.
         let mirrored = mirror_messages(&ecu_a, 0x20, &others).unwrap();
         let mut test_sched: Vec<Message> = others.to_vec();
         test_sched.extend_from_slice(&mirrored);
-        let test = sim.run(&test_sched, horizon);
+        let test = sim.run(&test_sched, horizon).expect("unique ids");
 
         for o in &others {
             let b = base.by_id(o.id()).unwrap();

@@ -39,10 +39,10 @@ proptest! {
     #[test]
     fn rta_bounds_simulation(sched in schedule_strategy(8)) {
         let msgs = sched.0;
-        let sim = BusSim::new(BUS_BITRATE_BPS);
-        let run = sim.run(&msgs, 2_000_000);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("positive bitrate");
+        let run = sim.run(&msgs, 2_000_000).expect("unique ids");
         for (m, stats) in msgs.iter().zip(&run.stats) {
-            if let Some(bound) = response_time(m, &msgs, BUS_BITRATE_BPS) {
+            if let Ok(bound) = response_time(m, &msgs, BUS_BITRATE_BPS) {
                 prop_assert!(
                     stats.max_response_us <= bound,
                     "{}: simulated {} > bound {}",
@@ -65,13 +65,13 @@ proptest! {
             return Ok(());
         };
 
-        let sim = BusSim::new(BUS_BITRATE_BPS);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("positive bitrate");
         let mut functional = others.clone();
         functional.extend_from_slice(&under_test);
-        let base = sim.run(&functional, 2_000_000);
+        let base = sim.run(&functional, 2_000_000).expect("unique ids");
         let mut test_sched = others.clone();
         test_sched.extend_from_slice(&mirrored);
-        let test = sim.run(&test_sched, 2_000_000);
+        let test = sim.run(&test_sched, 2_000_000).expect("unique ids");
         for o in &others {
             prop_assert_eq!(
                 base.by_id(o.id()).expect("present").max_response_us,
@@ -88,8 +88,8 @@ proptest! {
         let msgs = sched.0;
         let expected: f64 = msgs.iter().map(|m| m.utilization(BUS_BITRATE_BPS)).sum();
         prop_assume!(expected < 0.9);
-        let sim = BusSim::new(BUS_BITRATE_BPS);
-        let run = sim.run(&msgs, 10_000_000);
+        let sim = BusSim::new(BUS_BITRATE_BPS).expect("positive bitrate");
+        let run = sim.run(&msgs, 10_000_000).expect("unique ids");
         prop_assert!(
             (run.utilization - expected).abs() < 0.05,
             "simulated {} vs expected {}",

@@ -11,10 +11,31 @@
 //! * a message `c^R` carrying the fail data from `b^T` to the mandatory
 //!   **collection task** `b^R` on the gateway.
 
+use std::error::Error;
+use std::fmt;
+
 use eea_bist::{BistProfile, FAIL_DATA_BYTES};
 use eea_model::{
     CaseStudy, DiagRole, MessageId, ResourceId, ResourceKind, Specification, TaskId, TaskKind,
 };
+
+/// Error from [`augment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AugmentError {
+    /// The architecture has no gateway resource to host the mandatory
+    /// fail-data collection task.
+    NoGateway,
+}
+
+impl fmt::Display for AugmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AugmentError::NoGateway => write!(f, "architecture has no gateway resource"),
+        }
+    }
+}
+
+impl Error for AugmentError {}
 
 /// Bookkeeping for one (ECU, profile) BIST option.
 #[derive(Debug, Clone)]
@@ -78,16 +99,17 @@ impl DiagSpec {
 /// (plus the collection task), which is the *baseline* a diagnosis-capable
 /// design is compared against in the paper's "+3.7 % extra cost" headline.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the architecture has no gateway.
-pub fn augment(case: &CaseStudy, profiles: &[BistProfile]) -> DiagSpec {
+/// Returns [`AugmentError::NoGateway`] if the architecture has no gateway
+/// resource — the fail-data collection task `b^R` has nowhere to live.
+pub fn augment(case: &CaseStudy, profiles: &[BistProfile]) -> Result<DiagSpec, AugmentError> {
     let mut spec = case.spec.clone();
     let gateway = spec
         .architecture
         .of_kind(ResourceKind::Gateway)
         .next()
-        .expect("architecture has a gateway");
+        .ok_or(AugmentError::NoGateway)?;
 
     // The mandatory collection task b^R on the gateway.
     let collect = spec
@@ -146,12 +168,12 @@ pub fn augment(case: &CaseStudy, profiles: &[BistProfile]) -> DiagSpec {
         }
     }
 
-    DiagSpec {
+    Ok(DiagSpec {
         spec,
         options,
         collect,
         gateway,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -163,7 +185,7 @@ mod tests {
     #[test]
     fn paper_augmentation_counts() {
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1());
+        let diag = augment(&case, &paper_table1()).expect("gateway present");
         // 15 ECUs x 36 profiles = 540 BIST options.
         assert_eq!(diag.options.len(), 540);
         // Tasks: 45 functional + 1 collect + 2 x 540 diagnostic.
@@ -179,7 +201,7 @@ mod tests {
     #[test]
     fn data_task_has_local_and_gateway_option() {
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1()[..2]);
+        let diag = augment(&case, &paper_table1()[..2]).expect("gateway present");
         for o in &diag.options {
             let opts = diag.spec.mapping_options(o.data);
             assert_eq!(opts.len(), 2);
@@ -192,7 +214,7 @@ mod tests {
     #[test]
     fn collect_task_on_gateway_only() {
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1()[..1]);
+        let diag = augment(&case, &paper_table1()[..1]).expect("gateway present");
         assert_eq!(diag.spec.mapping_options(diag.collect), &[diag.gateway]);
         assert!(!diag
             .spec
@@ -205,7 +227,7 @@ mod tests {
     #[test]
     fn augmented_spec_validates() {
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1()[..4]);
-        diag.spec.validate().unwrap();
+        let diag = augment(&case, &paper_table1()[..4]).expect("gateway present");
+        diag.spec.validate().expect("augmented spec validates");
     }
 }

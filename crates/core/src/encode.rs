@@ -330,7 +330,10 @@ fn multi_source_distances(
         }
     }
     while let Some(r) = queue.pop_front() {
-        let d = dist[r.index()].expect("queued nodes have a distance");
+        // Nodes are enqueued only after their distance is set.
+        let Some(d) = dist[r.index()] else {
+            continue;
+        };
         for &n in arch.neighbors(r) {
             if dist[n.index()].is_none() {
                 dist[n.index()] = Some(d + 1);
@@ -352,7 +355,7 @@ mod tests {
     #[test]
     fn encoding_is_satisfiable() {
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1()[..4]);
+        let diag = augment(&case, &paper_table1()[..4]).expect("gateway present");
         let mut enc = encode(&diag);
         assert_eq!(enc.solver.solve(), SolveResult::Sat);
     }
@@ -360,7 +363,7 @@ mod tests {
     #[test]
     fn decoded_solution_validates() {
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1()[..4]);
+        let diag = augment(&case, &paper_table1()[..4]).expect("gateway present");
         let mut enc = encode(&diag);
         assert_eq!(enc.solver.solve(), SolveResult::Sat);
         let x = enc.extract(&diag.spec);
@@ -372,7 +375,7 @@ mod tests {
     #[test]
     fn at_most_one_profile_selected_per_ecu() {
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1()[..6]);
+        let diag = augment(&case, &paper_table1()[..6]).expect("gateway present");
         let mut enc = encode(&diag);
         // Push the solver towards selecting BIST tasks.
         for o in &diag.options {
@@ -406,7 +409,7 @@ mod tests {
     #[test]
     fn data_task_follows_test_task() {
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1()[..3]);
+        let diag = augment(&case, &paper_table1()[..3]).expect("gateway present");
         let mut enc = encode(&diag);
         for o in &diag.options {
             let (_, v) = enc.m_vars[o.test.index()][0];
@@ -427,7 +430,7 @@ mod tests {
         // (2h): every resource hosting a diagnostic task also hosts a
         // functional task.
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1()[..3]);
+        let diag = augment(&case, &paper_table1()[..3]).expect("gateway present");
         let mut enc = encode(&diag);
         for o in &diag.options {
             let (_, v) = enc.m_vars[o.test.index()][0];
@@ -450,7 +453,7 @@ mod tests {
     #[test]
     fn routes_are_cycle_free_and_short() {
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1()[..2]);
+        let diag = augment(&case, &paper_table1()[..2]).expect("gateway present");
         let mut enc = encode(&diag);
         assert_eq!(enc.solver.solve(), SolveResult::Sat);
         let x = enc.extract(&diag.spec);

@@ -261,13 +261,12 @@ impl<'d> DseProblem<'d> {
             task_opts.entry(t).or_default().push(i);
         }
         for idxs in task_opts.values() {
-            let cheapest = idxs
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    resource_cost(functional[a].1).total_cmp(&resource_cost(functional[b].1))
-                })
-                .expect("every task has a mapping option");
+            // Entries exist only for tasks with at least one option.
+            let Some(cheapest) = idxs.iter().copied().min_by(|&a, &b| {
+                resource_cost(functional[a].1).total_cmp(&resource_cost(functional[b].1))
+            }) else {
+                continue;
+            };
             for &i in idxs {
                 genotype[i] = 0.95 - 0.9 * resource_cost(functional[i].1) / max_cost;
                 genotype[nf + i] = if i == cheapest { 1.0 } else { 0.0 };
@@ -421,7 +420,12 @@ impl Problem for DseProblem<'_> {
                 })
                 .collect();
             for h in handles {
-                merged.extend(h.join().expect("evaluation worker panicked"));
+                // A worker can only fail by panicking; forward the payload
+                // instead of discarding it (or double-panicking via expect).
+                match h.join() {
+                    Ok(part) => merged.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
         for (i, r) in merged {
@@ -544,13 +548,18 @@ pub fn explore(
 /// specification (no BIST profiles) and returns the minimum cost found.
 /// This is the baseline of the paper's "+3.7 % of a design without
 /// structural tests" headline.
+///
+/// # Errors
+///
+/// Returns [`AugmentError`](crate::augment::AugmentError) if the case
+/// study's architecture cannot host the collection task (no gateway).
 pub fn baseline_cost(
     case: &eea_model::CaseStudy,
     evaluations: usize,
     seed: u64,
     threads: usize,
-) -> f64 {
-    let diag = crate::augment::augment(case, &[]);
+) -> Result<f64, crate::augment::AugmentError> {
+    let diag = crate::augment::augment(case, &[])?;
     let cfg = DseConfig {
         nsga2: Nsga2Config {
             population: 30.min(evaluations.max(2)),
@@ -561,10 +570,11 @@ pub fn baseline_cost(
         threads,
     };
     let res = explore(&diag, &cfg, |_, _| {});
-    res.front
+    Ok(res
+        .front
         .iter()
         .map(|e| e.objectives.cost)
-        .fold(f64::INFINITY, f64::min)
+        .fold(f64::INFINITY, f64::min))
 }
 
 #[cfg(test)]
@@ -576,7 +586,7 @@ mod tests {
 
     fn quick_diag() -> DiagSpec {
         let case = paper_case_study();
-        augment(&case, &paper_table1()[..4])
+        augment(&case, &paper_table1()[..4]).expect("gateway present")
     }
 
     #[test]
@@ -648,7 +658,7 @@ mod tests {
     #[test]
     fn baseline_is_cheaper_than_any_diagnosed_design() {
         let case = paper_case_study();
-        let base = baseline_cost(&case, 600, 3, 1);
+        let base = baseline_cost(&case, 600, 3, 1).expect("gateway present");
         assert!(base.is_finite() && base > 0.0);
         let diag = quick_diag();
         let cfg = DseConfig {

@@ -1,3 +1,7 @@
+// Library targets are panic-free by policy (see DESIGN.md, "Error
+// taxonomy"): unwrap/expect/panic! are denied outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! # eea-dse — diagnosis-aware design space exploration
 //!
 //! Reproduction of *"Non-Intrusive Integration of Advanced Diagnosis
@@ -32,7 +36,7 @@
 //!
 //! let case = paper_case_study();
 //! // A reduced profile set and budget keep this example fast.
-//! let diag = augment(&case, &paper_table1()[..4]);
+//! let diag = augment(&case, &paper_table1()[..4]).expect("gateway present");
 //! let mut cfg = DseConfig::default();
 //! cfg.nsga2.population = 16;
 //! cfg.nsga2.evaluations = 160;
@@ -42,12 +46,14 @@
 
 pub mod augment;
 pub mod encode;
+pub mod error;
 pub mod explore;
 pub mod objectives;
 pub mod report;
 pub mod schedule;
 
-pub use augment::{augment, BistOption, DiagSpec};
+pub use augment::{augment, AugmentError, BistOption, DiagSpec};
+pub use error::EeaError;
 pub use encode::{encode, Encoding};
 pub use explore::{
     baseline_cost, explore, resolve_threads, DseConfig, DseProblem, DseResult,

@@ -21,9 +21,10 @@ use eea_model::{DiagRole, Implementation, ResourceId, ResourceKind, TaskKind};
 use crate::augment::DiagSpec;
 
 /// Shut-off times are clamped here (seconds) when an ECU has no functional
-/// message whose schedule could be mirrored — Eq. (1) then yields an
-/// infinite transfer time, which would poison crowding-distance
-/// computations downstream.
+/// message whose schedule could be mirrored — Eq. (1) then reports
+/// [`eea_can::MirrorError::NoMessages`], which this layer maps to an
+/// unbounded transfer time; the clamp keeps the objective finite so it
+/// cannot poison crowding-distance computations downstream.
 pub const MAX_SHUTOFF_S: f64 = 86_400.0;
 
 /// The paper's three objectives, in natural units.
@@ -102,12 +103,15 @@ pub fn evaluate(diag: &DiagSpec, x: &Implementation) -> (Objectives, MemorySumma
             continue;
         }
         let payload = msg.size_bytes.min(8) as u8;
-        let message = Message::new(
-            CanId::new(next_id).expect("bounded id"),
-            payload,
-            msg.period_us,
-        )
-        .expect("valid synthetic message");
+        // next_id wraps below 0x7FF and the payload is clamped to 8, so
+        // both constructors succeed; a zero-period functional message (an
+        // invalid specification) is skipped rather than panicking.
+        let Ok(id) = CanId::new(next_id) else {
+            continue;
+        };
+        let Ok(message) = Message::new(id, payload, msg.period_us) else {
+            continue;
+        };
         next_id = (next_id + 1) % 0x7FF;
         sent_by.entry(src).or_default().push(message);
     }
@@ -123,9 +127,12 @@ pub fn evaluate(diag: &DiagSpec, x: &Implementation) -> (Objectives, MemorySumma
             continue;
         }
         any_selected = true;
-        let data_at = x
-            .binding_of(o.data)
-            .expect("(3b): data task bound with test task");
+        // Eq. (3b) couples the data task's binding to the test task's, so
+        // a decoded implementation always binds both; a hand-built one
+        // that does not is treated as "no session" rather than a panic.
+        let Some(data_at) = x.binding_of(o.data) else {
+            continue;
+        };
         let local = data_at == o.ecu;
         memory
             .selected
@@ -141,10 +148,15 @@ pub fn evaluate(diag: &DiagSpec, x: &Implementation) -> (Objectives, MemorySumma
             gateway_profiles
                 .entry(o.profile.id)
                 .or_insert(o.profile.data_bytes);
+            // Eq. (1) returns a typed error when the ECU sends no
+            // functional message whose schedule could be mirrored; such an
+            // ECU can never finish the transfer, so its shut-off time is
+            // unbounded (clamped to MAX_SHUTOFF_S below).
             let q = transfer_time_s(
                 o.profile.data_bytes,
                 sent_by.get(&o.ecu).map(Vec::as_slice).unwrap_or(&[]),
-            );
+            )
+            .unwrap_or(f64::INFINITY);
             l_s + q
         };
         shutoff = shutoff.max(session_time.min(MAX_SHUTOFF_S));
@@ -227,7 +239,7 @@ mod tests {
 
     fn decoded(n_profiles: usize, select_bist: bool) -> (DiagSpec, Implementation) {
         let case = paper_case_study();
-        let diag = augment(&case, &paper_table1()[..n_profiles]);
+        let diag = augment(&case, &paper_table1()[..n_profiles]).expect("gateway present");
         let mut enc = encode(&diag);
         for o in &diag.options {
             let (_, v) = enc.m_vars[o.test.index()][0];

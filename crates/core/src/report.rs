@@ -63,12 +63,7 @@ pub fn fig6_rows(front: &[ExploredImplementation], k: usize) -> Vec<Fig6Row> {
         .iter()
         .filter(|e| e.objectives.test_quality > 0.0)
         .collect();
-    by_quality.sort_by(|a, b| {
-        a.objectives
-            .test_quality
-            .partial_cmp(&b.objectives.test_quality)
-            .expect("finite quality")
-    });
+    by_quality.sort_by(|a, b| a.objectives.test_quality.total_cmp(&b.objectives.test_quality));
     if by_quality.is_empty() {
         return Vec::new();
     }
@@ -140,12 +135,7 @@ pub fn headline_with_budget(
     let best = front
         .iter()
         .filter(|e| e.objectives.cost <= budget)
-        .max_by(|a, b| {
-            a.objectives
-                .test_quality
-                .partial_cmp(&b.objectives.test_quality)
-                .expect("finite quality")
-        })?;
+        .max_by(|a, b| a.objectives.test_quality.total_cmp(&b.objectives.test_quality))?;
     Some(Headline {
         front_size: front.len(),
         baseline_cost,
@@ -170,12 +160,7 @@ pub fn partial_networking_candidates(
         .iter()
         .filter(|e| e.objectives.shutoff_s <= max_shutoff_s && e.objectives.test_quality > 0.0)
         .collect();
-    out.sort_by(|a, b| {
-        b.objectives
-            .test_quality
-            .partial_cmp(&a.objectives.test_quality)
-            .expect("finite quality")
-    });
+    out.sort_by(|a, b| b.objectives.test_quality.total_cmp(&a.objectives.test_quality));
     out
 }
 
@@ -210,7 +195,7 @@ pub fn fig6_csv(rows: &[Fig6Row]) -> String {
 /// Renders an ASCII scatter of Fig. 5 (cost on x, quality on y), with the
 /// paper's marker split: `o` = shut-off < 20 s, `^` = above.
 pub fn fig5_ascii(points: &[Fig5Point], width: usize, height: usize) -> String {
-    if points.is_empty() {
+    if points.is_empty() || width == 0 || height == 0 {
         return String::from("(empty front)\n");
     }
     let (min_c, max_c) = points.iter().fold((f64::MAX, f64::MIN), |(lo, hi), p| {
@@ -235,7 +220,8 @@ pub fn fig5_ascii(points: &[Fig5Point], width: usize, height: usize) -> String {
         min_q, max_q, min_c, max_c
     );
     for row in grid {
-        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        // The grid holds only ASCII marker bytes.
+        out.extend(row.iter().map(|&b| b as char));
         out.push('\n');
     }
     out

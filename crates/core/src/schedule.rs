@@ -101,13 +101,17 @@ pub fn derive_bus_schedules(diag: &DiagSpec, x: &Implementation) -> Vec<BusSched
             let messages = ids
                 .into_iter()
                 .enumerate()
-                .map(|(i, m)| {
+                .filter_map(|(i, m)| {
                     let msg = app.message(m);
-                    let id = CanId::new((0x100 + i as u16).min(CanId::MAX))
-                        .expect("bounded identifier");
-                    let can = CanMessage::new(id, msg.size_bytes.min(8) as u8, msg.period_us)
-                        .expect("valid synthetic message");
-                    (m, can)
+                    // The clamp keeps the identifier in range (an
+                    // overfull bus is reported by check_schedulability as
+                    // IdSpaceExhausted); a zero-period message — an
+                    // invalid specification — is dropped, not panicked on.
+                    let raw = (0x100usize + i).min(usize::from(CanId::MAX)) as u16;
+                    let id = CanId::new(raw).ok()?;
+                    let can =
+                        CanMessage::new(id, msg.size_bytes.min(8) as u8, msg.period_us).ok()?;
+                    Some((m, can))
                 })
                 .collect();
             BusSchedule { bus, messages }
@@ -134,7 +138,7 @@ pub fn check_schedulability(
         let msgs: Vec<CanMessage> = sched.messages.iter().map(|(_, m)| *m).collect();
         let results = analyze(&msgs, bitrate_bps);
         for ((mid, _), r) in sched.messages.iter().zip(&results) {
-            if r.response_us.is_none() {
+            if r.response_us.is_err() {
                 return Err(ScheduleError::Unschedulable {
                     bus: sched.bus,
                     message: *mid,
@@ -156,7 +160,7 @@ mod tests {
 
     fn decoded() -> (DiagSpec, Implementation) {
         let case = paper_case_study();
-        let diag = augment(&case, &eea_bist::paper_table1()[..2]);
+        let diag = augment(&case, &eea_bist::paper_table1()[..2]).expect("gateway present");
         let mut problem = DseProblem::new(&diag);
         let n = problem.genotype_len();
         let x = problem.decode(&vec![0.5; n]).expect("feasible");

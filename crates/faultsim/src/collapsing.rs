@@ -124,9 +124,11 @@ pub fn collapse(circuit: &Circuit) -> CollapseReport {
                 uf.union(id(Fault::sa1(in_site)), id(Fault::sa0(out)));
             }
             GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-                let ctrl = kind
-                    .controlling_value()
-                    .expect("AND/NAND/OR/NOR have a controlling value");
+                // These four kinds always define a controlling value; skip
+                // defensively instead of unwrapping.
+                let Some(ctrl) = kind.controlling_value() else {
+                    continue;
+                };
                 // Input at controlling value c forces the output to
                 // c (AND/OR) or !c (NAND/NOR).
                 let out_val = if kind.inverts() { !ctrl } else { ctrl };
@@ -158,13 +160,11 @@ pub fn collapse(circuit: &Circuit) -> CollapseReport {
     }
     let mut reps: Vec<(Fault, u32)> = classes
         .values()
-        .map(|members| {
-            let rep = members
-                .iter()
-                .map(|&i| all[i as usize])
-                .min()
-                .expect("class is nonempty");
-            (rep, members.len() as u32)
+        .filter_map(|members| {
+            // Every class holds at least the fault that created it; `min`
+            // over an empty class (impossible) simply yields no entry.
+            let rep = members.iter().map(|&i| all.get(i as usize).copied()).min()??;
+            Some((rep, members.len() as u32))
         })
         .collect();
     reps.sort();

@@ -1,3 +1,7 @@
+// Library targets are panic-free by policy (see DESIGN.md, "Error
+// taxonomy"): unwrap/expect/panic! are denied outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! Single stuck-at fault model and bit-parallel fault simulation.
 //!
 //! This crate provides the structural-test substrate behind the paper's

@@ -138,7 +138,12 @@ impl<'c> ParFaultSim<'c> {
                 })
                 .collect();
             for h in handles {
-                merged.extend(h.join().expect("fault-sim worker panicked"));
+                // Workers are panic-free by policy; if one nevertheless
+                // unwinds, re-raise its payload instead of unwrapping.
+                match h.join() {
+                    Ok(part) => merged.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
         merged
@@ -188,7 +193,7 @@ mod tests {
             dffs: 10,
             seed: 99,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         let mut rng = 0xDEAD_BEEF_1234_5678u64;
         let mut blocks = Vec::new();
         for _ in 0..4 {

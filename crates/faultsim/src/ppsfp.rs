@@ -348,7 +348,7 @@ mod tests {
             dffs: 8,
             seed: 77,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         let mut sim = FaultSim::new(&c);
         let mut u = FaultUniverse::collapsed(&c);
         let mut rng = 0x1234_5678_9abc_def0u64;

@@ -174,7 +174,7 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let q = b.dff_deferred("q");
         let n = b.gate(GateKind::Not, &[q], "n");
-        b.connect_dff(q, n);
+        b.connect_dff(q, n).expect("valid connection");
         b.output(n);
         let c = b.finish().unwrap();
         let v1 = PatternBlock::from_patterns(&c, &[vec![false], vec![true]]);
@@ -191,7 +191,7 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let q = b.dff_deferred("q");
         let n = b.gate(GateKind::Not, &[q], "n");
-        b.connect_dff(q, n);
+        b.connect_dff(q, n).expect("valid connection");
         b.output(n);
         let c = b.finish().unwrap();
         let mut sim = TransitionSim::new(&c);
@@ -240,7 +240,7 @@ mod tests {
             dffs: 16,
             seed: 0x7DF,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         let mut rng = 0x7DF7_DF7D_F7DFu64;
         let blocks: Vec<PatternBlock> = (0..8)
             .map(|_| {
@@ -273,7 +273,7 @@ mod tests {
             dffs: 8,
             seed: 3,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         let mut sim = TransitionSim::new(&c);
         let mut v1 = PatternBlock::zeroed(&c, 64);
         let mut rng = 99u64;

@@ -75,7 +75,7 @@ proptest! {
             dffs,
             seed,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         let mut block = PatternBlock::zeroed(&c, 64);
         let mut s = pattern_seed | 1;
         for i in 0..c.pattern_width() {
@@ -103,7 +103,7 @@ proptest! {
             dffs: 4,
             seed,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         let mut universe = FaultUniverse::collapsed(&c);
         let mut sim = FaultSim::new(&c);
         let mut s = seed | 1;
@@ -135,7 +135,7 @@ proptest! {
             dffs: 6,
             seed,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         let mut serial_u = FaultUniverse::collapsed(&c);
         let mut parallel_u = FaultUniverse::collapsed(&c);
         let mut serial = FaultSim::new(&c);

@@ -26,6 +26,10 @@
 //! assert_eq!(cs.ecus().len(), 15);
 //! ```
 
+// Library targets are panic-free by policy (see DESIGN.md, "Error
+// taxonomy"): unwrap/expect/panic! are denied outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 mod app;
 mod arch;
 mod case_study;

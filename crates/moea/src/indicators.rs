@@ -35,7 +35,7 @@ pub fn hypervolume(front: &[Vec<f64>], reference: &[f64]) -> f64 {
     hv_recursive(&mut points, reference)
 }
 
-fn hv_recursive(points: &mut Vec<Vec<f64>>, reference: &[f64]) -> f64 {
+fn hv_recursive(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
     let m = reference.len();
     if points.is_empty() {
         return 0.0;
@@ -48,7 +48,7 @@ fn hv_recursive(points: &mut Vec<Vec<f64>>, reference: &[f64]) -> f64 {
         return reference[0] - best;
     }
     // Slice along the last objective.
-    points.sort_by(|a, b| a[m - 1].partial_cmp(&b[m - 1]).expect("finite"));
+    points.sort_by(|a, b| a[m - 1].total_cmp(&b[m - 1]));
     let mut volume = 0.0;
     let mut i = 0;
     while i < points.len() {

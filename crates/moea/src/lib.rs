@@ -1,3 +1,7 @@
+// Library targets are panic-free by policy (see DESIGN.md, "Error
+// taxonomy"): unwrap/expect/panic! are denied outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! Multi-objective evolutionary optimisation: NSGA-II, Pareto archive and
 //! quality indicators.
 //!

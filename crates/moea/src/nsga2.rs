@@ -154,17 +154,15 @@ pub fn crowding_distances(objectives: &[Vec<f64>], ranks: &[u32]) -> Vec<f64> {
             }
             continue;
         }
+        #[allow(clippy::needless_range_loop)] // `obj` also indexes inside the closure
         for obj in 0..m {
             let mut sorted = front.clone();
-            sorted.sort_by(|&a, &b| {
-                objectives[a][obj]
-                    .partial_cmp(&objectives[b][obj])
-                    .expect("objectives are finite")
-            });
+            sorted.sort_by(|&a, &b| objectives[a][obj].total_cmp(&objectives[b][obj]));
+            let last = sorted[sorted.len() - 1];
             let lo = objectives[sorted[0]][obj];
-            let hi = objectives[*sorted.last().expect("nonempty")][obj];
+            let hi = objectives[last][obj];
             distance[sorted[0]] = f64::INFINITY;
-            distance[*sorted.last().expect("nonempty")] = f64::INFINITY;
+            distance[last] = f64::INFINITY;
             let span = hi - lo;
             if span <= 0.0 {
                 continue;
@@ -377,13 +375,7 @@ pub fn run<P: Problem>(
         let ranks = non_dominated_ranks(&objectives);
         let crowding = crowding_distances(&objectives, &ranks);
         let mut order: Vec<usize> = (0..population.len()).collect();
-        order.sort_by(|&x, &y| {
-            ranks[x].cmp(&ranks[y]).then(
-                crowding[y]
-                    .partial_cmp(&crowding[x])
-                    .expect("crowding comparable"),
-            )
-        });
+        order.sort_by(|&x, &y| ranks[x].cmp(&ranks[y]).then(crowding[y].total_cmp(&crowding[x])));
         order.truncate(cfg.population);
         let mut selected: Vec<Individual> = Vec::with_capacity(cfg.population);
         for idx in order {

@@ -61,7 +61,7 @@ fn fitness(objectives: &[Vec<f64>]) -> Vec<f64> {
                     .sqrt()
             })
             .collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        dists.sort_by(|a, b| a.total_cmp(b));
         let kd = dists.get(k.min(dists.len().saturating_sub(1))).copied().unwrap_or(0.0);
         fit[i] = raw[i] + 1.0 / (kd + 2.0);
     }
@@ -80,7 +80,7 @@ fn environmental_selection(
     if selected.len() < size {
         // Pad with the best dominated individuals.
         let mut rest: Vec<usize> = (0..pool.len()).filter(|&i| fit[i] >= 1.0).collect();
-        rest.sort_by(|&a, &b| fit[a].partial_cmp(&fit[b]).expect("finite fitness"));
+        rest.sort_by(|&a, &b| fit[a].total_cmp(&fit[b]));
         selected.extend(rest.into_iter().take(size - selected.len()));
     } else {
         // Truncate by iteratively removing the individual with the

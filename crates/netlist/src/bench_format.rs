@@ -117,23 +117,26 @@ fn parse_line(line_no: usize, line: &str) -> Result<Option<Stmt>, ParseBenchErro
         line: line_no,
         text: line.to_owned(),
     };
-    if let Some(rest) = line
-        .strip_prefix("INPUT")
-        .or_else(|| line.strip_prefix("input"))
-    {
+    // `INPUT`/`OUTPUT` are keywords only when immediately followed by a
+    // parenthesised name. A gate whose *name* merely starts with the
+    // keyword (`INPUTX = AND(a, b)`) contains an `=` before the `(` and
+    // falls through to the gate-definition grammar below.
+    let keyword_arg = |upper: &str, lower: &str| -> Option<&str> {
+        let rest = line
+            .strip_prefix(upper)
+            .or_else(|| line.strip_prefix(lower))?
+            .trim_start();
+        rest.starts_with('(').then_some(rest)
+    };
+    if let Some(rest) = keyword_arg("INPUT", "input") {
         let name = rest
-            .trim()
             .strip_prefix('(')
             .and_then(|s| s.strip_suffix(')'))
             .ok_or_else(syntax)?;
         return Ok(Some(Stmt::Input(name.trim().to_owned())));
     }
-    if let Some(rest) = line
-        .strip_prefix("OUTPUT")
-        .or_else(|| line.strip_prefix("output"))
-    {
+    if let Some(rest) = keyword_arg("OUTPUT", "output") {
         let name = rest
-            .trim()
             .strip_prefix('(')
             .and_then(|s| s.strip_suffix(')'))
             .ok_or_else(syntax)?;
@@ -227,15 +230,16 @@ pub fn parse(src: &str) -> Result<Circuit, ParseBenchError> {
         if pending.len() == before {
             // A fanin is genuinely undefined (or a combinational cycle via
             // undeclared names). Report the first unresolved signal.
-            if let Some(Stmt::Gate { fanin, .. }) = pending.first() {
-                let missing = fanin
-                    .iter()
-                    .find(|n| !ids.contains_key(*n))
-                    .cloned()
-                    .unwrap_or_default();
-                return Err(ParseBenchError::UndefinedSignal(missing));
-            }
-            unreachable!("pending only holds gate statements");
+            let missing = pending
+                .first()
+                .and_then(|s| match s {
+                    Stmt::Gate { fanin, .. } => {
+                        fanin.iter().find(|n| !ids.contains_key(*n)).cloned()
+                    }
+                    _ => None,
+                })
+                .unwrap_or_default();
+            return Err(ParseBenchError::UndefinedSignal(missing));
         }
     }
     // Pass 3: connect flip-flop data inputs and outputs.
@@ -250,7 +254,7 @@ pub fn parse(src: &str) -> Result<Circuit, ParseBenchError> {
                 let data = *ids
                     .get(&fanin[0])
                     .ok_or_else(|| ParseBenchError::UndefinedSignal(fanin[0].clone()))?;
-                b.connect_dff(ff, data);
+                b.connect_dff(ff, data)?;
             }
             Stmt::Output(name) => {
                 let g = *ids
@@ -402,6 +406,25 @@ mod tests {
         let src = "INPUT(a)\nOUTPUT(f)\nf = NOT(g)\ng = BUF(a)\n";
         let c = parse(src).expect("forward reference resolves");
         assert_eq!(c.stats().logic_gates, 2);
+    }
+
+    #[test]
+    fn gate_names_starting_with_keywords_parse() {
+        // Regression: `strip_prefix("INPUT")` used to fire on gate names
+        // that merely start with INPUT/OUTPUT, rejecting valid netlists.
+        let src = "\
+INPUT(a)\nINPUT(b)\nOUTPUT(OUTPUTY)\n\
+INPUTX = AND(a, b)\nOUTPUTY = NOT(INPUTX)\n";
+        let c = parse(src).expect("keyword-prefixed gate names parse");
+        assert_eq!(c.stats().inputs, 2);
+        assert_eq!(c.stats().logic_gates, 2);
+    }
+
+    #[test]
+    fn keyword_with_space_before_paren_parses() {
+        let src = "INPUT (a)\nOUTPUT (f)\nf = NOT(a)\n";
+        let c = parse(src).expect("spaced keyword form parses");
+        assert_eq!(c.stats().inputs, 1);
     }
 
     #[test]

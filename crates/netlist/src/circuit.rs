@@ -195,6 +195,18 @@ pub enum BuildCircuitError {
     NoObservationPoint,
     /// A duplicate signal name was registered.
     DuplicateName(String),
+    /// A fanin references a gate id that was never created.
+    DanglingFanin {
+        /// Gate holding the dangling reference.
+        gate: GateId,
+        /// The referenced, non-existent id.
+        fanin: GateId,
+    },
+    /// [`CircuitBuilder::connect_dff`] was called on a non-flip-flop gate.
+    NotAFlipFlop(GateId),
+    /// [`CircuitBuilder::connect_dff`] was called on an already-connected
+    /// flip-flop.
+    AlreadyConnected(GateId),
 }
 
 impl fmt::Display for BuildCircuitError {
@@ -210,6 +222,15 @@ impl fmt::Display for BuildCircuitError {
                 write!(f, "circuit has neither primary outputs nor flip-flops")
             }
             BuildCircuitError::DuplicateName(n) => write!(f, "duplicate signal name {n:?}"),
+            BuildCircuitError::DanglingFanin { gate, fanin } => {
+                write!(f, "gate {gate} references non-existent fanin {fanin}")
+            }
+            BuildCircuitError::NotAFlipFlop(g) => {
+                write!(f, "gate {g} is not a flip-flop")
+            }
+            BuildCircuitError::AlreadyConnected(g) => {
+                write!(f, "flip-flop {g} is already connected")
+            }
         }
     }
 }
@@ -288,23 +309,29 @@ impl CircuitBuilder {
 
     /// Connects the data input of a deferred flip-flop.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `ff` is not a flip-flop or is already connected.
-    pub fn connect_dff(&mut self, ff: GateId, data: GateId) {
-        assert_eq!(self.kinds[ff.index()], GateKind::Dff, "not a flip-flop");
-        assert!(self.fanin[ff.index()].is_empty(), "flip-flop already connected");
+    /// Returns [`BuildCircuitError::NotAFlipFlop`] if `ff` is not a
+    /// flip-flop (or does not exist) and
+    /// [`BuildCircuitError::AlreadyConnected`] if it already has a data
+    /// input.
+    pub fn connect_dff(&mut self, ff: GateId, data: GateId) -> Result<(), BuildCircuitError> {
+        if self.kinds.get(ff.index()) != Some(&GateKind::Dff) {
+            return Err(BuildCircuitError::NotAFlipFlop(ff));
+        }
+        if !self.fanin[ff.index()].is_empty() {
+            return Err(BuildCircuitError::AlreadyConnected(ff));
+        }
         self.fanin[ff.index()].push(data);
+        Ok(())
     }
 
-    /// Adds a logic gate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `kind` is `Input` or `Dff` (use [`input`](Self::input) /
-    /// [`dff`](Self::dff)).
+    /// Adds a logic gate. `kind` must not be a source kind (`Input`/`Dff`;
+    /// use [`input`](Self::input) / [`dff`](Self::dff) for those) — a source
+    /// kind passed here is rejected later by [`finish`](Self::finish)'s
+    /// arity validation.
     pub fn gate(&mut self, kind: GateKind, fanin: &[GateId], name: &str) -> GateId {
-        assert!(
+        debug_assert!(
             !kind.is_combinational_source(),
             "use input()/dff() for source nodes"
         );
@@ -317,16 +344,13 @@ impl CircuitBuilder {
     }
 
     /// Appends an extra fanin pin to a variadic logic gate
-    /// (AND/NAND/OR/NOR/XOR/XNOR).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `g` is an input, flip-flop, inverter or buffer.
+    /// (AND/NAND/OR/NOR/XOR/XNOR). Growing a fixed-arity gate (input,
+    /// flip-flop, inverter, buffer) this way is rejected later by
+    /// [`finish`](Self::finish)'s arity validation.
     pub fn add_fanin(&mut self, g: GateId, src: GateId) {
-        let kind = self.kinds[g.index()];
-        assert!(
+        debug_assert!(
             matches!(
-                kind,
+                self.kinds[g.index()],
                 GateKind::And
                     | GateKind::Nand
                     | GateKind::Or
@@ -334,7 +358,7 @@ impl CircuitBuilder {
                     | GateKind::Xor
                     | GateKind::Xnor
             ),
-            "cannot add fanin to a {kind} gate"
+            "cannot add fanin to a fixed-arity gate"
         );
         self.fanin[g.index()].push(src);
     }
@@ -372,6 +396,18 @@ impl CircuitBuilder {
     /// combinational cycle exists, or the circuit has no observation point.
     pub fn finish(self) -> Result<Circuit, BuildCircuitError> {
         let n = self.kinds.len();
+        // Every fanin reference must point at an existing gate; a dangling
+        // id would otherwise index out of bounds below.
+        for i in 0..n {
+            for &f in &self.fanin[i] {
+                if f.index() >= n {
+                    return Err(BuildCircuitError::DanglingFanin {
+                        gate: GateId(i as u32),
+                        fanin: f,
+                    });
+                }
+            }
+        }
         // Arity checks.
         for i in 0..n {
             let kind = self.kinds[i];
@@ -406,9 +442,9 @@ impl CircuitBuilder {
         // does not continue through the DFF output, so sequential feedback
         // loops are fine.
         let mut indegree: Vec<u32> = vec![0; n];
-        for i in 0..n {
+        for (i, deg) in indegree.iter_mut().enumerate() {
             if !self.kinds[i].is_combinational_source() {
-                indegree[i] = self.fanin[i].len() as u32;
+                *deg = self.fanin[i].len() as u32;
             }
         }
         let mut level: Vec<u32> = vec![0; n];
@@ -536,7 +572,7 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let q = b.dff_deferred("q");
         let n = b.gate(GateKind::Not, &[q], "n");
-        b.connect_dff(q, n);
+        b.connect_dff(q, n).expect("q is an unconnected flip-flop");
         b.output(n);
         let c = b.finish().expect("sequential loop is legal");
         assert_eq!(c.num_dffs(), 1);

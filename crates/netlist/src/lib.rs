@@ -37,6 +37,10 @@
 //! # }
 //! ```
 
+// Library targets are panic-free by policy (see DESIGN.md, "Error
+// taxonomy"): unwrap/expect/panic! are denied outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 mod circuit;
 mod gate;
 pub mod bench_format;
@@ -44,7 +48,73 @@ pub mod scan;
 pub mod synth;
 pub mod verilog;
 
+pub use bench_format::ParseBenchError;
 pub use circuit::{BuildCircuitError, Circuit, CircuitBuilder, CircuitStats};
 pub use gate::{GateId, GateKind};
-pub use scan::{ScanChains, ScanConfig};
-pub use synth::{SynthConfig, synthesize};
+pub use verilog::ParseVerilogError;
+pub use scan::{ScanChains, ScanConfig, ScanError};
+pub use synth::{synthesize, SynthConfig, SynthError};
+
+use std::error::Error;
+use std::fmt;
+
+/// Crate-level error: every fallible `eea-netlist` API returns a variant of
+/// this (or an error that converts into it), so downstream crates can hold
+/// one netlist error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// `.bench` parsing failed.
+    Bench(bench_format::ParseBenchError),
+    /// Verilog parsing failed.
+    Verilog(verilog::ParseVerilogError),
+    /// Circuit construction/validation failed.
+    Build(BuildCircuitError),
+    /// Synthetic circuit generation failed.
+    Synth(SynthError),
+    /// Scan-chain insertion failed.
+    Scan(ScanError),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Bench(e) => write!(f, "bench: {e}"),
+            NetlistError::Verilog(e) => write!(f, "verilog: {e}"),
+            NetlistError::Build(e) => write!(f, "build: {e}"),
+            NetlistError::Synth(e) => write!(f, "synth: {e}"),
+            NetlistError::Scan(e) => write!(f, "scan: {e}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+impl From<bench_format::ParseBenchError> for NetlistError {
+    fn from(e: bench_format::ParseBenchError) -> Self {
+        NetlistError::Bench(e)
+    }
+}
+
+impl From<verilog::ParseVerilogError> for NetlistError {
+    fn from(e: verilog::ParseVerilogError) -> Self {
+        NetlistError::Verilog(e)
+    }
+}
+
+impl From<BuildCircuitError> for NetlistError {
+    fn from(e: BuildCircuitError) -> Self {
+        NetlistError::Build(e)
+    }
+}
+
+impl From<SynthError> for NetlistError {
+    fn from(e: SynthError) -> Self {
+        NetlistError::Synth(e)
+    }
+}
+
+impl From<ScanError> for NetlistError {
+    fn from(e: ScanError) -> Self {
+        NetlistError::Scan(e)
+    }
+}

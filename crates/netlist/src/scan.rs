@@ -15,14 +15,34 @@
 //! ```
 //! use eea_netlist::{synthesize, SynthConfig, ScanChains};
 //!
-//! let c = synthesize(&SynthConfig { gates: 100, inputs: 8, dffs: 50, seed: 1, ..SynthConfig::default() });
-//! let chains = ScanChains::balanced(&c, 10);
+//! let c = synthesize(&SynthConfig { gates: 100, inputs: 8, dffs: 50, seed: 1, ..SynthConfig::default() }).expect("synthesizes");
+//! let chains = ScanChains::balanced(&c, 10).expect("at least one chain");
 //! assert_eq!(chains.num_chains(), 10);
 //! assert_eq!(chains.max_length(), 5);
 //! ```
 
+use std::error::Error;
+use std::fmt;
+
 use crate::circuit::Circuit;
 use crate::gate::GateId;
+
+/// Error from [`ScanChains::balanced`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanError {
+    /// A scan architecture needs at least one chain.
+    ZeroChains,
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::ZeroChains => write!(f, "scan architecture needs at least one chain"),
+        }
+    }
+}
+
+impl Error for ScanError {}
 
 /// Scan-architecture parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,11 +78,13 @@ impl ScanChains {
     /// surplus chains stay empty (chain count is preserved so that timing
     /// formulas depending on the configured architecture stay meaningful).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `num_chains == 0`.
-    pub fn balanced(circuit: &Circuit, num_chains: usize) -> Self {
-        assert!(num_chains > 0, "need at least one scan chain");
+    /// Returns [`ScanError::ZeroChains`] if `num_chains == 0`.
+    pub fn balanced(circuit: &Circuit, num_chains: usize) -> Result<Self, ScanError> {
+        if num_chains == 0 {
+            return Err(ScanError::ZeroChains);
+        }
         let mut chains: Vec<Vec<GateId>> = vec![Vec::new(); num_chains];
         let mut placement = Vec::with_capacity(circuit.num_dffs());
         for (i, &ff) in circuit.dffs().iter().enumerate() {
@@ -70,7 +92,7 @@ impl ScanChains {
             placement.push((chain as u32, chains[chain].len() as u32));
             chains[chain].push(ff);
         }
-        ScanChains { chains, placement }
+        Ok(ScanChains { chains, placement })
     }
 
     /// Number of chains (including empty ones).
@@ -117,9 +139,12 @@ impl ScanChains {
 
     /// Wall-clock test time for `patterns` patterns at `shift_frequency_hz`,
     /// in seconds: `(patterns + 1) * (max_length + 1) / f` (the `+1` pattern
-    /// accounts for the final unload).
+    /// accounts for the final unload). A zero shift frequency yields
+    /// `f64::INFINITY` — the test never completes — rather than a panic.
     pub fn test_time_s(&self, patterns: u64, shift_frequency_hz: u64) -> f64 {
-        assert!(shift_frequency_hz > 0, "shift frequency must be positive");
+        if shift_frequency_hz == 0 {
+            return f64::INFINITY;
+        }
         ((patterns + 1) * self.cycles_per_pattern() as u64) as f64 / shift_frequency_hz as f64
     }
 }
@@ -136,13 +161,13 @@ mod tests {
             dffs,
             seed: 5,
             ..SynthConfig::default()
-        })
+        }).expect("synthesizes")
     }
 
     #[test]
     fn balanced_partition() {
         let c = circuit(23);
-        let chains = ScanChains::balanced(&c, 5);
+        let chains = ScanChains::balanced(&c, 5).expect("at least one chain");
         let lens: Vec<usize> = chains.iter().map(|ch| ch.len()).collect();
         assert_eq!(lens, vec![5, 5, 5, 4, 4]);
         assert_eq!(chains.max_length(), 5);
@@ -152,7 +177,7 @@ mod tests {
     #[test]
     fn placement_consistent() {
         let c = circuit(12);
-        let chains = ScanChains::balanced(&c, 4);
+        let chains = ScanChains::balanced(&c, 4).expect("at least one chain");
         for (i, &ff) in c.dffs().iter().enumerate() {
             let (ci, pos) = chains.placement(i);
             assert_eq!(chains.chain(ci)[pos], ff);
@@ -162,7 +187,7 @@ mod tests {
     #[test]
     fn more_chains_than_ffs() {
         let c = circuit(3);
-        let chains = ScanChains::balanced(&c, 8);
+        let chains = ScanChains::balanced(&c, 8).expect("at least one chain");
         assert_eq!(chains.num_chains(), 8);
         assert_eq!(chains.max_length(), 1);
         assert_eq!(chains.iter().filter(|ch| ch.is_empty()).count(), 5);
@@ -174,7 +199,7 @@ mod tests {
         // 500 * 78 / 40e6 ~ 0.975 ms of raw shift time (profile 1 reports
         // 4.87 ms including deterministic patterns and restore).
         let c = circuit(100);
-        let chains = ScanChains::balanced(&c, 100);
+        let chains = ScanChains::balanced(&c, 100).expect("at least one chain");
         assert_eq!(chains.max_length(), 1);
         let t = chains.test_time_s(500, 40_000_000);
         assert!(t > 0.0 && t < 0.001);
@@ -183,7 +208,7 @@ mod tests {
     #[test]
     fn cycles_per_pattern() {
         let c = circuit(10);
-        let chains = ScanChains::balanced(&c, 2);
+        let chains = ScanChains::balanced(&c, 2).expect("at least one chain");
         assert_eq!(chains.cycles_per_pattern(), 6);
     }
 }

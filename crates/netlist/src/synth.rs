@@ -22,13 +22,56 @@
 //! ```
 //! use eea_netlist::{synthesize, SynthConfig};
 //!
-//! let c = synthesize(&SynthConfig { gates: 200, inputs: 12, dffs: 16, seed: 7, ..SynthConfig::default() });
+//! # fn main() -> Result<(), eea_netlist::SynthError> {
+//! let c = synthesize(&SynthConfig { gates: 200, inputs: 12, dffs: 16, seed: 7, ..SynthConfig::default() })?;
 //! assert_eq!(c.num_dffs(), 16);
 //! assert!(c.stats().logic_gates >= 200);
+//! # Ok(())
+//! # }
 //! ```
 
-use crate::circuit::{Circuit, CircuitBuilder};
+use std::error::Error;
+use std::fmt;
+
+use crate::circuit::{BuildCircuitError, Circuit, CircuitBuilder};
 use crate::gate::{GateId, GateKind};
+
+/// Error from [`synthesize`]: the configuration cannot produce a valid
+/// circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// `inputs + dffs == 0`: the circuit would have no signal source.
+    NoSources,
+    /// `gates == 0`: the circuit would have no logic to test.
+    NoGates,
+    /// A primary input or flip-flop output could not be wired into any
+    /// gate (every generated gate has a fixed arity — e.g. a 1-gate
+    /// configuration whose only gate is an inverter).
+    UnwirableSource(GateId),
+    /// The generated circuit failed validation.
+    Build(BuildCircuitError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::NoSources => write!(f, "config needs at least one input or flip-flop"),
+            SynthError::NoGates => write!(f, "config needs at least one logic gate"),
+            SynthError::UnwirableSource(g) => {
+                write!(f, "no variadic gate available to absorb unused source {g}")
+            }
+            SynthError::Build(e) => write!(f, "generated circuit is invalid: {e}"),
+        }
+    }
+}
+
+impl Error for SynthError {}
+
+impl From<BuildCircuitError> for SynthError {
+    fn from(e: BuildCircuitError) -> Self {
+        SynthError::Build(e)
+    }
+}
 
 /// Configuration for [`synthesize`].
 #[derive(Debug, Clone, PartialEq)]
@@ -153,12 +196,18 @@ const PREV_LEVEL_BIAS: f64 = 0.7;
 /// every sink gate (no fanout) becomes a primary output, so no logic is
 /// structurally unobservable.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `cfg.inputs + cfg.dffs == 0` or `cfg.gates == 0`.
-pub fn synthesize(cfg: &SynthConfig) -> Circuit {
-    assert!(cfg.inputs + cfg.dffs > 0, "need at least one source");
-    assert!(cfg.gates > 0, "need at least one gate");
+/// Returns [`SynthError`] for degenerate configurations
+/// (`inputs + dffs == 0`, `gates == 0`, or a source that no generated gate
+/// can absorb).
+pub fn synthesize(cfg: &SynthConfig) -> Result<Circuit, SynthError> {
+    if cfg.inputs + cfg.dffs == 0 {
+        return Err(SynthError::NoSources);
+    }
+    if cfg.gates == 0 {
+        return Err(SynthError::NoGates);
+    }
     let mut rng = SplitMix64::new(cfg.seed);
     let mut b = CircuitBuilder::new();
 
@@ -194,7 +243,8 @@ pub fn synthesize(cfg: &SynthConfig) -> Circuit {
             let mut attempts = 0;
             while fanin.len() < n && attempts < 32 {
                 attempts += 1;
-                let prev = level_of.last().expect("level 0 exists");
+                // `level_of` always holds at least the source level.
+                let Some(prev) = level_of.last() else { break };
                 let s = if rng.unit() < PREV_LEVEL_BIAS || level_of.len() == 1 {
                     prev[rng.below(prev.len())]
                 } else {
@@ -225,7 +275,7 @@ pub fn synthesize(cfg: &SynthConfig) -> Circuit {
     // Drive each flip-flop from a distinct late gate where possible.
     for (i, &ff) in ffs.iter().enumerate() {
         let g = gates[gates.len() - 1 - (i % gates.len().min(cfg.dffs.max(1) * 2))];
-        b.connect_dff(ff, g);
+        b.connect_dff(ff, g)?;
         has_fanout[g.index()] = true;
     }
 
@@ -265,7 +315,9 @@ pub fn synthesize(cfg: &SynthConfig) -> Circuit {
                 break;
             }
         }
-        assert!(wired, "no variadic gate available to absorb unused source");
+        if !wired {
+            return Err(SynthError::UnwirableSource(pool[si]));
+        }
     }
 
     // Every sink gate becomes a primary output so no logic cone is
@@ -278,9 +330,11 @@ pub fn synthesize(cfg: &SynthConfig) -> Circuit {
         }
     }
     if n_outputs == 0 {
-        b.output(*gates.last().expect("at least one gate"));
+        if let Some(&last) = gates.last() {
+            b.output(last);
+        }
     }
-    b.finish().expect("generator invariants hold")
+    Ok(b.finish()?)
 }
 
 #[cfg(test)]
@@ -294,8 +348,8 @@ mod tests {
             seed: 42,
             ..SynthConfig::default()
         };
-        let a = synthesize(&cfg);
-        let b = synthesize(&cfg);
+        let a = synthesize(&cfg).expect("synthesizes");
+        let b = synthesize(&cfg).expect("synthesizes");
         assert_eq!(a.stats(), b.stats());
         for (ga, gb) in a.gate_ids().zip(b.gate_ids()) {
             assert_eq!(a.kind(ga), b.kind(gb));
@@ -308,11 +362,11 @@ mod tests {
         let a = synthesize(&SynthConfig {
             seed: 1,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         let b = synthesize(&SynthConfig {
             seed: 2,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         // Extremely unlikely to coincide in both structure and kinds.
         assert!(a.stats() != b.stats() || a.gate_ids().any(|g| a.kind(g) != b.kind(g)));
     }
@@ -326,7 +380,7 @@ mod tests {
             seed: 3,
             ..SynthConfig::default()
         };
-        let c = synthesize(&cfg);
+        let c = synthesize(&cfg).expect("synthesizes");
         assert_eq!(c.num_inputs(), 20);
         assert_eq!(c.num_dffs(), 40);
         assert_eq!(c.stats().logic_gates, 500);
@@ -339,7 +393,7 @@ mod tests {
             gates: 2000,
             seed: 9,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         // Locality bias should create depth well beyond 3 levels.
         assert!(c.depth() > 5, "depth = {}", c.depth());
     }
@@ -352,7 +406,7 @@ mod tests {
             dffs: 12,
             seed: 11,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         for &ff in c.dffs() {
             assert_eq!(c.fanin(ff).len(), 1);
         }
@@ -364,7 +418,7 @@ mod tests {
             gates: 400,
             seed: 21,
             ..SynthConfig::default()
-        });
+        }).expect("synthesizes");
         for g in c.gate_ids() {
             if !c.kind(g).is_combinational_source() && c.fanout(g).is_empty() {
                 assert!(c.outputs().contains(&g), "sink {g} not an output");

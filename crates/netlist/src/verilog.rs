@@ -207,6 +207,12 @@ pub fn parse(src: &str) -> Result<Circuit, ParseVerilogError> {
                     line: start_line,
                     message: "expected ')' in instantiation".into(),
                 })?;
+                if close < open {
+                    return Err(ParseVerilogError::Syntax {
+                        line: start_line,
+                        message: "')' before '(' in instantiation".into(),
+                    });
+                }
                 let pins: Vec<String> = stmt[open + 1..close]
                     .split(',')
                     .map(|p| p.trim().to_owned())
@@ -303,7 +309,7 @@ pub fn parse(src: &str) -> Result<Circuit, ParseVerilogError> {
             let data = *ids
                 .get(&inst.pins[1])
                 .ok_or_else(|| ParseVerilogError::UndeclaredNet(inst.pins[1].clone()))?;
-            b.connect_dff(ff, data);
+            b.connect_dff(ff, data)?;
         }
     }
     for out in &outputs {

@@ -124,7 +124,7 @@ impl VarHeap {
         }
         let top = self.heap[0];
         self.pos[top] = usize::MAX;
-        let last = self.heap.pop().expect("nonempty");
+        let last = self.heap.pop()?;
         if !self.heap.is_empty() {
             self.heap[0] = last;
             self.pos[last] = 0;

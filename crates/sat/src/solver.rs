@@ -444,7 +444,10 @@ impl Solver {
         let mut trail_idx = self.trail.len();
         let mut asserting: Option<Lit> = None;
 
-        loop {
+        // The loop always visits at least one current-level literal before
+        // `counter` reaches zero (the caller guarantees the conflict happened
+        // at a positive decision level), so it breaks with the 1-UIP literal.
+        let uip = loop {
             for &l in &reason {
                 let v = l.var();
                 if self.seen[v.index()] || self.level[v.index()] == 0 {
@@ -476,14 +479,11 @@ impl Solver {
             self.seen[p.var().index()] = false;
             counter -= 1;
             if counter == 0 {
-                asserting = Some(!p);
-                break;
+                break !p;
             }
             reason = self.reason_lits(p.var());
             asserting = Some(!p);
-        }
-
-        let uip = asserting.expect("conflict at a positive decision level");
+        };
         for &l in &learned {
             self.seen[l.var().index()] = false;
         }
@@ -500,9 +500,9 @@ impl Solver {
 
     fn backtrack_to(&mut self, level: u32) {
         while self.trail_lim.len() as u32 > level {
-            let lim = self.trail_lim.pop().expect("positive level");
+            let Some(lim) = self.trail_lim.pop() else { break };
             while self.trail.len() > lim {
-                let l = self.trail.pop().expect("trail nonempty");
+                let Some(l) = self.trail.pop() else { break };
                 let v = l.var();
                 self.phase[v.index()] = self.values[v.index()] == Value::True;
                 self.values[v.index()] = Value::Unassigned;
@@ -706,7 +706,7 @@ mod tests {
             s.add_clause(&lits);
         }
         for h in 0..2 {
-            let lits: Vec<Lit> = (0..3).map(|i| p[i][h].positive()).collect();
+            let lits: Vec<Lit> = p.iter().map(|row| row[h].positive()).collect();
             s.add_at_most_one(&lits);
         }
         assert_eq!(s.solve(), SolveResult::Unsat);
@@ -725,7 +725,7 @@ mod tests {
             s.add_clause(&lits);
         }
         for h in 0..m {
-            let lits: Vec<Lit> = (0..n).map(|i| p[i][h].positive()).collect();
+            let lits: Vec<Lit> = p.iter().map(|row| row[h].positive()).collect();
             s.add_at_most_one(&lits);
         }
         assert_eq!(s.solve(), SolveResult::Unsat);

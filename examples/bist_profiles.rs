@@ -27,7 +27,8 @@ fn main() {
         dffs: 128,
         seed: 0xC07,
         ..SynthConfig::default()
-    });
+    })
+    .expect("valid synth config");
     println!("CUT: {}", cut.stats());
 
     let cfg = ProfileConfig {
@@ -47,7 +48,7 @@ fn main() {
         cfg.prp_counts.len(),
         cfg.targets.len()
     );
-    let profiles = generate_profiles(&cut, &cfg);
+    let profiles = generate_profiles(&cut, &cfg).expect("profiles generate");
 
     println!(
         "{:>3} {:>8} {:>6} {:>9} {:>11} {:>12}",

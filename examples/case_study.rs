@@ -23,7 +23,7 @@ fn main() {
         .unwrap_or(10_000);
 
     let case = paper_case_study();
-    let diag = augment(&case, &paper_table1());
+    let diag = augment(&case, &paper_table1()).expect("gateway present");
     println!(
         "case study: {} tasks, {} messages, {} mapping edges after augmentation",
         diag.spec.application.num_tasks(),
@@ -52,7 +52,7 @@ fn main() {
     );
 
     // Headline: best quality within +3.7 % of the diagnosis-free baseline.
-    let base = baseline_cost(&case, 2_000, 77, 0);
+    let base = baseline_cost(&case, 2_000, 77, 0).expect("gateway present");
     println!("baseline (no structural test) cost: {base:.1}");
     match headline(&result.front, Some(base)) {
         Some(hl) => println!(

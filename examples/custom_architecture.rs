@@ -131,13 +131,15 @@ fn main() {
         ecus_by_bus,
         app_tasks: vec![vec![sense, filter, control, actuate]],
     };
-    let diag = augment(&case, &profiles);
-    let mut cfg = DseConfig::default();
-    cfg.nsga2 = Nsga2Config {
-        population: 24,
-        evaluations: 1_200,
-        seed: 7,
-        ..Nsga2Config::default()
+    let diag = augment(&case, &profiles).expect("gateway present");
+    let cfg = DseConfig {
+        nsga2: Nsga2Config {
+            population: 24,
+            evaluations: 1_200,
+            seed: 7,
+            ..Nsga2Config::default()
+        },
+        ..DseConfig::default()
     };
     let result = explore(&diag, &cfg, |_, _| {});
     println!(

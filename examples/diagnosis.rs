@@ -3,9 +3,9 @@
 //! 1. **Workshop repair** — a defect somewhere in the vehicle corrupts one
 //!    ECU's BIST session; the fail data collected at the gateway names the
 //!    faulty ECU directly (no part-swapping).
-//! 2. **Failure analysis** — the failing ECU's fail memory (window indices
-//!    + faulty signatures) feeds window-based logic diagnosis, which ranks
-//!    candidate stuck-at faults inside the IC.
+//! 2. **Failure analysis** — the failing ECU's fail memory (window
+//!    indices + faulty signatures) feeds window-based logic diagnosis,
+//!    which ranks candidate stuck-at faults inside the IC.
 //!
 //! Run with:
 //!
@@ -26,9 +26,10 @@ fn main() {
         dffs: 32,
         seed: 0xD1A6,
         ..SynthConfig::default()
-    });
+    })
+    .expect("valid synth config");
     println!("CUT per ECU: {}", cut.stats());
-    let chains = ScanChains::balanced(&cut, 8);
+    let chains = ScanChains::balanced(&cut, 8).expect("at least one chain");
     let window = 8;
     let patterns = 512;
     let session = StumpsSession::new(&cut, &chains, 0xACE1, window);

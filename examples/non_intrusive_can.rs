@@ -27,13 +27,13 @@ fn main() {
         msg(0x300, 8, 50_000),
         msg(0x420, 2, 100_000),
     ];
-    let sim = BusSim::new(BUS_BITRATE_BPS);
+    let sim = BusSim::new(BUS_BITRATE_BPS).expect("valid bitrate");
     let horizon = 5_000_000; // 5 s
 
     // Baseline: the certified functional schedule.
     let mut functional: Vec<Message> = others.to_vec();
     functional.extend_from_slice(&ecu_under_test);
-    let base = sim.run(&functional, horizon);
+    let base = sim.run(&functional, horizon).expect("simulates");
 
     // BIST session: the ECU's messages go silent, mirrored test-data
     // messages (same size/period/relative priority, fresh IDs) take their
@@ -42,13 +42,13 @@ fn main() {
         mirror_messages(&ecu_under_test, 0x20, &others).expect("mirroring succeeds");
     let mut test_schedule: Vec<Message> = others.to_vec();
     test_schedule.extend_from_slice(&mirrored);
-    let test = sim.run(&test_schedule, horizon);
+    let test = sim.run(&test_schedule, horizon).expect("simulates");
 
     // A naive alternative: a greedy low-priority bulk message at 1 ms.
     let bulk = msg(0x7FF, 8, 1_000);
     let mut naive: Vec<Message> = functional.clone();
     naive.push(bulk);
-    let naive_run = sim.run(&naive, horizon);
+    let naive_run = sim.run(&naive, horizon).expect("simulates");
 
     println!("worst-case observed latency of the OTHER ECUs' messages [us]:");
     println!(
@@ -63,7 +63,7 @@ fn main() {
         let bound = rta
             .iter()
             .find(|r| r.id == o.id())
-            .and_then(|r| r.response_us)
+            .and_then(|r| r.response_us.as_ref().ok())
             .map(|r| r.to_string())
             .unwrap_or_else(|| "-".into());
         println!(
@@ -84,7 +84,7 @@ fn main() {
 
     // Eq. (1): how long does a BIST pattern set take over the mirror?
     for bytes in [455_061u64, 994_156, 2_399_185] {
-        let q = transfer_time_s(bytes, &ecu_under_test);
+        let q = transfer_time_s(bytes, &ecu_under_test).expect("non-empty schedule");
         println!(
             "Eq. (1): {:>9} bytes over the mirrored schedule ({:>4.0} B/s): {:>8.1} s",
             bytes,

@@ -23,7 +23,7 @@ fn main() {
     // 2. Augment with BIST profiles (4 of the 36 published ones keep this
     //    quickstart snappy; see examples/case_study.rs for the full set).
     let profiles = paper_table1();
-    let diag = augment(&case, &profiles[..4]);
+    let diag = augment(&case, &profiles[..4]).expect("gateway present");
     println!(
         "augmented:  {} BIST options on {} ECUs",
         diag.options.len(),

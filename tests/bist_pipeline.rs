@@ -15,7 +15,7 @@ fn cut() -> eea_netlist::Circuit {
         dffs: 32,
         seed: 0xBEEF,
         ..SynthConfig::default()
-    })
+    }).expect("synthesizes")
 }
 
 /// Mixed-mode flow: LFSR random phase covers most faults, PODEM top-off
@@ -23,12 +23,12 @@ fn cut() -> eea_netlist::Circuit {
 #[test]
 fn mixed_mode_flow_reaches_atpg_ceiling() {
     let c = cut();
-    let chains = ScanChains::balanced(&c, 8);
+    let chains = ScanChains::balanced(&c, 8).expect("at least one chain");
 
     // Random phase.
     let mut universe = FaultUniverse::collapsed(&c);
     let mut sim = FaultSim::new(&c);
-    let mut lfsr = Lfsr::new(32, 0xACE1);
+    let mut lfsr = Lfsr::new32(0xACE1);
     for _ in 0..16 {
         let block = eea_bist::lfsr_pattern_block(&c, &chains, &mut lfsr, 64);
         sim.detect_block(&block, &mut universe);
@@ -57,7 +57,7 @@ fn mixed_mode_flow_reaches_atpg_ceiling() {
 #[test]
 fn stumps_session_localises_faults() {
     let c = cut();
-    let chains = ScanChains::balanced(&c, 8);
+    let chains = ScanChains::balanced(&c, 8).expect("at least one chain");
     let session = StumpsSession::new(&c, &chains, 0x1234, 16);
     let golden = session.run_golden(256);
     assert_eq!(golden.signatures.len(), 16);
@@ -65,7 +65,7 @@ fn stumps_session_localises_faults() {
     // Find the first block-detectable faults and verify fail data.
     let universe = FaultUniverse::collapsed(&c);
     let mut sim = FaultSim::new(&c);
-    let mut lfsr = Lfsr::new(32, 0x1234);
+    let mut lfsr = Lfsr::new32(0x1234);
     let block = eea_bist::lfsr_pattern_block(&c, &chains, &mut lfsr, 64);
     sim.run_good(&block);
     let mut checked = 0;
@@ -107,7 +107,7 @@ fn profile_generation_matches_table1_trends() {
         num_chains: 8,
         ..ProfileConfig::default()
     };
-    let profiles = generate_profiles(&c, &cfg);
+    let profiles = generate_profiles(&c, &cfg).expect("profiles generate");
     assert_eq!(profiles.len(), 6);
 
     // Same trends as the published table.
@@ -135,7 +135,7 @@ fn profile_generation_matches_table1_trends() {
 fn scan_placement_is_bijective() {
     let c = cut();
     for chains_n in [1, 4, 7, 32] {
-        let chains = ScanChains::balanced(&c, chains_n);
+        let chains = ScanChains::balanced(&c, chains_n).expect("at least one chain");
         let mut seen = vec![false; c.num_dffs()];
         for ci in 0..chains.num_chains() {
             for (pos, &ff) in chains.chain(ci).iter().enumerate() {
@@ -160,7 +160,7 @@ fn iscas_circuits_run_through_pipeline() {
         let c = bench_format::parse(src).expect("parses");
         let run = generate_tests(&c, &AtpgConfig::default());
         assert!(run.coverage() > 0.95, "coverage = {}", run.coverage());
-        let chains = ScanChains::balanced(&c, 2);
+        let chains = ScanChains::balanced(&c, 2).expect("at least one chain");
         let session = StumpsSession::new(&c, &chains, 0xF00D, 8);
         let golden = session.run_golden(64);
         assert_eq!(golden.signatures.len(), 8);
@@ -179,7 +179,7 @@ fn untestable_faults_never_detected_by_random_patterns() {
         dffs: 8,
         seed: 0x5EED,
         ..SynthConfig::default()
-    });
+    }).expect("synthesizes");
     let mut podem = eea_atpg::Podem::new(&c, 50_000);
     let universe = FaultUniverse::collapsed(&c);
     let untestable: Vec<_> = (0..universe.num_faults())

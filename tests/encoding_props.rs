@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 fn quick_diag() -> DiagSpec {
     let case = paper_case_study();
-    augment(&case, &paper_table1()[..3])
+    augment(&case, &paper_table1()[..3]).expect("gateway present")
 }
 
 /// Checks the paper's constraint families directly on a decoded

@@ -10,7 +10,7 @@ use eea_moea::Nsga2Config;
 
 fn run_exploration(profiles: usize, evaluations: usize, seed: u64) -> eea_dse::DseResult {
     let case = paper_case_study();
-    let diag = augment(&case, &paper_table1()[..profiles]);
+    let diag = augment(&case, &paper_table1()[..profiles]).expect("gateway present");
     let cfg = DseConfig {
         nsga2: Nsga2Config {
             population: 30,
@@ -72,7 +72,7 @@ fn front_reproduces_papers_tradeoff_structure() {
 fn headline_quality_within_small_budget() {
     let res = run_exploration(8, 1_500, 7);
     let case = paper_case_study();
-    let base = baseline_cost(&case, 800, 3, 1);
+    let base = baseline_cost(&case, 800, 3, 1).expect("gateway present");
     let hl = headline(&res.front, Some(base)).expect("headline computable");
     // The paper reports 80.7 % quality within +3.7 % cost; our substrate's
     // exact number differs, but high quality at single-digit extra cost is

@@ -14,7 +14,7 @@ fn msg(id: u16, payload: u8, period_us: u64) -> Message {
 /// exactly unchanged, for a variety of schedules.
 #[test]
 fn mirroring_preserves_latencies_across_schedules() {
-    let sim = BusSim::new(BUS_BITRATE_BPS);
+    let sim = BusSim::new(BUS_BITRATE_BPS).expect("valid bitrate");
     let schedules: Vec<(Vec<Message>, Vec<Message>)> = vec![
         (
             vec![msg(0x100, 4, 10_000)],
@@ -36,12 +36,12 @@ fn mirroring_preserves_latencies_across_schedules() {
     for (under_test, others) in schedules {
         let mut functional = others.clone();
         functional.extend_from_slice(&under_test);
-        let base = sim.run(&functional, 3_000_000);
+        let base = sim.run(&functional, 3_000_000).expect("simulates");
 
         let mirrored = mirror_messages(&under_test, 0x30, &others).expect("mirrors");
         let mut test_sched = others.clone();
         test_sched.extend_from_slice(&mirrored);
-        let test = sim.run(&test_sched, 3_000_000);
+        let test = sim.run(&test_sched, 3_000_000).expect("simulates");
 
         for o in &others {
             assert_eq!(
@@ -83,14 +83,14 @@ fn eq1_matches_first_principles() {
     let set_b = [msg(0x100, 4, 10_000), msg(0x108, 8, 20_000)]; // 800 B/s
     let bytes = 2_399_185u64; // profile 1 of Table I
 
-    let q_a = transfer_time_s(bytes, &set_a);
-    let q_b = transfer_time_s(bytes, &set_b);
+    let q_a = transfer_time_s(bytes, &set_a).expect("non-empty set");
+    let q_b = transfer_time_s(bytes, &set_b).expect("non-empty set");
     assert!((q_a - bytes as f64 / 400.0).abs() < 1e-6);
     assert!((q_b - bytes as f64 / 800.0).abs() < 1e-6);
     // Twice the bandwidth, half the time.
     assert!((q_a / q_b - 2.0).abs() < 1e-9);
     // Linear in size.
-    assert!((transfer_time_s(2 * bytes, &set_a) / q_a - 2.0).abs() < 1e-9);
+    assert!((transfer_time_s(2 * bytes, &set_a).expect("non-empty set") / q_a - 2.0).abs() < 1e-9);
 }
 
 /// Eq. (1) against the event-driven simulator: streaming the pattern set
@@ -104,15 +104,15 @@ fn eq1_cross_checked_against_simulation() {
         .map(Message::payload_bandwidth_bytes_per_s)
         .sum(); // 1200 B/s
     let data_bytes = 12_000u64; // 10 s worth
-    let predicted = transfer_time_s(data_bytes, &under_test);
+    let predicted = transfer_time_s(data_bytes, &under_test).expect("non-empty set");
     assert!((predicted - data_bytes as f64 / payload_per_period).abs() < 1e-9);
 
     // Simulate the mirrored messages and count how long until the payload
     // bytes delivered reach data_bytes.
     let mirrored = mirror_messages(&under_test, 0x40, &[]).expect("mirrors");
-    let sim = BusSim::new(BUS_BITRATE_BPS);
+    let sim = BusSim::new(BUS_BITRATE_BPS).expect("valid bitrate");
     let horizon = (predicted * 1.2 * 1e6) as u64;
-    let run = sim.run(&mirrored, horizon);
+    let run = sim.run(&mirrored, horizon).expect("simulates");
     let delivered: u64 = run
         .stats
         .iter()
@@ -143,7 +143,7 @@ fn mirrored_schedule_stays_schedulable() {
     all.extend_from_slice(&mirrored);
     let results = analyze(&all, BUS_BITRATE_BPS);
     assert!(
-        results.iter().all(|r| r.response_us.is_some()),
+        results.iter().all(|r| r.response_us.is_ok()),
         "mirrored schedule must remain schedulable"
     );
 }

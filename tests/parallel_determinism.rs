@@ -11,7 +11,7 @@ use eea_moea::Nsga2Config;
 
 fn run(threads: usize) -> DseResult {
     let case = paper_case_study();
-    let diag = augment(&case, &paper_table1()[..4]);
+    let diag = augment(&case, &paper_table1()[..4]).expect("gateway present");
     let cfg = DseConfig {
         nsga2: Nsga2Config {
             population: 24,
