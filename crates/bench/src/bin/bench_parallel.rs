@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use eea_bench::{env_usize, paper_diag_spec};
+use eea_bench::{env_usize, out_path, paper_diag_spec};
 use eea_dse::{DseProblem, EeaError, EVAL_LANES};
 use eea_faultsim::{FaultUniverse, ParFaultSim, PatternBlock};
 use eea_moea::{Problem, Rng};
@@ -174,9 +174,10 @@ fn main() -> Result<(), EeaError> {
         json_sweep("dse", "evals", &dse_points, dse_identical),
     );
     println!("{json}");
-    match std::fs::write("BENCH_parallel.json", &json) {
-        Ok(()) => println!("wrote BENCH_parallel.json"),
-        Err(e) => eprintln!("could not write BENCH_parallel.json: {e}"),
+    let path = out_path("BENCH_parallel.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
     Ok(())
 }

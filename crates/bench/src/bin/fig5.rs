@@ -6,7 +6,7 @@
 //! EEA_EVALS=100000 cargo run -p eea-bench --bin fig5 --release   # paper budget
 //! ```
 
-use eea_bench::{env_u64, env_usize, run_case_study_exploration};
+use eea_bench::{env_u64, env_usize, out_path, run_case_study_exploration};
 use eea_dse::{fig5_ascii, fig5_csv, fig5_points, EeaError};
 
 fn main() -> Result<(), EeaError> {
@@ -35,9 +35,10 @@ fn main() -> Result<(), EeaError> {
     println!("{}", fig5_ascii(&points, 78, 22));
 
     let csv = fig5_csv(&points);
-    match std::fs::write("fig5.csv", &csv) {
-        Ok(()) => println!("wrote fig5.csv ({} rows)", points.len()),
-        Err(e) => eprintln!("could not write fig5.csv: {e}"),
+    let path = out_path("fig5.csv");
+    match std::fs::write(&path, &csv) {
+        Ok(()) => println!("wrote {} ({} rows)", path.display(), points.len()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
     Ok(())
 }

@@ -7,7 +7,7 @@
 //! EEA_EVALS=100000 cargo run -p eea-bench --bin fig6 --release
 //! ```
 
-use eea_bench::{env_u64, env_usize, run_case_study_exploration};
+use eea_bench::{env_u64, env_usize, out_path, run_case_study_exploration};
 use eea_dse::{fig6_csv, fig6_rows, EeaError};
 
 fn main() -> Result<(), EeaError> {
@@ -48,9 +48,10 @@ fn main() -> Result<(), EeaError> {
          inverts the tradeoff (compare the rows above)."
     );
 
-    match std::fs::write("fig6.csv", fig6_csv(&rows)) {
-        Ok(()) => println!("\nwrote fig6.csv ({} rows)", rows.len()),
-        Err(e) => eprintln!("could not write fig6.csv: {e}"),
+    let path = out_path("fig6.csv");
+    match std::fs::write(&path, fig6_csv(&rows)) {
+        Ok(()) => println!("\nwrote {} ({} rows)", path.display(), rows.len()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
     Ok(())
 }

@@ -1,0 +1,168 @@
+//! Fleet-scale diagnosis campaign throughput sweep.
+//!
+//! Builds the shared CUT model, decodes vehicle blueprints from a
+//! case-study exploration front, then runs the same 100k-vehicle campaign
+//! at 1/2/4/8 worker threads. The [`eea_fleet::FleetReport`] is asserted
+//! **bit-identical across the sweep** before any timing is reported;
+//! timings land in `BENCH_fleet.json` (vehicles/s and sessions/s per
+//! thread count, plus the campaign's headline diagnosis statistics).
+//!
+//! ```text
+//! cargo run -p eea-bench --bin fleet_campaign --release
+//! EEA_FLEET_VEHICLES=10000 cargo run -p eea-bench --bin fleet_campaign --release
+//! EEA_OUT_DIR=target/exp cargo run -p eea-bench --bin fleet_campaign --release
+//! ```
+//!
+//! Note: setting `EEA_THREADS` pins *every* sweep point to that worker
+//! count (the workspace-wide override wins over the sweep).
+
+use std::time::Instant;
+
+use eea_bench::{env_u64, env_usize, out_path, run_case_study_exploration};
+use eea_dse::EeaError;
+use eea_fleet::{
+    blueprints_from_front, Campaign, CampaignConfig, CutConfig, CutModel, FleetReport,
+};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct SweepPoint {
+    threads: usize,
+    seconds: f64,
+    vehicles_per_s: f64,
+    sessions_per_s: f64,
+}
+
+fn json_report(report: &FleetReport) -> String {
+    format!(
+        "  \"campaign\": {{\"vehicles\": {}, \"defective\": {}, \"detected\": {}, \"localized\": {}, \
+\"sessions_completed\": {}, \"batches\": {}, \"detection_rate\": {:.4}, \"localization_rate\": {:.4}, \
+\"latency_p50_s\": {:.1}, \"latency_p90_s\": {:.1}, \"latency_p99_s\": {:.1}}}",
+        report.vehicles,
+        report.defective,
+        report.detected,
+        report.localized,
+        report.sessions_completed,
+        report.batches,
+        report.detection_rate(),
+        report.localization_rate(),
+        report.latency.p50_s,
+        report.latency.p90_s,
+        report.latency.p99_s,
+    )
+}
+
+fn main() -> Result<(), EeaError> {
+    let vehicles = env_usize("EEA_FLEET_VEHICLES", 100_000) as u32;
+    let evaluations = env_usize("EEA_FLEET_EVALS", 2_000);
+    let seed = env_u64("EEA_SEED", 2014);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("machine: {cores} core(s) available");
+
+    eprintln!("building CUT model (golden session + per-fault fail data)...");
+    let cut = CutModel::build(CutConfig::default())?;
+    eprintln!(
+        "  {} collapsed faults, {} session-detectable ({:.1} % coverage)",
+        cut.num_faults(),
+        cut.detectable_faults().len(),
+        cut.coverage() * 100.0
+    );
+
+    eprintln!("decoding blueprints from a {evaluations}-evaluation exploration front...");
+    let (_case, diag, result) = run_case_study_exploration(evaluations, seed, 0)?;
+    let blueprints = blueprints_from_front(&diag, &result.front)?;
+    let capable = blueprints.iter().filter(|b| b.is_campaign_capable()).count();
+    eprintln!(
+        "  {} blueprints, {} campaign-capable",
+        blueprints.len(),
+        capable
+    );
+
+    let config = CampaignConfig {
+        vehicles,
+        seed,
+        ..CampaignConfig::default()
+    };
+    eprintln!(
+        "campaign: {vehicles} vehicles, {:.0} % defective, {:.0}-day horizon\n",
+        config.defect_fraction * 100.0,
+        config.horizon_s / 86_400.0
+    );
+
+    let mut points = Vec::new();
+    let mut reference: Option<FleetReport> = None;
+    for &threads in &THREAD_SWEEP {
+        let cfg = CampaignConfig {
+            threads,
+            ..config.clone()
+        };
+        let campaign = Campaign::new(&cut, &blueprints, cfg)?;
+        let start = Instant::now();
+        let report = campaign.run();
+        let seconds = start.elapsed().as_secs_f64();
+        eprintln!(
+            "threads={threads}: {vehicles} vehicles in {seconds:.3} s ({:.0} vehicles/s, {} sessions)",
+            f64::from(vehicles) / seconds,
+            report.sessions_completed
+        );
+        points.push(SweepPoint {
+            threads,
+            seconds,
+            vehicles_per_s: f64::from(vehicles) / seconds,
+            sessions_per_s: report.sessions_completed as f64 / seconds,
+        });
+        match &reference {
+            None => reference = Some(report),
+            Some(r) => assert!(
+                *r == report,
+                "fleet report diverged at {threads} threads — determinism broken"
+            ),
+        }
+    }
+    // The sweep always has at least one point; keep the binary panic-lean
+    // anyway.
+    let Some(report) = reference else {
+        return Ok(());
+    };
+
+    eprintln!(
+        "\n{} defective vehicles, {} detected ({:.1} %), {} localized ({:.1} %), \
+p50 latency {:.1} h",
+        report.defective,
+        report.detected,
+        report.detection_rate() * 100.0,
+        report.localized,
+        report.localization_rate() * 100.0,
+        report.latency.p50_s / 3_600.0
+    );
+
+    let base = points[0].seconds;
+    let sweep: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"seconds\": {:.6}, \"vehicles_per_s\": {:.2}, \
+\"sessions_per_s\": {:.2}, \"speedup_vs_1_thread\": {:.3}}}",
+                p.threads,
+                p.seconds,
+                p.vehicles_per_s,
+                p.sessions_per_s,
+                base / p.seconds
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"machine_cores\": {cores},\n  \"bit_identical_across_sweep\": true,\n{},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        json_report(&report),
+        sweep.join(",\n")
+    );
+    println!("{json}");
+    let path = out_path("BENCH_fleet.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    Ok(())
+}

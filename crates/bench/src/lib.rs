@@ -11,6 +11,9 @@
 //! | `EEA_CUT_GATES` | 1,500 | `table1` CUT size |
 //! | `EEA_PRP_MAX` | 16,384 | `table1` largest PRP count (paper: 500,000) |
 //! | `EEA_THREADS` | auto | worker threads for evaluation (results are bit-identical at any count) |
+//! | `EEA_OUT_DIR` | `.` (repo root) | where `fig5`, `fig6`, `bench_parallel`, `fleet_campaign` write their CSV/JSON artifacts |
+//! | `EEA_FLEET_VEHICLES` | 100,000 | `fleet_campaign` fleet size |
+//! | `EEA_FLEET_EVALS` | 2,000 | `fleet_campaign` exploration budget for the blueprint front |
 
 // Library targets are panic-free by policy (see DESIGN.md, "Error
 // taxonomy"): unwrap/expect/panic! are denied outside test code.
@@ -34,6 +37,25 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Resolves where an experiment artifact (CSV/JSON) lands: inside
+/// `$EEA_OUT_DIR` when the variable is set and non-empty (the directory is
+/// created if missing), the current directory otherwise. Falls back to the
+/// bare name when the directory cannot be created, so binaries keep
+/// working in read-only-ish environments.
+pub fn out_path(name: &str) -> std::path::PathBuf {
+    match std::env::var("EEA_OUT_DIR") {
+        Ok(dir) if !dir.is_empty() => {
+            let dir = std::path::PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("EEA_OUT_DIR {}: {e}; writing to current dir", dir.display());
+                return std::path::PathBuf::from(name);
+            }
+            dir.join(name)
+        }
+        _ => std::path::PathBuf::from(name),
+    }
 }
 
 /// The paper's augmented case study: all 36 Table I profiles on all 15
@@ -90,6 +112,18 @@ mod tests {
         std::env::set_var("EEA_TEST_KNOB", "garbage");
         assert_eq!(env_usize("EEA_TEST_KNOB", 7), 7);
         std::env::remove_var("EEA_TEST_KNOB");
+    }
+
+    #[test]
+    fn out_path_honors_env() {
+        std::env::remove_var("EEA_OUT_DIR");
+        assert_eq!(out_path("x.json"), std::path::PathBuf::from("x.json"));
+        let dir = std::env::temp_dir().join("eea-out-test");
+        std::env::set_var("EEA_OUT_DIR", &dir);
+        assert_eq!(out_path("x.json"), dir.join("x.json"));
+        assert!(dir.is_dir(), "out_path creates the directory");
+        std::env::remove_var("EEA_OUT_DIR");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`StumpsSession`] — a full session: LFSR-fed scan chains, intermediate
 //!   signature windows, and [`FailData`] collection when signatures mismatch
 //!   (the architectural extension of \[9\]/\[10\] for diagnosis),
+//! * [`ResumableRun`] — the same session paused and resumed across a
+//!   vehicle's shut-off windows (the fleet campaign engine's hook),
 //! * [`generate_profiles`] — the **Table I generator**: mixed-mode profiles
 //!   combining `N` pseudo-random patterns with deterministic top-off
 //!   patterns to reach a coverage target, characterised by fault coverage
@@ -50,4 +52,4 @@ pub use paper_data::{paper_table1, PAPER_CUT};
 pub use profile::{
     generate_profiles, BistProfile, CoverageTarget, PaperCutSpec, ProfileConfig, ProfileError,
 };
-pub use stumps::{lfsr_pattern_block, SessionResult, StumpsSession};
+pub use stumps::{lfsr_pattern_block, ResumableRun, SessionResult, StumpsSession};

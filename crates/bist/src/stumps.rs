@@ -206,6 +206,190 @@ impl<'c> StumpsSession<'c> {
     }
 }
 
+/// An in-flight STUMPS session that can be paused and resumed — the
+/// session-resume hook behind the fleet campaign engine (`eea-fleet`).
+///
+/// In the field a BIST session runs inside a vehicle's *shut-off windows*
+/// and rarely fits into one: the paper's Eq. (5) budgets the extra awake
+/// time per shut-off, so a long session must stop at the window's end and
+/// continue in the next one. Because every pattern of a full-scan STUMPS
+/// session is self-contained (the LFSR stream, the scan load, the capture
+/// and the MISR absorption are all per-pattern), the session state that has
+/// to survive a pause is tiny: LFSR state, running MISR, pattern count and
+/// window index. [`advance`](Self::advance) applies any number of patterns
+/// at a time and the result is **bit-identical** to an uninterrupted
+/// [`StumpsSession::run_golden`] / [`StumpsSession::run_with_fault`] run,
+/// regardless of how the session is chopped up.
+///
+/// # Example
+///
+/// ```
+/// use eea_netlist::{synthesize, SynthConfig, ScanChains};
+/// use eea_bist::StumpsSession;
+///
+/// let c = synthesize(&SynthConfig { gates: 120, inputs: 8, dffs: 16, seed: 3, ..SynthConfig::default() }).expect("synthesizes");
+/// let chains = ScanChains::balanced(&c, 4).expect("at least one chain");
+/// let session = StumpsSession::new(&c, &chains, 0xACE1, 16);
+///
+/// // Run 64 patterns split across three shut-off windows.
+/// let mut run = session.resume_golden(64);
+/// run.advance(10);
+/// run.advance(37);
+/// run.advance(u64::MAX); // rest of the session
+/// assert!(run.is_complete());
+/// assert_eq!(run.into_golden(), session.run_golden(64));
+/// ```
+#[derive(Debug)]
+pub struct ResumableRun<'s, 'c> {
+    session: &'s StumpsSession<'c>,
+    target: u64,
+    fault: Option<Fault>,
+    golden: Option<&'s SessionResult>,
+    lfsr: Lfsr,
+    fsim: FaultSim<'c>,
+    misr: Misr,
+    signatures: Vec<u64>,
+    fail: FailData,
+    done: u64,
+    window_idx: u32,
+}
+
+impl<'s, 'c> ResumableRun<'s, 'c> {
+    fn new(
+        session: &'s StumpsSession<'c>,
+        target: u64,
+        fault: Option<Fault>,
+        golden: Option<&'s SessionResult>,
+    ) -> Self {
+        ResumableRun {
+            session,
+            target,
+            fault,
+            golden,
+            lfsr: Lfsr::new32(session.lfsr_seed),
+            fsim: FaultSim::new(session.circuit),
+            misr: Misr::new(),
+            signatures: Vec::new(),
+            fail: FailData::new(),
+            done: 0,
+            window_idx: 0,
+        }
+    }
+
+    /// Applies up to `patterns` further patterns (capped by the session
+    /// target) and returns how many were actually applied.
+    pub fn advance(&mut self, patterns: u64) -> u64 {
+        let todo = patterns.min(self.target - self.done);
+        let mut applied = 0u64;
+        while applied < todo {
+            let count = ((todo - applied).min(64)) as usize;
+            let block = self
+                .session
+                .next_block(&mut self.lfsr, count);
+            self.fsim.run_good(&block);
+            let detect = match self.fault {
+                Some(fault) => self.fsim.detect_mask(fault, &block, false),
+                None => 0,
+            };
+            for j in 0..count {
+                self.session
+                    .compact_response(&mut self.misr, self.fsim.good_sim(), &block, j);
+                if (detect >> j) & 1 == 1 {
+                    self.misr.absorb(1); // corrupt: extra error word
+                }
+                self.done += 1;
+                applied += 1;
+                if self.done.is_multiple_of(self.session.window) {
+                    let sig = self.misr.signature();
+                    match self.golden {
+                        // Golden mode: record the expected response data.
+                        None => self.signatures.push(sig),
+                        // Faulty mode: compare against the expectation; a
+                        // golden result from a mismatched window config has
+                        // no expectation for this window — count it failing.
+                        Some(golden) => match golden.signatures.get(self.window_idx as usize) {
+                            Some(&expected) if sig == expected => {}
+                            _ => self.fail.push(self.window_idx, sig),
+                        },
+                    }
+                    self.misr.reset();
+                    self.window_idx += 1;
+                }
+            }
+        }
+        applied
+    }
+
+    /// Patterns applied so far.
+    pub fn done(&self) -> u64 {
+        self.done
+    }
+
+    /// Patterns still to apply.
+    pub fn remaining(&self) -> u64 {
+        self.target - self.done
+    }
+
+    /// Whether the session target has been reached.
+    pub fn is_complete(&self) -> bool {
+        self.done == self.target
+    }
+
+    /// Signature windows completed so far.
+    pub fn windows_completed(&self) -> u32 {
+        self.window_idx
+    }
+
+    /// The fail data observed **so far** — for a paused faulty run this is
+    /// the partial fail memory after [`windows_completed`]
+    /// (Self::windows_completed) windows; once [`is_complete`]
+    /// (Self::is_complete) it equals [`StumpsSession::run_with_fault`].
+    pub fn fail_data(&self) -> &FailData {
+        &self.fail
+    }
+
+    /// Consumes the run and returns its fail data (partial if the session
+    /// was not driven to completion).
+    pub fn into_fail_data(self) -> FailData {
+        self.fail
+    }
+
+    /// Finishes a golden-mode run into a [`SessionResult`] over the
+    /// patterns applied so far. For a completed run this is bit-identical
+    /// to [`StumpsSession::run_golden`] of the same length.
+    pub fn into_golden(self) -> SessionResult {
+        let final_signature = match self.signatures.last() {
+            Some(&last) if self.done.is_multiple_of(self.session.window) => last,
+            _ => self.misr.signature(),
+        };
+        SessionResult {
+            final_signature,
+            signatures: self.signatures,
+            patterns: self.done,
+        }
+    }
+}
+
+impl<'c> StumpsSession<'c> {
+    /// Starts a resumable fault-free run of `patterns` patterns; drive it
+    /// with [`ResumableRun::advance`].
+    pub fn resume_golden(&self, patterns: u64) -> ResumableRun<'_, 'c> {
+        ResumableRun::new(self, patterns, None, None)
+    }
+
+    /// Starts a resumable faulty run compared against `golden`; drive it
+    /// with [`ResumableRun::advance`]. The partial
+    /// [`fail_data`](ResumableRun::fail_data) after each pause is exactly
+    /// what the ECU's fail memory holds at that point of the session.
+    pub fn resume_with_fault<'s>(
+        &'s self,
+        fault: Fault,
+        golden: &'s SessionResult,
+    ) -> ResumableRun<'s, 'c> {
+        ResumableRun::new(self, golden.patterns, Some(fault), Some(golden))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +453,83 @@ mod tests {
         assert!(!fail.is_pass(), "detected fault must corrupt a signature");
         // The first failing window index is within range.
         assert!((fail.entries()[0].window as usize) < golden.signatures.len());
+    }
+
+    #[test]
+    fn resumable_golden_matches_uninterrupted() {
+        let (c, chains) = setup();
+        let s = StumpsSession::new(&c, &chains, 0xACE1, 16);
+        let reference = s.run_golden(200);
+        // Chop the same session into awkward, uneven resume chunks.
+        let mut run = s.resume_golden(200);
+        for chunk in [1u64, 7, 64, 13, 3, 100, 64] {
+            run.advance(chunk);
+        }
+        assert!(run.is_complete());
+        assert_eq!(run.remaining(), 0);
+        assert_eq!(run.into_golden(), reference);
+    }
+
+    #[test]
+    fn resumable_faulty_matches_uninterrupted() {
+        let (c, chains) = setup();
+        let s = StumpsSession::new(&c, &chains, 0xACE1, 8);
+        let golden = s.run_golden(192);
+        let universe = FaultUniverse::collapsed(&c);
+        let mut checked = 0;
+        for fi in (0..universe.num_faults()).step_by(9) {
+            let fault = universe.fault(fi);
+            let reference = s.run_with_fault(fault, &golden);
+            let mut run = s.resume_with_fault(fault, &golden);
+            while !run.is_complete() {
+                // 5-pattern shut-off windows: worst-case fragmentation.
+                run.advance(5);
+            }
+            assert_eq!(run.fail_data(), &reference);
+            assert_eq!(run.into_fail_data(), reference);
+            checked += 1;
+        }
+        assert!(checked > 5);
+    }
+
+    #[test]
+    fn partial_fail_data_is_window_prefix() {
+        let (c, chains) = setup();
+        let s = StumpsSession::new(&c, &chains, 0xACE1, 8);
+        let golden = s.run_golden(192);
+        let universe = FaultUniverse::collapsed(&c);
+        // Find a fault whose full session fails at least twice.
+        let fault = (0..universe.num_faults())
+            .map(|fi| universe.fault(fi))
+            .find(|&f| s.run_with_fault(f, &golden).entries().len() >= 2)
+            .expect("some fault fails two windows");
+        let full = s.run_with_fault(fault, &golden);
+        // Pause mid-session: the partial fail data is exactly the prefix of
+        // the full one restricted to completed windows.
+        let mut run = s.resume_with_fault(fault, &golden);
+        run.advance(100);
+        let windows_done = run.windows_completed();
+        let expected: Vec<_> = full
+            .entries()
+            .iter()
+            .filter(|e| e.window < windows_done)
+            .copied()
+            .collect();
+        assert_eq!(run.fail_data().entries(), expected.as_slice());
+        // Resuming to completion recovers the full fail data.
+        run.advance(u64::MAX);
+        assert_eq!(run.into_fail_data(), full);
+    }
+
+    #[test]
+    fn zero_advance_is_a_no_op() {
+        let (c, chains) = setup();
+        let s = StumpsSession::new(&c, &chains, 1, 4);
+        let mut run = s.resume_golden(32);
+        assert_eq!(run.advance(0), 0);
+        assert_eq!(run.done(), 0);
+        assert_eq!(run.advance(u64::MAX), 32);
+        assert_eq!(run.windows_completed(), 8);
     }
 
     #[test]

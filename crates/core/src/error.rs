@@ -49,6 +49,14 @@ pub enum EeaError {
     Augment(AugmentError),
     /// Derived-schedule certification (this crate).
     Schedule(ScheduleError),
+    /// Fleet campaign engine (`eea-fleet`, a *downstream* crate). The
+    /// dependency direction — `eea-fleet` builds on this crate — means the
+    /// concrete `FleetError` type cannot appear here without a cycle, so
+    /// the variant carries its rendered message; `eea-fleet` provides the
+    /// `From<FleetError> for EeaError` conversion (orphan-rule-legal since
+    /// `FleetError` is local there), keeping `?` composition intact in
+    /// binaries that mix both layers.
+    Fleet(String),
 }
 
 impl fmt::Display for EeaError {
@@ -61,6 +69,7 @@ impl fmt::Display for EeaError {
             EeaError::Model(e) => write!(f, "model: {e}"),
             EeaError::Augment(e) => write!(f, "augment: {e}"),
             EeaError::Schedule(e) => write!(f, "schedule: {e}"),
+            EeaError::Fleet(msg) => write!(f, "fleet: {msg}"),
         }
     }
 }
@@ -75,6 +84,7 @@ impl Error for EeaError {
             EeaError::Model(e) => Some(e),
             EeaError::Augment(e) => Some(e),
             EeaError::Schedule(e) => Some(e),
+            EeaError::Fleet(_) => None,
         }
     }
 }

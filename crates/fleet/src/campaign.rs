@@ -1,0 +1,401 @@
+//! The deterministic fleet campaign engine.
+//!
+//! [`Campaign::run`] simulates every vehicle's shut-off timeline
+//! worklist-parallel over contiguous index chunks with
+//! [`std::thread::scope`], then feeds the resulting fail-data uploads
+//! through a serial gateway aggregation pipeline (sorted by arrival time,
+//! processed in batches, diagnosed with the shared [`CutModel`]
+//! dictionary). Each vehicle's outcome is a pure function of the campaign
+//! seed and its index — the same discipline as `eea_faultsim::ParFaultSim`
+//! — so the [`FleetReport`] is **bit-identical at any thread count**.
+
+use std::collections::BTreeMap;
+
+use eea_faultsim::resolve_threads;
+use eea_moea::Rng;
+
+use crate::blueprint::VehicleBlueprint;
+use crate::cut::CutModel;
+use crate::error::FleetError;
+use crate::report::{DefectFinding, EcuReport, FleetReport, LatencyStats};
+use crate::shutoff::ShutoffModel;
+use crate::vehicle::{simulate_vehicle, Upload, VehicleOutcome};
+
+/// Number of points of the coverage-over-time curve.
+const COVERAGE_POINTS: usize = 32;
+
+/// Configuration of a fleet campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Fleet size.
+    pub vehicles: u32,
+    /// Fraction of vehicles a defect is seeded into (subject to the drawn
+    /// blueprint offering a diagnosable session).
+    pub defect_fraction: f64,
+    /// Campaign horizon in seconds.
+    pub horizon_s: f64,
+    /// Campaign seed; per-vehicle seeds derive from it.
+    pub seed: u64,
+    /// Worker threads; `0` = auto (all cores, `EEA_THREADS` overrides).
+    pub threads: usize,
+    /// Shut-off event model vehicles draw their schedules from.
+    pub shutoff: ShutoffModel,
+    /// Gateway aggregation batch size (uploads per batch).
+    pub batch_size: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            vehicles: 1_000,
+            defect_fraction: 0.02,
+            horizon_s: 30.0 * 86_400.0,
+            seed: 0xF1EE7CA4,
+            threads: 0,
+            shutoff: ShutoffModel::default(),
+            batch_size: 64,
+        }
+    }
+}
+
+/// A validated, ready-to-run campaign over a CUT model and a blueprint
+/// set.
+#[derive(Debug)]
+pub struct Campaign<'a> {
+    cut: &'a CutModel,
+    blueprints: &'a [VehicleBlueprint],
+    config: CampaignConfig,
+}
+
+impl<'a> Campaign<'a> {
+    /// Validates the configuration against the CUT model and blueprints.
+    ///
+    /// # Errors
+    ///
+    /// * [`FleetError::EmptyFleet`] for zero vehicles,
+    /// * [`FleetError::InvalidHorizon`] for a non-positive or non-finite
+    ///   horizon,
+    /// * [`FleetError::InvalidDefectFraction`] outside `[0, 1]`,
+    /// * [`FleetError::InvalidShutoffModel`] for degenerate window/gap
+    ///   bounds,
+    /// * [`FleetError::ZeroBatchSize`] for a zero gateway batch size,
+    /// * [`FleetError::NoDiagnosableBlueprint`] when no blueprint could
+    ///   ever deliver fail data.
+    pub fn new(
+        cut: &'a CutModel,
+        blueprints: &'a [VehicleBlueprint],
+        config: CampaignConfig,
+    ) -> Result<Self, FleetError> {
+        if config.vehicles == 0 {
+            return Err(FleetError::EmptyFleet);
+        }
+        if !config.horizon_s.is_finite() || config.horizon_s <= 0.0 {
+            return Err(FleetError::InvalidHorizon(config.horizon_s));
+        }
+        if !(0.0..=1.0).contains(&config.defect_fraction) {
+            return Err(FleetError::InvalidDefectFraction(config.defect_fraction));
+        }
+        config.shutoff.validate()?;
+        if config.batch_size == 0 {
+            return Err(FleetError::ZeroBatchSize);
+        }
+        if !blueprints.iter().any(VehicleBlueprint::is_campaign_capable) {
+            return Err(FleetError::NoDiagnosableBlueprint);
+        }
+        Ok(Campaign {
+            cut,
+            blueprints,
+            config,
+        })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Deterministic per-vehicle seed: one SplitMix64 step over the
+    /// campaign seed mixed with the vehicle index. Independent of thread
+    /// count and chunking by construction.
+    fn vehicle_seed(&self, index: u32) -> u64 {
+        let mixed = self
+            .config
+            .seed
+            .wrapping_add(u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Rng::new(mixed).next_u64()
+    }
+
+    /// Runs the campaign and aggregates the fleet report.
+    pub fn run(&self) -> FleetReport {
+        let outcomes = self.simulate_fleet();
+        self.aggregate(&outcomes)
+    }
+
+    /// Simulates all vehicles, worklist-parallel over contiguous index
+    /// chunks; outcomes are merged back in vehicle-index order.
+    fn simulate_fleet(&self) -> Vec<VehicleOutcome> {
+        let n = self.config.vehicles as usize;
+        let threads = resolve_threads(self.config.threads).min(n).max(1);
+        let sim_one = |i: u32| {
+            simulate_vehicle(
+                i,
+                self.blueprints,
+                self.cut,
+                &self.config.shutoff,
+                self.config.defect_fraction,
+                self.config.horizon_s,
+                self.vehicle_seed(i),
+            )
+        };
+        if threads == 1 {
+            return (0..self.config.vehicles).map(sim_one).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let sim_ref = &sim_one;
+        let mut merged: Vec<VehicleOutcome> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move || {
+                    (lo as u32..hi as u32).map(sim_ref).collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(part) => merged.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        merged
+    }
+
+    /// Serial gateway-side aggregation: sort uploads by arrival, process
+    /// in batches, diagnose each against the shared dictionary (cached
+    /// per fault index), then fold the fleet statistics.
+    fn aggregate(&self, outcomes: &[VehicleOutcome]) -> FleetReport {
+        let mut uploads: Vec<Upload> = outcomes.iter().filter_map(|o| o.upload).collect();
+        uploads.sort_by(|a, b| {
+            a.time_s
+                .total_cmp(&b.time_s)
+                .then(a.vehicle.cmp(&b.vehicle))
+        });
+
+        // Diagnosis cache: every vehicle carries the same CUT, so two
+        // uploads of the same fault produce identical fail data.
+        let mut rank_of: BTreeMap<u32, (usize, usize, bool)> = BTreeMap::new();
+        let mut findings = Vec::with_capacity(uploads.len());
+        for (k, up) in uploads.iter().enumerate() {
+            let (candidates, rank, localized) =
+                *rank_of.entry(up.fault_index).or_insert_with(|| {
+                    let cands = self.cut.diagnose(self.cut.fail_data(up.fault_index));
+                    let rank = self.cut.true_fault_rank(up.fault_index).unwrap_or(0);
+                    let localized = self.cut.localizes(up.fault_index);
+                    (cands.len(), rank, localized)
+                });
+            findings.push(DefectFinding {
+                vehicle: up.vehicle,
+                ecu: up.ecu,
+                fault_index: up.fault_index,
+                detected_at_s: up.time_s,
+                batch: (k / self.config.batch_size) as u32,
+                candidates,
+                true_fault_rank: rank,
+                localized,
+            });
+        }
+        let batches = uploads.len().div_ceil(self.config.batch_size) as u32;
+
+        let defective = outcomes.iter().filter(|o| o.defect.is_some()).count() as u32;
+        let detected = findings.len() as u32;
+        let localized = findings.iter().filter(|f| f.localized).count() as u32;
+
+        let latencies: Vec<f64> = findings.iter().map(|f| f.detected_at_s).collect();
+        let latency = LatencyStats::from_sorted(&latencies);
+
+        // Coverage over time at fixed horizon fractions; uploads are
+        // already time-sorted, so one forward scan suffices.
+        let mut coverage_over_time = Vec::with_capacity(COVERAGE_POINTS);
+        let mut seen = 0usize;
+        for p in 1..=COVERAGE_POINTS {
+            let t = self.config.horizon_s * p as f64 / COVERAGE_POINTS as f64;
+            while seen < latencies.len() && latencies[seen] <= t {
+                seen += 1;
+            }
+            let frac = if defective == 0 {
+                0.0
+            } else {
+                seen as f64 / f64::from(defective)
+            };
+            coverage_over_time.push((t, frac));
+        }
+
+        // Per-ECU aggregation.
+        let mut per_ecu_map: BTreeMap<eea_model::ResourceId, EcuAcc> = BTreeMap::new();
+        for o in outcomes {
+            if let Some(d) = o.defect {
+                per_ecu_map.entry(d.ecu).or_default().seeded += 1;
+            }
+        }
+        for f in &findings {
+            let acc = per_ecu_map.entry(f.ecu).or_default();
+            acc.detected += 1;
+            acc.localized += u32::from(f.localized);
+            acc.latency_sum += f.detected_at_s;
+            *acc.fault_counts.entry(f.fault_index).or_insert(0) += 1;
+        }
+        let per_ecu = per_ecu_map
+            .into_iter()
+            .map(|(ecu, acc)| {
+                let mut top_faults: Vec<(u32, u32)> = acc.fault_counts.into_iter().collect();
+                top_faults.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                EcuReport {
+                    ecu,
+                    seeded: acc.seeded,
+                    detected: acc.detected,
+                    localized: acc.localized,
+                    mean_latency_s: if acc.detected == 0 {
+                        0.0
+                    } else {
+                        acc.latency_sum / f64::from(acc.detected)
+                    },
+                    top_faults,
+                }
+            })
+            .collect();
+
+        FleetReport {
+            vehicles: self.config.vehicles,
+            defective,
+            detected,
+            localized,
+            sessions_completed: outcomes.iter().map(|o| u64::from(o.sessions_completed)).sum(),
+            windows_used: outcomes.iter().map(|o| u64::from(o.windows_used)).sum(),
+            bist_time_s: outcomes.iter().map(|o| o.bist_time_s).sum(),
+            batches,
+            latency,
+            coverage_over_time,
+            per_ecu,
+            findings,
+        }
+    }
+}
+
+#[derive(Default)]
+struct EcuAcc {
+    seeded: u32,
+    detected: u32,
+    localized: u32,
+    latency_sum: f64,
+    fault_counts: BTreeMap<u32, u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::EcuSessionPlan;
+    use crate::cut::CutConfig;
+    use eea_model::ResourceId;
+
+    fn small_cut() -> CutModel {
+        CutModel::build(CutConfig {
+            gates: 80,
+            patterns: 64,
+            window: 8,
+            ..CutConfig::default()
+        })
+        .expect("substrate builds")
+    }
+
+    fn capable_blueprint() -> VehicleBlueprint {
+        VehicleBlueprint {
+            implementation_index: 0,
+            sessions: vec![EcuSessionPlan {
+                ecu: ResourceId::from_index(2),
+                profile_id: 1,
+                coverage: 0.99,
+                session_s: 0.005,
+                transfer_s: 900.0,
+                local_storage: false,
+                upload_bandwidth_bytes_per_s: 200.0,
+            }],
+            shutoff_budget_s: 2_000.0,
+        }
+    }
+
+    #[test]
+    fn config_validation_catches_degenerate_campaigns() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let bad = |f: fn(&mut CampaignConfig)| {
+            let mut cfg = CampaignConfig::default();
+            f(&mut cfg);
+            Campaign::new(&cut, &bp, cfg).err()
+        };
+        assert_eq!(bad(|c| c.vehicles = 0), Some(FleetError::EmptyFleet));
+        assert_eq!(
+            bad(|c| c.horizon_s = -1.0),
+            Some(FleetError::InvalidHorizon(-1.0))
+        );
+        assert_eq!(
+            bad(|c| c.defect_fraction = 1.5),
+            Some(FleetError::InvalidDefectFraction(1.5))
+        );
+        assert_eq!(bad(|c| c.batch_size = 0), Some(FleetError::ZeroBatchSize));
+        let mut incapable = capable_blueprint();
+        incapable.sessions[0].upload_bandwidth_bytes_per_s = 0.0;
+        assert_eq!(
+            Campaign::new(&cut, &[incapable], CampaignConfig::default()).err(),
+            Some(FleetError::NoDiagnosableBlueprint)
+        );
+    }
+
+    #[test]
+    fn seeded_defects_are_detected_and_localized() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let cfg = CampaignConfig {
+            vehicles: 200,
+            defect_fraction: 0.25,
+            horizon_s: 14.0 * 86_400.0,
+            seed: 11,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let report = Campaign::new(&cut, &bp, cfg).expect("valid").run();
+        assert!(report.defective > 0, "fraction 0.25 of 200 seeds defects");
+        assert_eq!(report.detected, report.defective, "horizon is generous");
+        assert_eq!(report.localized, report.detected);
+        assert_eq!(report.latency.count, report.detected);
+        assert!(report.latency.min_s > 0.0);
+        let last = report.coverage_over_time.last().expect("curve non-empty");
+        assert!((last.1 - 1.0).abs() < 1e-12);
+        assert_eq!(report.per_ecu.len(), 1);
+        assert_eq!(report.per_ecu[0].seeded, report.defective);
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_thread_counts() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let mut cfg = CampaignConfig {
+            vehicles: 300,
+            defect_fraction: 0.1,
+            horizon_s: 7.0 * 86_400.0,
+            seed: 5,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let baseline = Campaign::new(&cut, &bp, cfg.clone()).expect("valid").run();
+        for threads in [2, 3, 8] {
+            cfg.threads = threads;
+            let report = Campaign::new(&cut, &bp, cfg.clone()).expect("valid").run();
+            assert_eq!(report, baseline, "threads={threads}");
+        }
+    }
+}

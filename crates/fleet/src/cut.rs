@@ -1,0 +1,300 @@
+//! The shared circuit-under-test substrate of a campaign.
+//!
+//! The paper's case study binds the *same* CUT (an automotive
+//! microprocessor) into every ECU, so fleet-scale simulation does not need
+//! gate-level work per vehicle: [`CutModel::build`] synthesizes one
+//! substrate circuit, runs the golden STUMPS session once, and precomputes
+//! the [`FailData`] of **every collapsed stuck-at fault** through the
+//! resumable-session hook ([`eea_bist::ResumableRun`]) — deliberately
+//! advancing in uneven chunks, exactly the way a vehicle's shut-off
+//! windows slice a session. Per-pattern independence of the full-scan
+//! STUMPS architecture makes the result bit-identical to an uninterrupted
+//! run, so the table is valid for *any* window schedule a vehicle draws.
+//!
+//! A campaign over 100k vehicles then only consults this table: seeding a
+//! defect picks a detectable fault index, the upload carries the
+//! precomputed fail-data size, and gateway-side diagnosis reuses one
+//! [`Diagnoser`] dictionary.
+
+use eea_bist::{Candidate, Diagnoser, FailData, StumpsSession};
+use eea_faultsim::{Fault, FaultUniverse};
+use eea_netlist::{synthesize, Circuit, ScanChains, SynthConfig};
+
+use crate::error::FleetError;
+
+/// Configuration of the substrate CUT and its BIST session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutConfig {
+    /// Number of logic gates of the synthesized substrate.
+    pub gates: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of scan flip-flops.
+    pub dffs: usize,
+    /// Number of balanced scan chains (STUMPS parallelism).
+    pub chains: usize,
+    /// Synthesis seed; equal seeds produce identical substrates.
+    pub seed: u64,
+    /// LFSR seed of the pseudo-random session.
+    pub lfsr_seed: u64,
+    /// Patterns per intermediate-signature window.
+    pub window: u64,
+    /// Session length in patterns.
+    pub patterns: u64,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        CutConfig {
+            gates: 150,
+            inputs: 10,
+            dffs: 12,
+            chains: 4,
+            seed: 0xF1EE7,
+            lfsr_seed: 0xACE1,
+            window: 16,
+            patterns: 256,
+        }
+    }
+}
+
+/// Precomputed per-fault behaviour of the shared CUT under the campaign's
+/// BIST session: fail data, detectability and the diagnosis dictionary.
+#[derive(Debug)]
+pub struct CutModel {
+    config: CutConfig,
+    circuit: Circuit,
+    faults: Vec<Fault>,
+    fail_table: Vec<FailData>,
+    detectable: Vec<u32>,
+    diagnoser: Diagnoser,
+}
+
+impl CutModel {
+    /// Synthesizes the substrate, runs the golden session and fills the
+    /// per-fault fail-data table by driving [`eea_bist::ResumableRun`] in
+    /// uneven chunks (the shut-off discipline vehicles will apply).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Synth`] / [`FleetError::Scan`] when the substrate
+    /// cannot be built, [`FleetError::NoDetectableFault`] when the session
+    /// detects no fault at all (nothing could ever be seeded).
+    pub fn build(config: CutConfig) -> Result<Self, FleetError> {
+        let circuit = synthesize(&SynthConfig {
+            gates: config.gates,
+            inputs: config.inputs,
+            dffs: config.dffs,
+            seed: config.seed,
+            ..SynthConfig::default()
+        })?;
+        let chains = ScanChains::balanced(&circuit, config.chains)?;
+        let session = StumpsSession::new(&circuit, &chains, config.lfsr_seed, config.window);
+
+        // Golden run through the resumable hook, paused at uneven points.
+        let mut run = session.resume_golden(config.patterns);
+        while !run.is_complete() {
+            run.advance(run.remaining().clamp(1, 48));
+        }
+        let golden = run.into_golden();
+
+        let universe = FaultUniverse::collapsed(&circuit);
+        let faults: Vec<Fault> = (0..universe.num_faults()).map(|i| universe.fault(i)).collect();
+        let mut fail_table = Vec::with_capacity(faults.len());
+        let mut detectable = Vec::new();
+        for (i, &fault) in faults.iter().enumerate() {
+            let mut run = session.resume_with_fault(fault, &golden);
+            // Chunk sizes cycle through a small irregular pattern so the
+            // resume path is exercised at many window offsets.
+            let chunks = [7u64, 64, 13, 48, 96];
+            let mut k = 0usize;
+            while !run.is_complete() {
+                run.advance(chunks[k % chunks.len()]);
+                k += 1;
+            }
+            let fail = run.into_fail_data();
+            if !fail.is_pass() {
+                detectable.push(i as u32);
+            }
+            fail_table.push(fail);
+        }
+        if detectable.is_empty() {
+            return Err(FleetError::NoDetectableFault);
+        }
+
+        let diagnoser = Diagnoser::new(
+            &circuit,
+            &chains,
+            config.lfsr_seed,
+            config.window,
+            config.patterns,
+        );
+
+        Ok(CutModel {
+            config,
+            circuit,
+            faults,
+            fail_table,
+            detectable,
+            diagnoser,
+        })
+    }
+
+    /// The configuration the model was built from.
+    pub fn config(&self) -> &CutConfig {
+        &self.config
+    }
+
+    /// The synthesized substrate circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Number of collapsed stuck-at faults of the substrate.
+    pub fn num_faults(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The `i`-th collapsed fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn fault(&self, i: u32) -> Fault {
+        self.faults[i as usize]
+    }
+
+    /// The precomputed fail data of fault `i` under the campaign session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn fail_data(&self, i: u32) -> &FailData {
+        &self.fail_table[i as usize]
+    }
+
+    /// Encoded fail-data size (bytes) a defective ECU uploads for fault
+    /// `i` — zero when the session passes (nothing to upload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn fail_bytes(&self, i: u32) -> u64 {
+        self.fail_table[i as usize].byte_size()
+    }
+
+    /// Indices of faults the session detects — the pool defects are
+    /// seeded from. Non-empty by construction.
+    pub fn detectable_faults(&self) -> &[u32] {
+        &self.detectable
+    }
+
+    /// Session-level stuck-at coverage of the substrate: detected /
+    /// collapsed.
+    pub fn coverage(&self) -> f64 {
+        self.detectable.len() as f64 / self.faults.len().max(1) as f64
+    }
+
+    /// Runs window-based logic diagnosis on uploaded fail data, returning
+    /// scored candidates (best first).
+    pub fn diagnose(&self, observed: &FailData) -> Vec<Candidate> {
+        self.diagnoser.diagnose(observed)
+    }
+
+    /// Whether diagnosis of fault `i`'s own fail data ranks fault `i` in
+    /// the top-scoring equivalence class — the paper's localization
+    /// criterion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn localizes(&self, i: u32) -> bool {
+        let observed = &self.fail_table[i as usize];
+        let candidates = self.diagnoser.diagnose(observed);
+        let Some(top) = candidates.first() else {
+            return false;
+        };
+        let fault = self.faults[i as usize];
+        candidates
+            .iter()
+            .take_while(|c| c.score == top.score)
+            .any(|c| c.fault == fault)
+    }
+
+    /// Rank (1-based) of fault `i` in the diagnosis of its own fail data,
+    /// counting equivalence classes by score; `None` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn true_fault_rank(&self, i: u32) -> Option<usize> {
+        let candidates = self.diagnoser.diagnose(&self.fail_table[i as usize]);
+        let fault = self.faults[i as usize];
+        let pos = candidates.iter().position(|c| c.fault == fault)?;
+        let score = candidates[pos].score;
+        // Candidates are sorted by score descending; the class rank is one
+        // plus the number of distinct scores strictly above the fault's.
+        let mut rank = 1usize;
+        let mut prev = f64::INFINITY;
+        for c in candidates.iter().take_while(|c| c.score > score) {
+            if c.score < prev {
+                rank += 1;
+                prev = c.score;
+            }
+        }
+        Some(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_detectable_faults() {
+        let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
+        assert!(cut.num_faults() > 0);
+        assert!(!cut.detectable_faults().is_empty());
+        assert!(cut.coverage() > 0.5, "random session detects most faults");
+    }
+
+    #[test]
+    fn fail_table_matches_uninterrupted_runs() {
+        let cfg = CutConfig {
+            gates: 80,
+            patterns: 64,
+            window: 8,
+            ..CutConfig::default()
+        };
+        let cut = CutModel::build(cfg).expect("substrate builds");
+        let chains = ScanChains::balanced(&cut.circuit, cfg.chains).expect("chains");
+        let session = StumpsSession::new(&cut.circuit, &chains, cfg.lfsr_seed, cfg.window);
+        let golden = session.run_golden(cfg.patterns);
+        for i in 0..cut.num_faults() as u32 {
+            let direct = session.run_with_fault(cut.fault(i), &golden);
+            assert_eq!(direct.entries(), cut.fail_data(i).entries());
+        }
+    }
+
+    #[test]
+    fn detectable_faults_localize_mostly() {
+        let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
+        let localized = cut
+            .detectable_faults()
+            .iter()
+            .filter(|&&i| cut.localizes(i))
+            .count();
+        // Window-based diagnosis always ranks the true fault in the top
+        // equivalence class of its own response (Jaccard similarity 1).
+        assert_eq!(localized, cut.detectable_faults().len());
+    }
+
+    #[test]
+    fn seeding_pool_excludes_passing_faults() {
+        let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
+        for &i in cut.detectable_faults() {
+            assert!(!cut.fail_data(i).is_pass());
+            assert!(cut.fail_bytes(i) > 0);
+        }
+    }
+}

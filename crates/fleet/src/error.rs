@@ -1,0 +1,131 @@
+//! The fleet engine's typed error enum, converging into
+//! [`eea_dse::EeaError`] like every other layer of the workspace (see
+//! DESIGN.md §7/§8).
+
+use std::error::Error;
+use std::fmt;
+
+use eea_can::MirrorError;
+use eea_dse::EeaError;
+use eea_netlist::{ScanError, SynthError};
+
+/// Error of the fleet campaign engine. Everything a hostile campaign
+/// configuration or a degenerate design-space front can trigger surfaces
+/// here as a typed value; the library layer never panics (policy header in
+/// `lib.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The campaign requests zero vehicles.
+    EmptyFleet,
+    /// The campaign horizon is not a positive finite duration.
+    InvalidHorizon(f64),
+    /// The defect fraction lies outside `[0, 1]`.
+    InvalidDefectFraction(f64),
+    /// The shut-off window model is degenerate (non-positive or inverted
+    /// window/gap bounds).
+    InvalidShutoffModel,
+    /// The gateway batch size is zero — uploads could never drain.
+    ZeroBatchSize,
+    /// No blueprint of the exploration front carries a diagnosable BIST
+    /// session (finite transfer time and non-zero upload bandwidth), so no
+    /// vehicle could ever produce fail data.
+    NoDiagnosableBlueprint,
+    /// The substrate CUT has no session-detectable fault — seeding defects
+    /// would be meaningless.
+    NoDetectableFault,
+    /// Substrate CUT synthesis failed.
+    Synth(SynthError),
+    /// Scan-chain insertion on the substrate CUT failed.
+    Scan(ScanError),
+    /// Schedule mirroring of a blueprint's functional messages failed.
+    Mirror(MirrorError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::EmptyFleet => write!(f, "campaign needs at least one vehicle"),
+            FleetError::InvalidHorizon(h) => {
+                write!(f, "campaign horizon must be positive and finite, got {h}")
+            }
+            FleetError::InvalidDefectFraction(p) => {
+                write!(f, "defect fraction must lie in [0, 1], got {p}")
+            }
+            FleetError::InvalidShutoffModel => {
+                write!(f, "shut-off window model has non-positive or inverted bounds")
+            }
+            FleetError::ZeroBatchSize => write!(f, "gateway upload batch size must be positive"),
+            FleetError::NoDiagnosableBlueprint => write!(
+                f,
+                "no blueprint carries a diagnosable BIST session (finite transfer, non-zero upload bandwidth)"
+            ),
+            FleetError::NoDetectableFault => {
+                write!(f, "substrate CUT has no session-detectable fault to seed")
+            }
+            FleetError::Synth(e) => write!(f, "substrate synthesis: {e}"),
+            FleetError::Scan(e) => write!(f, "substrate scan insertion: {e}"),
+            FleetError::Mirror(e) => write!(f, "blueprint mirroring: {e}"),
+        }
+    }
+}
+
+impl Error for FleetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FleetError::Synth(e) => Some(e),
+            FleetError::Scan(e) => Some(e),
+            FleetError::Mirror(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SynthError> for FleetError {
+    fn from(e: SynthError) -> Self {
+        FleetError::Synth(e)
+    }
+}
+
+impl From<ScanError> for FleetError {
+    fn from(e: ScanError) -> Self {
+        FleetError::Scan(e)
+    }
+}
+
+impl From<MirrorError> for FleetError {
+    fn from(e: MirrorError) -> Self {
+        FleetError::Mirror(e)
+    }
+}
+
+/// Convergence into the workspace-wide taxonomy: the dependency direction
+/// (`eea-fleet` builds *on* `eea-dse`) keeps the concrete type out of
+/// [`EeaError`], so the conversion renders the message into the dedicated
+/// `Fleet` variant. `?` in a `fn main() -> Result<_, EeaError>` binary
+/// composes across both layers.
+impl From<FleetError> for EeaError {
+    fn from(e: FleetError) -> Self {
+        EeaError::Fleet(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_into_eea_error() {
+        let e: EeaError = FleetError::EmptyFleet.into();
+        assert!(matches!(e, EeaError::Fleet(_)));
+        assert!(e.to_string().contains("fleet:"));
+        assert!(e.to_string().contains("at least one vehicle"));
+    }
+
+    #[test]
+    fn sources_wrap_layers() {
+        let e = FleetError::Mirror(MirrorError::NoMessages);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("mirroring"));
+        assert!(FleetError::EmptyFleet.source().is_none());
+    }
+}

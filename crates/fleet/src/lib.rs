@@ -1,0 +1,71 @@
+// Library targets are panic-free by policy (see DESIGN.md, "Error
+// taxonomy"): unwrap/expect/panic! are denied outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+//! # eea-fleet — deterministic fleet-scale diagnosis campaign engine
+//!
+//! End-to-end simulation of the diagnosis lifecycle the paper motivates
+//! but never scales: a vehicle **fleet** whose E/E-architectures carry the
+//! BIST infrastructure selected by the design-space exploration, running
+//! sessions in shut-off windows, streaming fail data over mirrored CAN
+//! schedules, and converging on fault candidates at a central gateway.
+//!
+//! The pipeline (DESIGN.md §8):
+//!
+//! 1. [`CutModel`] — the shared circuit-under-test: golden session, per-
+//!    collapsed-fault fail data (computed through
+//!    [`eea_bist::ResumableRun`], the shut-off discipline in miniature)
+//!    and the diagnosis dictionary, all precomputed once,
+//! 2. [`blueprints_from_front`] — Pareto-front implementations flattened
+//!    into per-vehicle session plans with *constructed* mirror schedules
+//!    (Eq. (1) transfer and upload bandwidth from
+//!    [`eea_can::mirror_messages_auto`], not assumed),
+//! 3. [`ShutoffModel`] — per-vehicle driving/parked alternation,
+//! 4. [`Campaign`] — seeded fleet generation, worklist-parallel vehicle
+//!    timelines (`std::thread::scope`, contiguous chunks, per-vehicle
+//!    SplitMix64 seeds) and the serial gateway aggregation pipeline,
+//! 5. [`FleetReport`] — detection-latency distribution, per-ECU candidate
+//!    rankings, campaign coverage over time; bit-identical at any thread
+//!    count.
+//!
+//! # Example
+//!
+//! ```
+//! use eea_fleet::{
+//!     blueprints_from_front, Campaign, CampaignConfig, CutConfig, CutModel,
+//! };
+//!
+//! # fn main() -> Result<(), eea_dse::EeaError> {
+//! let cut = CutModel::build(CutConfig::default())?;
+//! let case = eea_model::paper_case_study();
+//! let diag = eea_dse::augment::augment(&case, &eea_bist::paper_table1()[..4])?;
+//! let mut dse = eea_dse::explore::DseConfig::default();
+//! dse.nsga2.population = 16;
+//! dse.nsga2.evaluations = 160;
+//! let front = eea_dse::explore::explore(&diag, &dse, |_, _| {}).front;
+//! let blueprints = blueprints_from_front(&diag, &front)?;
+//!
+//! let mut cfg = CampaignConfig::default();
+//! cfg.vehicles = 100;
+//! cfg.threads = 1;
+//! let report = Campaign::new(&cut, &blueprints, cfg)?.run();
+//! assert_eq!(report.vehicles, 100);
+//! # Ok(())
+//! # }
+//! ```
+
+mod blueprint;
+mod campaign;
+mod cut;
+mod error;
+mod report;
+mod shutoff;
+mod vehicle;
+
+pub use blueprint::{blueprints_from_front, EcuSessionPlan, VehicleBlueprint};
+pub use campaign::{Campaign, CampaignConfig};
+pub use cut::{CutConfig, CutModel};
+pub use error::FleetError;
+pub use report::{DefectFinding, EcuReport, FleetReport, LatencyStats};
+pub use shutoff::ShutoffModel;
+pub use vehicle::{DefectSeed, Upload, VehicleOutcome};

@@ -1,0 +1,180 @@
+//! Fleet campaign reports.
+//!
+//! Everything the gateway-side aggregation produces: detection-latency
+//! distribution, per-ECU candidate rankings and the campaign's coverage
+//! curve over time. All types derive `PartialEq` and carry **no** timing
+//! or thread-count fields, so a report is comparable bit-for-bit across
+//! thread counts — the determinism contract tests and benches assert.
+
+use eea_model::ResourceId;
+
+/// Summary statistics of the detection-latency distribution (seconds from
+/// campaign start to fail-data arrival at the gateway).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of detections the statistics cover.
+    pub count: u32,
+    /// Shortest observed latency.
+    pub min_s: f64,
+    /// Longest observed latency.
+    pub max_s: f64,
+    /// Arithmetic mean.
+    pub mean_s: f64,
+    /// Median (50th percentile).
+    pub p50_s: f64,
+    /// 90th percentile.
+    pub p90_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+}
+
+impl LatencyStats {
+    /// Computes the statistics from latencies sorted ascending. Returns
+    /// all-zero stats for an empty slice.
+    pub(crate) fn from_sorted(sorted: &[f64]) -> Self {
+        let n = sorted.len();
+        if n == 0 {
+            return LatencyStats {
+                count: 0,
+                min_s: 0.0,
+                max_s: 0.0,
+                mean_s: 0.0,
+                p50_s: 0.0,
+                p90_s: 0.0,
+                p99_s: 0.0,
+            };
+        }
+        let pick = |q: f64| sorted[(((n - 1) as f64) * q).round() as usize];
+        LatencyStats {
+            count: n as u32,
+            min_s: sorted[0],
+            max_s: sorted[n - 1],
+            mean_s: sorted.iter().sum::<f64>() / n as f64,
+            p50_s: pick(0.50),
+            p90_s: pick(0.90),
+            p99_s: pick(0.99),
+        }
+    }
+}
+
+/// One diagnosed defect, as the aggregation pipeline saw it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefectFinding {
+    /// The reporting vehicle.
+    pub vehicle: u32,
+    /// The defective ECU.
+    pub ecu: ResourceId,
+    /// Index of the seeded fault in the campaign's CUT model.
+    pub fault_index: u32,
+    /// Absolute campaign time of the fail-data upload.
+    pub detected_at_s: f64,
+    /// Gateway batch the upload was processed in (0-based).
+    pub batch: u32,
+    /// Number of candidate faults diagnosis returned.
+    pub candidates: usize,
+    /// Rank (1-based, by score class) of the true fault among the
+    /// candidates; `0` when diagnosis missed it entirely.
+    pub true_fault_rank: usize,
+    /// Whether the true fault sits in the top-scoring equivalence class.
+    pub localized: bool,
+}
+
+/// Per-ECU aggregation over all findings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcuReport {
+    /// The ECU.
+    pub ecu: ResourceId,
+    /// Defects seeded on this ECU (whether or not detected).
+    pub seeded: u32,
+    /// Defects whose fail data reached the gateway within the horizon.
+    pub detected: u32,
+    /// Detected defects whose true fault topped the candidate ranking.
+    pub localized: u32,
+    /// Mean detection latency of this ECU's detections (0 when none).
+    pub mean_latency_s: f64,
+    /// Most frequently diagnosed fault indices on this ECU, with counts,
+    /// sorted by count descending then fault index — the campaign-level
+    /// candidate ranking.
+    pub top_faults: Vec<(u32, u32)>,
+}
+
+/// The complete result of a fleet campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Fleet size.
+    pub vehicles: u32,
+    /// Vehicles carrying a seeded defect.
+    pub defective: u32,
+    /// Defective vehicles whose fail data reached the gateway in time.
+    pub detected: u32,
+    /// Detected defects with the true fault in the top score class.
+    pub localized: u32,
+    /// BIST sessions completed fleet-wide (uploads included).
+    pub sessions_completed: u64,
+    /// Shut-off windows in which BIST made progress, fleet-wide.
+    pub windows_used: u64,
+    /// Total BIST time consumed fleet-wide (seconds).
+    pub bist_time_s: f64,
+    /// Gateway batches processed.
+    pub batches: u32,
+    /// Detection-latency distribution.
+    pub latency: LatencyStats,
+    /// Campaign coverage over time: `(time, detected fraction of seeded
+    /// defects)` at fixed fractions of the horizon, last point at the
+    /// horizon itself.
+    pub coverage_over_time: Vec<(f64, f64)>,
+    /// Per-ECU aggregation, sorted by ECU id.
+    pub per_ecu: Vec<EcuReport>,
+    /// Every diagnosed defect, in gateway-arrival order.
+    pub findings: Vec<DefectFinding>,
+}
+
+impl FleetReport {
+    /// Fraction of seeded defects detected within the horizon.
+    pub fn detection_rate(&self) -> f64 {
+        if self.defective == 0 {
+            0.0
+        } else {
+            f64::from(self.detected) / f64::from(self.defective)
+        }
+    }
+
+    /// Fraction of detected defects whose true fault topped the ranking.
+    pub fn localization_rate(&self) -> f64 {
+        if self.detected == 0 {
+            0.0
+        } else {
+            f64::from(self.localized) / f64::from(self.detected)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_of_empty_and_singleton() {
+        let empty = LatencyStats::from_sorted(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean_s, 0.0);
+        let one = LatencyStats::from_sorted(&[7.5]);
+        assert_eq!(one.count, 1);
+        assert_eq!(one.min_s, 7.5);
+        assert_eq!(one.max_s, 7.5);
+        assert_eq!(one.p99_s, 7.5);
+    }
+
+    #[test]
+    fn latency_percentiles_are_order_statistics() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = LatencyStats::from_sorted(&sorted);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min_s, 1.0);
+        assert_eq!(s.max_s, 100.0);
+        assert_eq!(s.p50_s, 51.0);
+        assert_eq!(s.p90_s, 90.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert!((s.mean_s - 50.5).abs() < 1e-12);
+    }
+}

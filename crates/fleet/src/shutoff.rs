@@ -1,0 +1,112 @@
+//! Shut-off event model.
+//!
+//! The paper runs BIST sessions while a vehicle is parked and the ECU
+//! would otherwise power down — the *shut-off* events of Eq. (5). A fleet
+//! campaign sees each vehicle alternate between driving gaps (no BIST)
+//! and shut-off windows (BIST may run, up to the implementation's Eq. (5)
+//! shut-off budget per window). Windows and gaps are drawn uniformly from
+//! per-vehicle ranges with the vehicle's own seeded RNG, so the schedule
+//! is deterministic per vehicle and independent of thread count.
+
+use eea_moea::Rng;
+
+use crate::error::FleetError;
+
+/// Uniform ranges (seconds) the per-vehicle shut-off schedule is drawn
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShutoffModel {
+    /// Shortest driving gap between two shut-off events.
+    pub min_gap_s: f64,
+    /// Longest driving gap between two shut-off events.
+    pub max_gap_s: f64,
+    /// Shortest shut-off window.
+    pub min_window_s: f64,
+    /// Longest shut-off window.
+    pub max_window_s: f64,
+}
+
+impl Default for ShutoffModel {
+    fn default() -> Self {
+        // A commuter-style duty cycle: parked 10 min – 30 min several
+        // times a day, driving 1 h – 3 h in between.
+        ShutoffModel {
+            min_gap_s: 3_600.0,
+            max_gap_s: 10_800.0,
+            min_window_s: 600.0,
+            max_window_s: 1_800.0,
+        }
+    }
+}
+
+impl ShutoffModel {
+    /// Validates the ranges: positive, finite, not inverted.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InvalidShutoffModel`] on degenerate bounds.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        let bounds = [
+            self.min_gap_s,
+            self.max_gap_s,
+            self.min_window_s,
+            self.max_window_s,
+        ];
+        if bounds.iter().any(|b| !b.is_finite() || *b <= 0.0)
+            || self.min_gap_s > self.max_gap_s
+            || self.min_window_s > self.max_window_s
+        {
+            return Err(FleetError::InvalidShutoffModel);
+        }
+        Ok(())
+    }
+
+    /// Draws the next (driving gap, shut-off window) pair.
+    pub fn next_event(&self, rng: &mut Rng) -> (f64, f64) {
+        let gap = self.min_gap_s + rng.unit() * (self.max_gap_s - self.min_gap_s);
+        let window = self.min_window_s + rng.unit() * (self.max_window_s - self.min_window_s);
+        (gap, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_valid() {
+        assert!(ShutoffModel::default().validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_models_are_rejected() {
+        let m = ShutoffModel {
+            min_window_s: 0.0,
+            ..ShutoffModel::default()
+        };
+        assert_eq!(m.validate(), Err(FleetError::InvalidShutoffModel));
+        let m = ShutoffModel {
+            min_gap_s: ShutoffModel::default().max_gap_s + 1.0,
+            ..ShutoffModel::default()
+        };
+        assert_eq!(m.validate(), Err(FleetError::InvalidShutoffModel));
+        let m = ShutoffModel {
+            max_window_s: f64::INFINITY,
+            ..ShutoffModel::default()
+        };
+        assert_eq!(m.validate(), Err(FleetError::InvalidShutoffModel));
+    }
+
+    #[test]
+    fn draws_stay_in_range_and_are_seed_deterministic() {
+        let m = ShutoffModel::default();
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            let (gap, win) = m.next_event(&mut a);
+            assert!((m.min_gap_s..=m.max_gap_s).contains(&gap));
+            assert!((m.min_window_s..=m.max_window_s).contains(&win));
+            assert_eq!((gap, win), m.next_event(&mut b));
+        }
+    }
+}

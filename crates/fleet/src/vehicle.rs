@@ -1,0 +1,271 @@
+//! Per-vehicle campaign timeline.
+//!
+//! Each vehicle owns a deterministic RNG seeded from the campaign seed and
+//! its index, draws a blueprint, possibly a seeded defect, and then runs
+//! its BIST sessions as a **sequential work queue** across shut-off
+//! windows: pattern transfer (Eq. 1), session runtime `l(b)`, and — when
+//! the session fails — the fail-data upload over the same mirrored
+//! schedule. A window contributes at most `min(window length, Eq. (5)
+//! shut-off budget)` seconds of BIST time; unfinished work resumes in the
+//! next window exactly like [`eea_bist::ResumableRun`] resumes the
+//! pattern stream (per-pattern independence makes the cut irrelevant to
+//! the session result, which is why the precomputed fail data of
+//! [`crate::CutModel`] stays valid here).
+
+use eea_model::ResourceId;
+use eea_moea::Rng;
+
+use crate::blueprint::VehicleBlueprint;
+use crate::cut::CutModel;
+use crate::shutoff::ShutoffModel;
+
+/// A defect seeded into a vehicle: one collapsed stuck-at fault of the
+/// shared CUT, placed on one diagnosable ECU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefectSeed {
+    /// Index into the [`CutModel`] fault list (session-detectable by
+    /// construction).
+    pub fault_index: u32,
+    /// The defective ECU.
+    pub ecu: ResourceId,
+    /// Index of the affected session plan in the blueprint.
+    pub plan: usize,
+}
+
+/// A fail-data upload arriving at the gateway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Upload {
+    /// The uploading vehicle.
+    pub vehicle: u32,
+    /// The defective ECU.
+    pub ecu: ResourceId,
+    /// The seeded fault (index into the [`CutModel`]).
+    pub fault_index: u32,
+    /// Absolute campaign time (seconds) the upload completed.
+    pub time_s: f64,
+    /// Encoded fail-data size in bytes.
+    pub fail_bytes: u64,
+}
+
+/// What one vehicle did over the campaign horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VehicleOutcome {
+    /// Vehicle index.
+    pub vehicle: u32,
+    /// Index of the blueprint the vehicle was bound to.
+    pub blueprint: usize,
+    /// The seeded defect, if any.
+    pub defect: Option<DefectSeed>,
+    /// Sessions fully completed (including upload, where one was due)
+    /// within the horizon.
+    pub sessions_completed: u32,
+    /// Shut-off windows in which BIST made progress.
+    pub windows_used: u32,
+    /// Total BIST time consumed (seconds).
+    pub bist_time_s: f64,
+    /// The defect's fail-data upload, when it completed within the
+    /// horizon.
+    pub upload: Option<Upload>,
+}
+
+/// Simulates one vehicle. `seed` must already mix the campaign seed with
+/// the vehicle index so the outcome is a pure function of `(campaign
+/// config, index)` — the engine's thread-count independence rests on
+/// that.
+pub(crate) fn simulate_vehicle(
+    index: u32,
+    blueprints: &[VehicleBlueprint],
+    cut: &CutModel,
+    shutoff: &ShutoffModel,
+    defect_fraction: f64,
+    horizon_s: f64,
+    seed: u64,
+) -> VehicleOutcome {
+    let mut rng = Rng::new(seed);
+    let blueprint_idx = rng.below(blueprints.len());
+    let blueprint = &blueprints[blueprint_idx];
+
+    // Defect seeding: the fraction draw happens for every vehicle (so the
+    // stream of draws is schedule-independent); the seed only lands when
+    // the blueprint offers a diagnosable plan to place it on.
+    let wants_defect = rng.chance(defect_fraction);
+    let defect = if wants_defect {
+        let detectable = cut.detectable_faults();
+        let fault_index = detectable[rng.below(detectable.len())];
+        let plans = blueprint.diagnosable_plans();
+        if plans.is_empty() {
+            None
+        } else {
+            let plan = plans[rng.below(plans.len())];
+            Some(DefectSeed {
+                fault_index,
+                ecu: blueprint.sessions[plan].ecu,
+                plan,
+            })
+        }
+    } else {
+        None
+    };
+
+    // Sequential work queue: (plan index, remaining seconds). A defective
+    // plan's work ends with the fail-data upload; passing sessions upload
+    // nothing.
+    let mut queue: Vec<(usize, f64)> = Vec::with_capacity(blueprint.sessions.len());
+    let mut upload_due: Option<(usize, f64)> = None; // (plan, upload seconds)
+    for (i, plan) in blueprint.sessions.iter().enumerate() {
+        if !plan.is_runnable() {
+            continue;
+        }
+        let mut work = plan.transfer_s + plan.session_s;
+        if let Some(d) = defect {
+            if d.plan == i {
+                let up = plan.upload_s(cut.fail_bytes(d.fault_index));
+                work += up;
+                upload_due = Some((i, up));
+            }
+        }
+        queue.push((i, work));
+    }
+    queue.reverse(); // pop from the back = blueprint order
+
+    let budget_cap = blueprint.shutoff_budget_s;
+    let mut outcome = VehicleOutcome {
+        vehicle: index,
+        blueprint: blueprint_idx,
+        defect,
+        sessions_completed: 0,
+        windows_used: 0,
+        bist_time_s: 0.0,
+        upload: None,
+    };
+    if budget_cap <= 0.0 {
+        return outcome;
+    }
+
+    let mut t = 0.0f64;
+    while !queue.is_empty() {
+        let (gap, window) = shutoff.next_event(&mut rng);
+        let start = t + gap;
+        if start >= horizon_s {
+            break;
+        }
+        t = start + window;
+        let budget = window.min(budget_cap);
+        let mut avail = budget;
+        let mut used = false;
+        while avail > 0.0 {
+            let Some(&mut (plan, ref mut remaining)) = queue.last_mut() else {
+                break;
+            };
+            let step = avail.min(*remaining);
+            *remaining -= step;
+            avail -= step;
+            used = true;
+            if *remaining <= 0.0 {
+                let finished_at = start + (budget - avail);
+                queue.pop();
+                if finished_at <= horizon_s {
+                    outcome.sessions_completed += 1;
+                    if let (Some(d), Some((upload_plan, _))) = (defect, upload_due) {
+                        if upload_plan == plan {
+                            outcome.upload = Some(Upload {
+                                vehicle: index,
+                                ecu: d.ecu,
+                                fault_index: d.fault_index,
+                                time_s: finished_at,
+                                fail_bytes: cut.fail_bytes(d.fault_index),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if used {
+            outcome.windows_used += 1;
+            outcome.bist_time_s += budget - avail;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::EcuSessionPlan;
+    use crate::cut::{CutConfig, CutModel};
+    use eea_model::ResourceId;
+
+    fn test_blueprint() -> VehicleBlueprint {
+        VehicleBlueprint {
+            implementation_index: 0,
+            sessions: vec![EcuSessionPlan {
+                ecu: ResourceId::from_index(3),
+                profile_id: 1,
+                coverage: 0.99,
+                session_s: 0.005,
+                transfer_s: 1200.0,
+                local_storage: false,
+                upload_bandwidth_bytes_per_s: 100.0,
+            }],
+            shutoff_budget_s: 2_000.0,
+        }
+    }
+
+    #[test]
+    fn work_resumes_across_windows() {
+        let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
+        let blueprints = [test_blueprint()];
+        let shutoff = ShutoffModel {
+            min_gap_s: 100.0,
+            max_gap_s: 100.0,
+            min_window_s: 400.0,
+            max_window_s: 400.0,
+        };
+        // defect_fraction 1.0: every vehicle with a diagnosable plan is
+        // seeded; the 1200 s transfer needs three 400 s windows before the
+        // 5 ms session and the upload can finish in the fourth.
+        let o = simulate_vehicle(0, &blueprints, &cut, &shutoff, 1.0, 1e6, 42);
+        assert!(o.defect.is_some());
+        assert_eq!(o.sessions_completed, 1);
+        assert!(o.windows_used >= 4);
+        let up = o.upload.expect("defect detected");
+        assert!(up.time_s > 3.0 * 400.0, "transfer alone spans 3 windows");
+        assert!(up.fail_bytes > 0);
+    }
+
+    #[test]
+    fn horizon_cuts_off_detection() {
+        let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
+        let blueprints = [test_blueprint()];
+        let shutoff = ShutoffModel {
+            min_gap_s: 100.0,
+            max_gap_s: 100.0,
+            min_window_s: 400.0,
+            max_window_s: 400.0,
+        };
+        let o = simulate_vehicle(0, &blueprints, &cut, &shutoff, 1.0, 800.0, 42);
+        assert!(o.defect.is_some());
+        assert_eq!(o.sessions_completed, 0);
+        assert!(o.upload.is_none());
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
+        let blueprints = [test_blueprint()];
+        let shutoff = ShutoffModel::default();
+        let a = simulate_vehicle(5, &blueprints, &cut, &shutoff, 0.5, 1e6, 99);
+        let b = simulate_vehicle(5, &blueprints, &cut, &shutoff, 0.5, 1e6, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_budget_makes_no_progress() {
+        let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
+        let mut b = test_blueprint();
+        b.shutoff_budget_s = 0.0;
+        let o = simulate_vehicle(0, &[b], &cut, &ShutoffModel::default(), 0.0, 1e6, 1);
+        assert_eq!(o.windows_used, 0);
+        assert_eq!(o.sessions_completed, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property test for the fleet engine's determinism contract: for a
+//! *random* campaign configuration, the fleet report at 1 worker thread is
+//! bit-identical to the report at N threads — same discipline as
+//! `tests/parallel_determinism.rs`, but with the configuration space
+//! explored by proptest instead of a fixed workload.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use eea_fleet::{
+    Campaign, CampaignConfig, CutConfig, CutModel, EcuSessionPlan, ShutoffModel,
+    VehicleBlueprint,
+};
+use eea_model::ResourceId;
+
+/// One shared CUT model: building it per case would dominate the runtime
+/// without adding coverage (the properties vary the campaign, not the
+/// substrate).
+fn cut() -> &'static CutModel {
+    static CUT: OnceLock<CutModel> = OnceLock::new();
+    CUT.get_or_init(|| {
+        CutModel::build(CutConfig {
+            gates: 100,
+            patterns: 128,
+            window: 16,
+            ..CutConfig::default()
+        })
+        .unwrap_or_else(|e| panic!("substrate builds: {e}"))
+    })
+}
+
+/// A small hand-built blueprint set: one all-local fast implementation,
+/// one gateway-streaming implementation, one with a session that can
+/// never run (infinite transfer) to exercise the skip path.
+fn blueprints() -> Vec<VehicleBlueprint> {
+    let plan = |ecu: usize, transfer_s: f64, upload_bw: f64| EcuSessionPlan {
+        ecu: ResourceId::from_index(ecu),
+        profile_id: 1,
+        coverage: 0.99,
+        session_s: 0.005,
+        transfer_s,
+        local_storage: transfer_s == 0.0,
+        upload_bandwidth_bytes_per_s: upload_bw,
+    };
+    vec![
+        VehicleBlueprint {
+            implementation_index: 0,
+            sessions: vec![plan(0, 0.0, 400.0), plan(1, 0.0, 150.0)],
+            shutoff_budget_s: 900.0,
+        },
+        VehicleBlueprint {
+            implementation_index: 1,
+            sessions: vec![plan(2, 1_500.0, 80.0)],
+            shutoff_budget_s: 4_000.0,
+        },
+        VehicleBlueprint {
+            implementation_index: 2,
+            sessions: vec![plan(3, f64::INFINITY, 0.0), plan(4, 300.0, 60.0)],
+            shutoff_budget_s: 2_000.0,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fleet_report_is_thread_count_independent(
+        vehicles in 1u32..250,
+        defect_pct in 0usize..=100,
+        horizon_days in 1u64..=30,
+        seed in 0u64..u64::MAX,
+        batch_size in 1usize..96,
+        threads in 2usize..9,
+    ) {
+        let bp = blueprints();
+        let mut cfg = CampaignConfig {
+            vehicles,
+            defect_fraction: defect_pct as f64 / 100.0,
+            horizon_s: horizon_days as f64 * 86_400.0,
+            seed,
+            threads: 1,
+            shutoff: ShutoffModel::default(),
+            batch_size,
+        };
+        let serial = Campaign::new(cut(), &bp, cfg.clone())
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        cfg.threads = threads;
+        let parallel = Campaign::new(cut(), &bp, cfg)
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        prop_assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn same_config_same_report_across_runs(
+        vehicles in 1u32..120,
+        seed in 0u64..u64::MAX,
+    ) {
+        let bp = blueprints();
+        let cfg = CampaignConfig {
+            vehicles,
+            seed,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let a = Campaign::new(cut(), &bp, cfg.clone())
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        let b = Campaign::new(cut(), &bp, cfg)
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        prop_assert_eq!(a, b);
+    }
+}
