@@ -1,15 +1,20 @@
-//! Fleet-scale diagnosis campaign throughput sweep.
+//! Fleet-scale diagnosis campaign throughput sweep across transport
+//! backends.
 //!
-//! Builds the shared CUT model, decodes vehicle blueprints from a
-//! case-study exploration front, then runs the same 100k-vehicle campaign
-//! at 1/2/4/8 worker threads. The [`eea_fleet::FleetReport`] is asserted
-//! **bit-identical across the sweep** before any timing is reported;
-//! timings land in `BENCH_fleet.json` (vehicles/s and sessions/s per
-//! thread count, plus the campaign's headline diagnosis statistics).
+//! Builds the shared CUT model, explores **one** case-study front, then
+//! decodes it into vehicle blueprints once per `EEA_TRANSPORTS` backend
+//! (default: classic mirrored CAN, CAN FD, and FlexRay) and runs the same
+//! campaign at 1/2/4/8 worker threads per backend. Within each backend the
+//! [`eea_fleet::FleetReport`] is asserted **bit-identical across the
+//! sweep** before any timing is reported; timings and the per-backend
+//! detection-latency percentiles land in `BENCH_fleet.json` (one entry per
+//! transport, tagged with its `"transport"` label), so a single run yields
+//! the classic-vs-FD-vs-FlexRay latency comparison.
 //!
 //! ```text
 //! cargo run -p eea-bench --bin fleet_campaign --release
 //! EEA_FLEET_VEHICLES=10000 cargo run -p eea-bench --bin fleet_campaign --release
+//! EEA_TRANSPORTS=classic-can cargo run -p eea-bench --bin fleet_campaign --release
 //! EEA_OUT_DIR=target/exp cargo run -p eea-bench --bin fleet_campaign --release
 //! ```
 //!
@@ -18,10 +23,11 @@
 
 use std::time::Instant;
 
-use eea_bench::{env_u64, env_usize, out_path, run_case_study_exploration};
+use eea_bench::{env_transports, env_u64, env_usize, out_path, run_case_study_exploration};
 use eea_dse::EeaError;
 use eea_fleet::{
-    blueprints_from_front, Campaign, CampaignConfig, CutConfig, CutModel, FleetReport,
+    blueprints_from_front_with, Campaign, CampaignConfig, CutConfig, CutModel, FleetReport,
+    TransportConfig, TransportKind,
 };
 
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -35,7 +41,7 @@ struct SweepPoint {
 
 fn json_report(report: &FleetReport) -> String {
     format!(
-        "  \"campaign\": {{\"vehicles\": {}, \"defective\": {}, \"detected\": {}, \"localized\": {}, \
+        "\"campaign\": {{\"vehicles\": {}, \"defective\": {}, \"detected\": {}, \"localized\": {}, \
 \"sessions_completed\": {}, \"batches\": {}, \"detection_rate\": {:.4}, \"localization_rate\": {:.4}, \
 \"latency_p50_s\": {:.1}, \"latency_p90_s\": {:.1}, \"latency_p99_s\": {:.1}}}",
         report.vehicles,
@@ -56,6 +62,7 @@ fn main() -> Result<(), EeaError> {
     let vehicles = env_usize("EEA_FLEET_VEHICLES", 100_000) as u32;
     let evaluations = env_usize("EEA_FLEET_EVALS", 2_000);
     let seed = env_u64("EEA_SEED", 2014);
+    let transports = env_transports(&TransportKind::ALL);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -70,15 +77,10 @@ fn main() -> Result<(), EeaError> {
         cut.coverage() * 100.0
     );
 
-    eprintln!("decoding blueprints from a {evaluations}-evaluation exploration front...");
+    // One exploration front; each backend re-prices the same
+    // implementations, which is exactly the comparison the JSON reports.
+    eprintln!("exploring a {evaluations}-evaluation front for the blueprint decode...");
     let (_case, diag, result) = run_case_study_exploration(evaluations, seed, 0)?;
-    let blueprints = blueprints_from_front(&diag, &result.front)?;
-    let capable = blueprints.iter().filter(|b| b.is_campaign_capable()).count();
-    eprintln!(
-        "  {} blueprints, {} campaign-capable",
-        blueprints.len(),
-        capable
-    );
 
     let config = CampaignConfig {
         vehicles,
@@ -91,72 +93,91 @@ fn main() -> Result<(), EeaError> {
         config.horizon_s / 86_400.0
     );
 
-    let mut points = Vec::new();
-    let mut reference: Option<FleetReport> = None;
-    for &threads in &THREAD_SWEEP {
-        let cfg = CampaignConfig {
-            threads,
-            ..config.clone()
-        };
-        let campaign = Campaign::new(&cut, &blueprints, cfg)?;
-        let start = Instant::now();
-        let report = campaign.run();
-        let seconds = start.elapsed().as_secs_f64();
+    let mut entries = Vec::new();
+    for &kind in &transports {
+        let transport = TransportConfig::for_kind(kind);
+        let blueprints = blueprints_from_front_with(&diag, &result.front, &transport)?;
+        let capable = blueprints.iter().filter(|b| b.is_campaign_capable()).count();
         eprintln!(
-            "threads={threads}: {vehicles} vehicles in {seconds:.3} s ({:.0} vehicles/s, {} sessions)",
-            f64::from(vehicles) / seconds,
-            report.sessions_completed
+            "[{kind}] {} blueprints, {} campaign-capable",
+            blueprints.len(),
+            capable
         );
-        points.push(SweepPoint {
-            threads,
-            seconds,
-            vehicles_per_s: f64::from(vehicles) / seconds,
-            sessions_per_s: report.sessions_completed as f64 / seconds,
-        });
-        match &reference {
-            None => reference = Some(report),
-            Some(r) => assert!(
-                *r == report,
-                "fleet report diverged at {threads} threads — determinism broken"
-            ),
+
+        let mut points = Vec::new();
+        let mut reference: Option<FleetReport> = None;
+        for &threads in &THREAD_SWEEP {
+            let cfg = CampaignConfig {
+                threads,
+                ..config.clone()
+            };
+            let campaign = Campaign::new(&cut, &blueprints, cfg)?;
+            let start = Instant::now();
+            let report = campaign.run();
+            let seconds = start.elapsed().as_secs_f64();
+            eprintln!(
+                "[{kind}] threads={threads}: {vehicles} vehicles in {seconds:.3} s \
+({:.0} vehicles/s, {} sessions)",
+                f64::from(vehicles) / seconds,
+                report.sessions_completed
+            );
+            points.push(SweepPoint {
+                threads,
+                seconds,
+                vehicles_per_s: f64::from(vehicles) / seconds,
+                sessions_per_s: report.sessions_completed as f64 / seconds,
+            });
+            match &reference {
+                None => reference = Some(report),
+                Some(r) => assert!(
+                    *r == report,
+                    "fleet report diverged at {threads} threads on {kind} — determinism broken"
+                ),
+            }
         }
-    }
-    // The sweep always has at least one point; keep the binary panic-lean
-    // anyway.
-    let Some(report) = reference else {
-        return Ok(());
-    };
+        // The sweep always has at least one point; keep the binary
+        // panic-lean anyway.
+        let Some(report) = reference else {
+            continue;
+        };
 
-    eprintln!(
-        "\n{} defective vehicles, {} detected ({:.1} %), {} localized ({:.1} %), \
-p50 latency {:.1} h",
-        report.defective,
-        report.detected,
-        report.detection_rate() * 100.0,
-        report.localized,
-        report.localization_rate() * 100.0,
-        report.latency.p50_s / 3_600.0
-    );
+        eprintln!(
+            "[{kind}] {} defective vehicles, {} detected ({:.1} %), {} localized ({:.1} %), \
+p50 latency {:.1} h\n",
+            report.defective,
+            report.detected,
+            report.detection_rate() * 100.0,
+            report.localized,
+            report.localization_rate() * 100.0,
+            report.latency.p50_s / 3_600.0
+        );
 
-    let base = points[0].seconds;
-    let sweep: Vec<String> = points
-        .iter()
-        .map(|p| {
-            format!(
-                "    {{\"threads\": {}, \"seconds\": {:.6}, \"vehicles_per_s\": {:.2}, \
+        let base = points[0].seconds;
+        let sweep: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "        {{\"threads\": {}, \"seconds\": {:.6}, \"vehicles_per_s\": {:.2}, \
 \"sessions_per_s\": {:.2}, \"speedup_vs_1_thread\": {:.3}}}",
-                p.threads,
-                p.seconds,
-                p.vehicles_per_s,
-                p.sessions_per_s,
-                base / p.seconds
-            )
-        })
-        .collect();
+                    p.threads,
+                    p.seconds,
+                    p.vehicles_per_s,
+                    p.sessions_per_s,
+                    base / p.seconds
+                )
+            })
+            .collect();
+        entries.push(format!(
+            "    {{\n      \"transport\": \"{}\",\n      \"bit_identical_across_sweep\": true,\n      {},\n      \"sweep\": [\n{}\n      ]\n    }}",
+            kind.label(),
+            json_report(&report),
+            sweep.join(",\n")
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"machine_cores\": {cores},\n  \"bit_identical_across_sweep\": true,\n{},\n  \"sweep\": [\n{}\n  ]\n}}\n",
-        json_report(&report),
-        sweep.join(",\n")
+        "{{\n  \"machine_cores\": {cores},\n  \"transports\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
     );
     println!("{json}");
     let path = out_path("BENCH_fleet.json");

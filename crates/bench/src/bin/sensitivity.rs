@@ -49,6 +49,7 @@ fn main() -> Result<(), EeaError> {
                     ..Nsga2Config::default()
                 },
                 threads: 0,
+                ..DseConfig::default()
             };
             let res = explore(&diag, &cfg, |_, _| {});
             let base = baseline_cost(&case, 800, seed ^ 1, 0)?;

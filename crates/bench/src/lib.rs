@@ -14,13 +14,16 @@
 //! | `EEA_OUT_DIR` | `.` (repo root) | where `fig5`, `fig6`, `bench_parallel`, `fleet_campaign` write their CSV/JSON artifacts |
 //! | `EEA_FLEET_VEHICLES` | 100,000 | `fleet_campaign` fleet size |
 //! | `EEA_FLEET_EVALS` | 2,000 | `fleet_campaign` exploration budget for the blueprint front |
+//! | `EEA_TRANSPORTS` | per binary | comma-separated transport backends (`classic-can`, `can-fd`, `flexray`); `fig5`/`fig6` default to `classic-can`, `fleet_campaign` to all three |
 
 // Library targets are panic-free by policy (see DESIGN.md, "Error
 // taxonomy"): unwrap/expect/panic! are denied outside test code.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 use eea_bist::paper_table1;
-use eea_dse::{augment, explore, DiagSpec, DseConfig, DseResult, EeaError};
+use eea_dse::{
+    augment, explore, DiagSpec, DseConfig, DseResult, EeaError, TransportConfig, TransportKind,
+};
 use eea_model::{paper_case_study, CaseStudy};
 
 /// Reads a `usize` environment knob with a default.
@@ -37,6 +40,30 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Reads the `EEA_TRANSPORTS` knob: a comma-separated list of transport
+/// labels (`classic-can`, `can-fd`, `flexray`, as printed by
+/// [`TransportKind::label`]). Unknown labels are reported on stderr and
+/// skipped; an unset variable — or one that yields no usable backend —
+/// falls back to `default`.
+pub fn env_transports(default: &[TransportKind]) -> Vec<TransportKind> {
+    let Ok(raw) = std::env::var("EEA_TRANSPORTS") else {
+        return default.to_vec();
+    };
+    let mut kinds = Vec::new();
+    for label in raw.split(',').map(str::trim).filter(|l| !l.is_empty()) {
+        match TransportKind::ALL.iter().find(|k| k.label() == label) {
+            Some(&k) if !kinds.contains(&k) => kinds.push(k),
+            Some(_) => {}
+            None => eprintln!("EEA_TRANSPORTS: unknown backend {label:?} (skipped)"),
+        }
+    }
+    if kinds.is_empty() {
+        eprintln!("EEA_TRANSPORTS selected no backend; using the default set");
+        return default.to_vec();
+    }
+    kinds
 }
 
 /// Resolves where an experiment artifact (CSV/JSON) lands: inside
@@ -71,7 +98,8 @@ pub fn paper_diag_spec() -> Result<(CaseStudy, DiagSpec), EeaError> {
     Ok((case, diag))
 }
 
-/// Runs the case-study exploration with the standard experiment knobs.
+/// Runs the case-study exploration with the standard experiment knobs,
+/// over the classic mirrored-CAN transport.
 ///
 /// `threads = 0` means one worker per available CPU (overridable via
 /// `EEA_THREADS`); the result is bit-identical at any thread count.
@@ -79,6 +107,23 @@ pub fn run_case_study_exploration(
     evaluations: usize,
     seed: u64,
     threads: usize,
+) -> Result<(CaseStudy, DiagSpec, DseResult), EeaError> {
+    run_case_study_exploration_with_transport(
+        evaluations,
+        seed,
+        threads,
+        TransportConfig::MirroredCan,
+    )
+}
+
+/// [`run_case_study_exploration`] over an explicit transport backend: the
+/// Eq. (5) shut-off objective prices its remote transfers through
+/// `transport`, so fronts explored on different backends genuinely differ.
+pub fn run_case_study_exploration_with_transport(
+    evaluations: usize,
+    seed: u64,
+    threads: usize,
+    transport: TransportConfig,
 ) -> Result<(CaseStudy, DiagSpec, DseResult), EeaError> {
     let (case, diag) = paper_diag_spec()?;
     let cfg = DseConfig {
@@ -89,6 +134,7 @@ pub fn run_case_study_exploration(
             ..eea_moea::Nsga2Config::default()
         },
         threads,
+        transport,
     };
     let result = explore(&diag, &cfg, |evals, archive| {
         if evals % 2_000 < 100 {
@@ -124,6 +170,26 @@ mod tests {
         assert!(dir.is_dir(), "out_path creates the directory");
         std::env::remove_var("EEA_OUT_DIR");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn transport_knob_parses() {
+        std::env::remove_var("EEA_TRANSPORTS");
+        assert_eq!(
+            env_transports(&[TransportKind::MirroredCan]),
+            vec![TransportKind::MirroredCan]
+        );
+        std::env::set_var("EEA_TRANSPORTS", "can-fd, flexray,can-fd,bogus");
+        assert_eq!(
+            env_transports(&[TransportKind::MirroredCan]),
+            vec![TransportKind::CanFd, TransportKind::FlexRay]
+        );
+        std::env::set_var("EEA_TRANSPORTS", "bogus");
+        assert_eq!(
+            env_transports(&TransportKind::ALL),
+            TransportKind::ALL.to_vec()
+        );
+        std::env::remove_var("EEA_TRANSPORTS");
     }
 
     #[test]

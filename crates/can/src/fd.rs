@@ -10,7 +10,11 @@
 use std::error::Error;
 use std::fmt;
 
-/// Valid CAN FD payload lengths (DLC-encodable).
+use crate::transport::TransportError;
+
+/// Valid CAN FD payload lengths (DLC-encodable). Lengths are **payload
+/// bytes** (the data field), not frame bits — compare
+/// [`crate::frame_bits`], which counts the whole worst-case frame in bits.
 pub const FD_PAYLOADS: [u8; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64];
 
 /// Error for payloads not encodable in a CAN FD DLC.
@@ -57,6 +61,26 @@ impl Default for FdConfig {
 }
 
 impl FdConfig {
+    /// Checked constructor: rejects configurations that grant zero
+    /// bandwidth instead of letting them flow into the bandwidth
+    /// arithmetic, where a zero bit rate previously yielded `INFINITY`
+    /// frame times silently (the rates are only clamped, not validated,
+    /// by [`FdConfig::frame_time_us`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::ZeroBandwidth`] when either bit rate is
+    /// zero.
+    pub fn checked(nominal_bps: u64, data_bps: u64) -> Result<Self, TransportError> {
+        if nominal_bps == 0 || data_bps == 0 {
+            return Err(TransportError::ZeroBandwidth);
+        }
+        Ok(FdConfig {
+            nominal_bps,
+            data_bps,
+        })
+    }
+
     /// Worst-case transmission time of a CAN FD frame with `payload` bytes
     /// (11-bit identifier), in microseconds.
     ///
@@ -88,7 +112,9 @@ impl FdConfig {
             + us(tail_bits, self.nominal_bps))
     }
 
-    /// Effective payload bandwidth (bytes/s) of a periodic FD message. A
+    /// Effective payload bandwidth (bytes/s) of a periodic FD message
+    /// whose data field carries `payload` **bytes** (not bits — frame-level
+    /// bit counts live in [`FdConfig::frame_time_us`]). A
     /// zero period yields `f64::INFINITY` (degenerate input, documented
     /// rather than panicking); callers validating messages via
     /// [`crate::Message`] never hit it.
@@ -100,8 +126,8 @@ impl FdConfig {
     }
 
     /// Speed-up of the mirrored Eq. (1) transfer when a classic CAN
-    /// message of `classic_payload` bytes is upgraded to an FD frame of
-    /// `fd_payload` bytes at the same period: the bandwidth ratio. A zero
+    /// message of `classic_payload` **bytes** is upgraded to an FD frame of
+    /// `fd_payload` **bytes** at the same period: the bandwidth ratio. A zero
     /// classic payload yields `f64::INFINITY` (no classic bandwidth to
     /// compare against).
     pub fn eq1_speedup(&self, classic_payload: u8, fd_payload: u8) -> f64 {
@@ -173,6 +199,22 @@ mod tests {
         let bw_classic = fd.payload_bandwidth_bytes_per_s(8, 10_000);
         let bw_fd = fd.payload_bandwidth_bytes_per_s(64, 10_000);
         assert!((bw_fd / bw_classic - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_constructor_rejects_zero_rates() {
+        assert_eq!(
+            FdConfig::checked(0, 2_000_000),
+            Err(TransportError::ZeroBandwidth)
+        );
+        assert_eq!(
+            FdConfig::checked(500_000, 0),
+            Err(TransportError::ZeroBandwidth)
+        );
+        assert_eq!(
+            FdConfig::checked(500_000, 2_000_000),
+            Ok(FdConfig::default())
+        );
     }
 
     #[test]

@@ -51,12 +51,16 @@ mod frame;
 mod message;
 mod mirror;
 mod rta;
+pub mod transport;
 
 pub use bus::{BusSim, BusSimError, MessageStats, SimResult};
 pub use frame::{frame_bits, CanId, InvalidCanIdError, InvalidPayloadError, BUS_BITRATE_BPS};
 pub use message::{InvalidMessageError, Message};
 pub use mirror::{mirror_messages, mirror_messages_auto, transfer_time_s, MirrorError};
 pub use rta::{analyze, response_time, RtaError, RtaResult};
+pub use transport::{
+    CanFd, FlexRayStatic, MirroredCan, Transport, TransportConfig, TransportError, TransportKind,
+};
 
 use std::error::Error;
 use std::fmt;
@@ -81,6 +85,8 @@ pub enum CanError {
     Fd(fd::InvalidFdPayloadError),
     /// FlexRay slot assignment failed.
     FlexRay(flexray::FlexRayError),
+    /// Transport backend construction or validation failed.
+    Transport(TransportError),
 }
 
 impl fmt::Display for CanError {
@@ -94,6 +100,7 @@ impl fmt::Display for CanError {
             CanError::Sim(e) => e.fmt(f),
             CanError::Fd(e) => e.fmt(f),
             CanError::FlexRay(e) => e.fmt(f),
+            CanError::Transport(e) => e.fmt(f),
         }
     }
 }
@@ -145,5 +152,11 @@ impl From<fd::InvalidFdPayloadError> for CanError {
 impl From<flexray::FlexRayError> for CanError {
     fn from(e: flexray::FlexRayError) -> Self {
         CanError::FlexRay(e)
+    }
+}
+
+impl From<TransportError> for CanError {
+    fn from(e: TransportError) -> Self {
+        CanError::Transport(e)
     }
 }

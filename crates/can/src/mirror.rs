@@ -14,6 +14,13 @@
 //! ```text
 //! q(b^T) = s(b^D) / Σ_{c ∈ I} s(c)/p(c)
 //! ```
+//!
+//! Every size in this module is a **payload size in bytes** — `s(b^D)` is
+//! test-data bytes, `s(c)` is a message's data-field bytes (`0..=8`).
+//! Frame-level *bit* counts (stuffing, CRC, inter-frame space) only enter
+//! through [`crate::frame_bits`], which the response-time analysis uses;
+//! Eq. (1) deliberately counts payload bytes because mirrored frames incur
+//! the same per-frame overhead the functional frames already paid for.
 
 use std::error::Error;
 use std::fmt;
@@ -173,8 +180,11 @@ pub fn mirror_messages_auto(
     Ok(assigned)
 }
 
-/// Eq. (1): transfer time (seconds) of `data_bytes` of test data over the
-/// mirrored messages `functional` of the ECU under test.
+/// Eq. (1): transfer time (seconds) of `data_bytes` **bytes** of test data
+/// over the mirrored messages `functional` of the ECU under test. The
+/// denominator sums each message's payload bandwidth in bytes/s (payload
+/// bytes per period) — not frame bits; see the module docs and
+/// [`crate::frame_bits`] for the bit-level view.
 ///
 /// # Errors
 ///

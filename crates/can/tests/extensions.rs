@@ -4,9 +4,13 @@
 //! construction). The classic mirroring pipeline is the baseline both are
 //! compared against.
 
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
 use eea_can::fd::{fd_payload_round_up, FdConfig, FD_PAYLOADS};
 use eea_can::flexray::{FlexRayConfig, FlexRayError, FlexRaySchedule};
-use eea_can::{mirror_messages_auto, transfer_time_s, CanId, Message};
+use eea_can::{mirror_messages_auto, transfer_time_s, CanFd, CanId, Message, Transport};
 
 /// A small ECU schedule: three functional messages with spaced ids.
 fn functional() -> Vec<Message> {
@@ -147,4 +151,43 @@ fn cross_bus_transfer_comparison_orders_as_expected() {
         flexray_q < fd_q,
         "8 static slots of 32 B per 5 ms outpace the upgraded mirror here"
     );
+}
+
+/// ULP distance between two finite, same-sign floats.
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    a.to_bits().abs_diff(b.to_bits())
+}
+
+proptest! {
+    /// The degenerate FD upgrade (`payload_multiplier == 1.0`) is classic
+    /// CAN: for *any* message set, the [`CanFd`] transfer time is within
+    /// 1 ULP of the historical Eq. (1) free function (the identity fast
+    /// path in [`CanFd::upgrade_payload`] makes it bit-exact, but 1 ULP is
+    /// the contract).
+    #[test]
+    fn fd_multiplier_one_matches_classic_within_one_ulp(
+        first_payload in 1u8..=8,
+        rest in proptest::collection::vec((0u8..=8, 1_000u64..=1_000_000), 0..5),
+        first_period in 1_000u64..=1_000_000,
+        data_bytes in 1u64..(1 << 30),
+    ) {
+        let mut msgs = vec![
+            Message::new(CanId::new(0x100).unwrap(), first_payload, first_period).unwrap(),
+        ];
+        for (i, (payload, period)) in rest.into_iter().enumerate() {
+            let id = CanId::new(0x108 + i as u16 * 8).unwrap();
+            msgs.push(Message::new(id, payload, period).unwrap());
+        }
+        let classic_q = transfer_time_s(data_bytes, &msgs).unwrap();
+
+        let nodes: BTreeMap<u32, Vec<Message>> = [(7u32, msgs)].into();
+        let fd = CanFd::new(nodes, FdConfig::default(), 1.0).unwrap();
+        let fd_q = fd.transfer_time_s(7, data_bytes).unwrap();
+
+        prop_assert!(classic_q.is_finite() && fd_q.is_finite());
+        prop_assert!(
+            ulp_distance(classic_q, fd_q) <= 1,
+            "multiplier-1.0 FD diverged from classic CAN: {classic_q} vs {fd_q}"
+        );
+    }
 }

@@ -151,6 +151,12 @@ impl From<eea_can::BusSimError> for EeaError {
     }
 }
 
+impl From<eea_can::TransportError> for EeaError {
+    fn from(e: eea_can::TransportError) -> Self {
+        EeaError::Can(e.into())
+    }
+}
+
 impl From<eea_bist::ProfileError> for EeaError {
     fn from(e: eea_bist::ProfileError) -> Self {
         EeaError::Profile(e)
@@ -198,6 +204,11 @@ mod tests {
         assert!(matches!(e, EeaError::Can(_)));
         let e: EeaError = eea_can::RtaError::DeadlineExceeded.into();
         assert!(matches!(e, EeaError::Can(_)));
+        let e: EeaError = eea_can::TransportError::ZeroBandwidth.into();
+        assert!(matches!(
+            e,
+            EeaError::Can(eea_can::CanError::Transport(_))
+        ));
     }
 
     #[test]

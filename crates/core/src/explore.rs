@@ -15,9 +15,11 @@ use eea_model::Implementation;
 use eea_moea::{run, Nsga2Config, ParetoArchive, Problem};
 use eea_sat::SolveResult;
 
+use eea_can::TransportConfig;
+
 use crate::augment::DiagSpec;
 use crate::encode::{encode, Encoding};
-use crate::objectives::{evaluate, MemorySummary, Objectives};
+use crate::objectives::{evaluate_with_transport, MemorySummary, Objectives};
 
 /// Configuration of [`explore`].
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +32,11 @@ pub struct DseConfig {
     /// variable overrides either setting. Any value produces bit-identical
     /// results for the same seed (see [`DseProblem`]'s lane scheme).
     pub threads: usize,
+    /// Test-data transport of the Eq. (5) shut-off objective: classic-CAN
+    /// mirroring (the default, the paper's baseline), CAN FD, or FlexRay
+    /// static slots. The MOEA then explores fronts *per transport*; run
+    /// `explore` once per configuration to compare them.
+    pub transport: TransportConfig,
 }
 
 impl Default for DseConfig {
@@ -41,6 +48,7 @@ impl Default for DseConfig {
                 ..Nsga2Config::default()
             },
             threads: 0,
+            transport: TransportConfig::MirroredCan,
         }
     }
 }
@@ -129,6 +137,7 @@ pub struct DseProblem<'d> {
     /// all functional tasks, so the split is a prefix).
     num_functional_vars: usize,
     threads: usize,
+    transport: TransportConfig,
 }
 
 impl<'d> DseProblem<'d> {
@@ -167,12 +176,25 @@ impl<'d> DseProblem<'d> {
             lanes,
             encoding,
             threads: threads.max(1),
+            transport: TransportConfig::MirroredCan,
         }
+    }
+
+    /// Selects the test-data transport the objective evaluation rides
+    /// (builder style; the default is classic-CAN mirroring).
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Number of evaluation workers.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The test-data transport the objective evaluation rides.
+    pub fn transport(&self) -> &TransportConfig {
+        &self.transport
     }
 
     /// Decodes a genotype into an implementation without evaluating
@@ -198,6 +220,7 @@ impl<'d> DseProblem<'d> {
         encoding: &Encoding,
         mvars: &[(eea_model::TaskId, eea_model::ResourceId, eea_sat::Var)],
         solver: &mut eea_sat::Solver,
+        transport: &TransportConfig,
         genotype: &[f64],
     ) -> Option<Vec<f64>> {
         let n = mvars.len();
@@ -209,7 +232,7 @@ impl<'d> DseProblem<'d> {
         match solver.solve() {
             SolveResult::Sat => {
                 let x = encoding.extract_model(solver, &diag.spec);
-                let (objectives, _) = evaluate(diag, &x);
+                let (objectives, _) = evaluate_with_transport(diag, &x, transport);
                 Some(objectives.to_minimized())
             }
             SolveResult::Unsat => None,
@@ -370,7 +393,7 @@ impl Problem for DseProblem<'_> {
 
     fn evaluate(&mut self, genotype: &[f64]) -> Option<Vec<f64>> {
         let x = self.decode(genotype)?;
-        let (objectives, _) = evaluate(self.diag, &x);
+        let (objectives, _) = evaluate_with_transport(self.diag, &x, &self.transport);
         Some(objectives.to_minimized())
     }
 
@@ -382,6 +405,7 @@ impl Problem for DseProblem<'_> {
         let diag = self.diag;
         let encoding = &self.encoding;
         let mvars = &self.mvars;
+        let transport = &self.transport;
         let workers = self.threads.min(self.lanes.len()).max(1);
         let lanes_per_worker = self.lanes.len().div_ceil(workers);
 
@@ -389,8 +413,14 @@ impl Problem for DseProblem<'_> {
         if workers <= 1 {
             for (i, genotype) in genotypes.iter().enumerate() {
                 let lane = i % EVAL_LANES;
-                results[i] =
-                    Self::lane_evaluate(diag, encoding, mvars, &mut self.lanes[lane], genotype);
+                results[i] = Self::lane_evaluate(
+                    diag,
+                    encoding,
+                    mvars,
+                    &mut self.lanes[lane],
+                    transport,
+                    genotype,
+                );
             }
             return results;
         }
@@ -410,7 +440,14 @@ impl Problem for DseProblem<'_> {
                             while i < genotypes.len() {
                                 out.push((
                                     i,
-                                    Self::lane_evaluate(diag, encoding, mvars, solver, &genotypes[i]),
+                                    Self::lane_evaluate(
+                                        diag,
+                                        encoding,
+                                        mvars,
+                                        solver,
+                                        transport,
+                                        &genotypes[i],
+                                    ),
                                 ));
                                 i += EVAL_LANES;
                             }
@@ -447,7 +484,8 @@ pub fn explore(
 ) -> DseResult {
     let start = Instant::now();
     let threads = resolve_threads(cfg.threads);
-    let mut problem = DseProblem::with_threads(diag, threads);
+    let mut problem =
+        DseProblem::with_threads(diag, threads).with_transport(cfg.transport.clone());
     let mut nsga2 = cfg.nsga2.clone();
     let user_seeded = !nsga2.seeds.is_empty();
     if !user_seeded {
@@ -472,7 +510,8 @@ pub fn explore(
     }
     let mut warm_infeasible = 0;
     if warm_evaluations >= 8 {
-        let mut warm_problem = DseProblem::with_threads(diag, threads);
+        let mut warm_problem =
+            DseProblem::with_threads(diag, threads).with_transport(cfg.transport.clone());
         let mut prefix = FunctionalPrefix {
             inner: &mut warm_problem,
         };
@@ -514,7 +553,7 @@ pub fn explore(
     let mut front_archive: ParetoArchive<ExploredImplementation> = ParetoArchive::new();
     for entry in result.archive.entries() {
         if let Some(x) = problem.decode(&entry.payload) {
-            let (objectives, memory) = evaluate(diag, &x);
+            let (objectives, memory) = evaluate_with_transport(diag, &x, &cfg.transport);
             front_archive.offer(
                 objectives.to_minimized(),
                 ExploredImplementation {
@@ -568,6 +607,7 @@ pub fn baseline_cost(
             ..Nsga2Config::default()
         },
         threads,
+        transport: TransportConfig::MirroredCan,
     };
     let res = explore(&diag, &cfg, |_, _| {});
     Ok(res
@@ -600,6 +640,7 @@ mod tests {
                 ..Nsga2Config::default()
             },
             threads: 1,
+            ..DseConfig::default()
         };
         let res = explore(&diag, &cfg, |_, _| {});
         assert_eq!(res.evaluations, 400);
@@ -639,6 +680,7 @@ mod tests {
                 ..Nsga2Config::default()
             },
             threads: 1,
+            ..DseConfig::default()
         };
         let res = explore(&diag, &cfg, |_, _| {});
         let max_q = res
@@ -669,6 +711,7 @@ mod tests {
                 ..Nsga2Config::default()
             },
             threads: 1,
+            ..DseConfig::default()
         };
         let res = explore(&diag, &cfg, |_, _| {});
         let with_diag_min = res

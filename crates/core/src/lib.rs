@@ -59,7 +59,12 @@ pub use explore::{
     baseline_cost, explore, resolve_threads, DseConfig, DseProblem, DseResult,
     ExploredImplementation, EVAL_LANES,
 };
-pub use objectives::{evaluate, MemorySummary, Objectives, MAX_SHUTOFF_S};
+pub use objectives::{
+    evaluate, evaluate_with_transport, MemorySummary, Objectives, MAX_SHUTOFF_S,
+};
+// The transport axis is part of this crate's public configuration surface
+// (`DseConfig::transport`); re-exported so binaries need not name `eea_can`.
+pub use eea_can::{Transport, TransportConfig, TransportError, TransportKind};
 pub use schedule::{check_schedulability, derive_bus_schedules, BusSchedule, ScheduleError};
 pub use report::{
     fig5_ascii, fig5_csv, fig5_points, fig6_csv, fig6_rows, headline, headline_with_budget,

@@ -15,16 +15,17 @@
 
 use std::collections::BTreeMap;
 
-use eea_can::{transfer_time_s, CanId, Message};
+use eea_can::{CanId, Message, TransportConfig};
 use eea_model::{DiagRole, Implementation, ResourceId, ResourceKind, TaskKind};
 
 use crate::augment::DiagSpec;
 
-/// Shut-off times are clamped here (seconds) when an ECU has no functional
-/// message whose schedule could be mirrored — Eq. (1) then reports
-/// [`eea_can::MirrorError::NoMessages`], which this layer maps to an
-/// unbounded transfer time; the clamp keeps the objective finite so it
-/// cannot poison crowding-distance computations downstream.
+/// Shut-off times are clamped here (seconds) when an ECU has no payload
+/// bandwidth on the selected transport (no functional message whose
+/// schedule could be mirrored, no FlexRay slot) — the transport layer then
+/// reports [`eea_can::TransportError::NoBandwidth`], which this layer maps
+/// to an unbounded transfer time; the clamp keeps the objective finite so
+/// it cannot poison crowding-distance computations downstream.
 pub const MAX_SHUTOFF_S: f64 = 86_400.0;
 
 /// The paper's three objectives, in natural units.
@@ -73,8 +74,32 @@ pub struct MemorySummary {
 }
 
 /// Evaluates all three objectives (plus the memory summary) of a decoded
-/// implementation.
+/// implementation over the paper's baseline transport, classic-CAN
+/// mirroring — equivalent to
+/// [`evaluate_with_transport`] with [`TransportConfig::MirroredCan`]
+/// (bit for bit: the trait's Eq. (1) arithmetic is the historical free
+/// function's).
 pub fn evaluate(diag: &DiagSpec, x: &Implementation) -> (Objectives, MemorySummary) {
+    evaluate_with_transport(diag, x, &TransportConfig::MirroredCan)
+}
+
+/// Evaluates all three objectives of a decoded implementation with the
+/// test-data transfers of Eq. (5) riding `transport` — classic-CAN
+/// mirroring, CAN FD, or FlexRay static slots (see
+/// [`eea_can::TransportConfig`]). Transport nodes are keyed by
+/// [`ResourceId::index`].
+///
+/// A transport configuration that cannot be built (degenerate parameters —
+/// zero bit rates, a non-finite payload multiplier; see
+/// [`TransportConfig::validate`]) grants no bandwidth to any node: every
+/// remote transfer is then unbounded and the shut-off objective saturates
+/// at [`MAX_SHUTOFF_S`], keeping this function total for the MOEA.
+/// Callers wanting a hard failure validate the configuration up front.
+pub fn evaluate_with_transport(
+    diag: &DiagSpec,
+    x: &Implementation,
+    transport: &TransportConfig,
+) -> (Objectives, MemorySummary) {
     let spec = &diag.spec;
     let arch = &spec.architecture;
     let app = &spec.application;
@@ -116,6 +141,19 @@ pub fn evaluate(diag: &DiagSpec, x: &Implementation) -> (Objectives, MemorySumma
         sent_by.entry(src).or_default().push(message);
     }
 
+    // The transport backend for this implementation: nodes keyed by
+    // resource index, message sets in the construction order above (the
+    // bandwidth sums of the MirroredCan backend are then bit-identical to
+    // the historical free-function path).
+    let backend = transport
+        .build(
+            sent_by
+                .into_iter()
+                .map(|(r, msgs)| (r.index() as u32, msgs))
+                .collect(),
+        )
+        .ok();
+
     // ---- Selected BIST sessions.
     let mut memory = MemorySummary::default();
     let mut quality_sum = 0.0;
@@ -148,15 +186,17 @@ pub fn evaluate(diag: &DiagSpec, x: &Implementation) -> (Objectives, MemorySumma
             gateway_profiles
                 .entry(o.profile.id)
                 .or_insert(o.profile.data_bytes);
-            // Eq. (1) returns a typed error when the ECU sends no
-            // functional message whose schedule could be mirrored; such an
-            // ECU can never finish the transfer, so its shut-off time is
-            // unbounded (clamped to MAX_SHUTOFF_S below).
-            let q = transfer_time_s(
-                o.profile.data_bytes,
-                sent_by.get(&o.ecu).map(Vec::as_slice).unwrap_or(&[]),
-            )
-            .unwrap_or(f64::INFINITY);
+            // The transport returns a typed error when the ECU has no
+            // payload bandwidth (no mirrored message, no static slot);
+            // such an ECU can never finish the transfer, so its shut-off
+            // time is unbounded (clamped to MAX_SHUTOFF_S below).
+            let q = backend
+                .as_ref()
+                .and_then(|t| {
+                    t.transfer_time_s(o.ecu.index() as u32, o.profile.data_bytes)
+                        .ok()
+                })
+                .unwrap_or(f64::INFINITY);
             l_s + q
         };
         shutoff = shutoff.max(session_time.min(MAX_SHUTOFF_S));

@@ -3,16 +3,21 @@
 //! A campaign binds every vehicle to one implementation decoded from the
 //! case-study exploration front. This module flattens an
 //! [`ExploredImplementation`] into the quantities the shut-off scheduler
-//! needs per BIST session: runtime `l(b)`, the Eq. (1) transfer time over
-//! the ECU's **actually mirrored** CAN schedule (not just the bandwidth
-//! formula — the mirror identifiers are assigned via
-//! [`eea_can::mirror_messages_auto`], so a blueprint only carries an
-//! upload path that the certified schedule really admits), and the upload
-//! bandwidth available for fail data on the same mirrored messages.
+//! needs per BIST session: runtime `l(b)`, the transfer time of the
+//! encoded patterns over the blueprint's **transport backend**, and the
+//! upload bandwidth available for fail data on the same path.
+//!
+//! For the CAN-based transports the backend is built over the ECU's
+//! **actually mirrored** schedule (not just the bandwidth formula — the
+//! mirror identifiers are assigned via [`eea_can::mirror_messages_auto`],
+//! so a blueprint only claims an upload path the certified schedule really
+//! admits); CAN FD additionally upgrades the mirrored payloads. FlexRay
+//! skips mirroring entirely — its static slots are non-intrusive by
+//! construction — and rides an even slot assignment over the sending ECUs.
 
 use std::collections::BTreeMap;
 
-use eea_can::{mirror_messages_auto, transfer_time_s, CanId, Message};
+use eea_can::{mirror_messages_auto, CanId, Message, TransportConfig, TransportKind};
 use eea_dse::augment::DiagSpec;
 use eea_dse::explore::ExploredImplementation;
 use eea_model::{ResourceId, ResourceKind};
@@ -31,14 +36,15 @@ pub struct EcuSessionPlan {
     pub coverage: f64,
     /// Session runtime `l(b)` in seconds.
     pub session_s: f64,
-    /// Eq. (1) transfer time of the encoded patterns over the mirrored
-    /// schedule; `0` for ECU-local storage, `+inf` when the ECU sends no
-    /// functional message whose schedule could be mirrored.
+    /// Transfer time of the encoded patterns over the blueprint's
+    /// transport (Eq. (1) for mirrored CAN, its analogues for FD/FlexRay);
+    /// `0` for ECU-local storage, `+inf` when the transport grants the ECU
+    /// no bandwidth (no mirrorable message, no static slot).
     pub transfer_s: f64,
     /// Whether the encoded patterns live in ECU-local memory.
     pub local_storage: bool,
-    /// Aggregate payload bandwidth (bytes/s) of the ECU's mirrored
-    /// messages — the fail-data upload path; `0` when no mirror exists.
+    /// Aggregate payload bandwidth (bytes/s) the transport grants the ECU
+    /// — the fail-data upload path; `0` when no path exists.
     pub upload_bandwidth_bytes_per_s: f64,
 }
 
@@ -76,6 +82,9 @@ pub struct VehicleBlueprint {
     /// The implementation's Eq. (5) shut-off time objective: the awake
     /// budget a single shut-off event may spend on BIST.
     pub shutoff_budget_s: f64,
+    /// The transport backend the session transfers and fail-data uploads
+    /// of this blueprint ride.
+    pub transport: TransportKind,
 }
 
 impl VehicleBlueprint {
@@ -106,26 +115,53 @@ impl VehicleBlueprint {
     }
 }
 
-/// Flattens an exploration front into vehicle blueprints.
+/// Flattens an exploration front into vehicle blueprints over the paper's
+/// baseline transport, classic-CAN mirroring — equivalent to
+/// [`blueprints_from_front_with`] with [`TransportConfig::MirroredCan`]
+/// (bit for bit: the trait's bandwidth sums run in the same order as the
+/// historical free-function path).
+///
+/// # Errors
+///
+/// The same errors as [`blueprints_from_front_with`].
+pub fn blueprints_from_front(
+    diag: &DiagSpec,
+    front: &[ExploredImplementation],
+) -> Result<Vec<VehicleBlueprint>, FleetError> {
+    blueprints_from_front_with(diag, front, &TransportConfig::MirroredCan)
+}
+
+/// Flattens an exploration front into vehicle blueprints whose transfers
+/// and fail-data uploads ride `transport`.
 ///
 /// Functional CAN identifiers are assigned deterministically with a
 /// spacing of 8, leaving each message a priority gap its mirror identifier
 /// is drawn from — the same discipline as Fig. 4 of the paper, but here
 /// the mirror set is *constructed*, not assumed, so blueprints only claim
-/// upload bandwidth a real mirrored schedule provides.
+/// upload bandwidth a real mirrored schedule provides. CAN FD blueprints
+/// reuse the constructed mirror identifiers and upgrade the mirrored
+/// payloads; FlexRay blueprints skip mirroring (TDMA slots are exclusive —
+/// non-intrusive by construction) and ride an even static-slot assignment
+/// over the sending ECUs.
 ///
 /// # Errors
 ///
-/// [`FleetError::NoDiagnosableBlueprint`] when `front` is empty, and
-/// [`FleetError::Mirror`] when identifier assignment overflows the 11-bit
-/// space (a specification with more than ~250 bound functional messages).
-pub fn blueprints_from_front(
+/// * [`FleetError::NoDiagnosableBlueprint`] when `front` is empty,
+/// * [`FleetError::Transport`] when the transport configuration is
+///   degenerate ([`TransportConfig::validate`]) or a backend cannot be
+///   built over a blueprint's message sets,
+/// * [`FleetError::Mirror`] when identifier assignment overflows the
+///   11-bit space (a specification with more than ~250 bound functional
+///   messages).
+pub fn blueprints_from_front_with(
     diag: &DiagSpec,
     front: &[ExploredImplementation],
+    transport: &TransportConfig,
 ) -> Result<Vec<VehicleBlueprint>, FleetError> {
     if front.is_empty() {
         return Err(FleetError::NoDiagnosableBlueprint);
     }
+    transport.validate()?;
     let spec = &diag.spec;
     let arch = &spec.architecture;
     let app = &spec.application;
@@ -158,24 +194,38 @@ pub fn blueprints_from_front(
             next_id += 8;
             sent_by.entry(src).or_default().push(message);
         }
-        let all: Vec<Message> = sent_by.values().flatten().cloned().collect();
-
-        // Mirrored schedule and upload bandwidth per ECU.
-        let mut mirrored_of: BTreeMap<ResourceId, Vec<Message>> = BTreeMap::new();
-        for (&ecu, msgs) in &sent_by {
-            let other: Vec<Message> = all
-                .iter()
-                .filter(|m| !msgs.iter().any(|own| own.id() == m.id()))
-                .cloned()
-                .collect();
-            match mirror_messages_auto(msgs, &other) {
-                Ok(mirror) => {
-                    mirrored_of.insert(ecu, mirror);
+        // The transport backend's node map. For the CAN transports every
+        // node carries its *constructed mirrored* schedule (identifiers
+        // really assigned, priority gaps respected); FlexRay needs only
+        // the node keys — slots are assigned evenly in ascending node
+        // order, and no mirror is required because TDMA slots are
+        // exclusive by construction.
+        let nodes: BTreeMap<u32, Vec<Message>> = match transport.kind() {
+            TransportKind::MirroredCan | TransportKind::CanFd => {
+                let all: Vec<Message> = sent_by.values().flatten().cloned().collect();
+                let mut mirrored_of: BTreeMap<u32, Vec<Message>> = BTreeMap::new();
+                for (&ecu, msgs) in &sent_by {
+                    let other: Vec<Message> = all
+                        .iter()
+                        .filter(|m| !msgs.iter().any(|own| own.id() == m.id()))
+                        .cloned()
+                        .collect();
+                    match mirror_messages_auto(msgs, &other) {
+                        Ok(mirror) => {
+                            mirrored_of.insert(ecu.index() as u32, mirror);
+                        }
+                        Err(eea_can::MirrorError::NoMessages) => {}
+                        Err(e) => return Err(FleetError::Mirror(e)),
+                    }
                 }
-                Err(eea_can::MirrorError::NoMessages) => {}
-                Err(e) => return Err(FleetError::Mirror(e)),
+                mirrored_of
             }
-        }
+            TransportKind::FlexRay => sent_by
+                .iter()
+                .map(|(&ecu, msgs)| (ecu.index() as u32, msgs.clone()))
+                .collect(),
+        };
+        let backend = transport.build(nodes)?;
 
         let mut sessions = Vec::new();
         for o in &diag.options {
@@ -186,12 +236,14 @@ pub fn blueprints_from_front(
                 continue;
             };
             let local = data_at == o.ecu;
-            let mirror = mirrored_of.get(&o.ecu).map(Vec::as_slice).unwrap_or(&[]);
-            let bandwidth: f64 = mirror.iter().map(Message::payload_bandwidth_bytes_per_s).sum();
+            let node = o.ecu.index() as u32;
+            let bandwidth = backend.bandwidth_bytes_per_s(node);
             let transfer = if local {
                 0.0
             } else {
-                transfer_time_s(o.profile.data_bytes, mirror).unwrap_or(f64::INFINITY)
+                backend
+                    .transfer_time_s(node, o.profile.data_bytes)
+                    .unwrap_or(f64::INFINITY)
             };
             sessions.push(EcuSessionPlan {
                 ecu: o.ecu,
@@ -208,6 +260,7 @@ pub fn blueprints_from_front(
             implementation_index: idx,
             sessions,
             shutoff_budget_s: ei.objectives.shutoff_s,
+            transport: transport.kind(),
         });
     }
     Ok(blueprints)

@@ -5,7 +5,7 @@
 use std::error::Error;
 use std::fmt;
 
-use eea_can::MirrorError;
+use eea_can::{MirrorError, TransportError};
 use eea_dse::EeaError;
 use eea_netlist::{ScanError, SynthError};
 
@@ -39,6 +39,9 @@ pub enum FleetError {
     Scan(ScanError),
     /// Schedule mirroring of a blueprint's functional messages failed.
     Mirror(MirrorError),
+    /// The campaign's transport configuration is degenerate or a backend
+    /// could not be built over a blueprint's message sets.
+    Transport(TransportError),
 }
 
 impl fmt::Display for FleetError {
@@ -65,6 +68,7 @@ impl fmt::Display for FleetError {
             FleetError::Synth(e) => write!(f, "substrate synthesis: {e}"),
             FleetError::Scan(e) => write!(f, "substrate scan insertion: {e}"),
             FleetError::Mirror(e) => write!(f, "blueprint mirroring: {e}"),
+            FleetError::Transport(e) => write!(f, "blueprint transport: {e}"),
         }
     }
 }
@@ -75,6 +79,7 @@ impl Error for FleetError {
             FleetError::Synth(e) => Some(e),
             FleetError::Scan(e) => Some(e),
             FleetError::Mirror(e) => Some(e),
+            FleetError::Transport(e) => Some(e),
             _ => None,
         }
     }
@@ -95,6 +100,12 @@ impl From<ScanError> for FleetError {
 impl From<MirrorError> for FleetError {
     fn from(e: MirrorError) -> Self {
         FleetError::Mirror(e)
+    }
+}
+
+impl From<TransportError> for FleetError {
+    fn from(e: TransportError) -> Self {
+        FleetError::Transport(e)
     }
 }
 

@@ -19,7 +19,10 @@
 //! 2. [`blueprints_from_front`] — Pareto-front implementations flattened
 //!    into per-vehicle session plans with *constructed* mirror schedules
 //!    (Eq. (1) transfer and upload bandwidth from
-//!    [`eea_can::mirror_messages_auto`], not assumed),
+//!    [`eea_can::mirror_messages_auto`], not assumed);
+//!    [`blueprints_from_front_with`] re-prices the same plans over any
+//!    [`Transport`](eea_can::Transport) backend (classic mirrored CAN,
+//!    CAN FD, FlexRay static slots — DESIGN.md §9),
 //! 3. [`ShutoffModel`] — per-vehicle driving/parked alternation,
 //! 4. [`Campaign`] — seeded fleet generation, worklist-parallel vehicle
 //!    timelines (`std::thread::scope`, contiguous chunks, per-vehicle
@@ -62,7 +65,12 @@ mod report;
 mod shutoff;
 mod vehicle;
 
-pub use blueprint::{blueprints_from_front, EcuSessionPlan, VehicleBlueprint};
+pub use blueprint::{
+    blueprints_from_front, blueprints_from_front_with, EcuSessionPlan, VehicleBlueprint,
+};
+// The transport axis is part of the blueprint surface; re-exported so
+// campaign drivers need not name `eea_can`.
+pub use eea_can::{TransportConfig, TransportError, TransportKind};
 pub use campaign::{Campaign, CampaignConfig};
 pub use cut::{CutConfig, CutModel};
 pub use error::FleetError;

@@ -208,6 +208,7 @@ mod tests {
                 upload_bandwidth_bytes_per_s: 100.0,
             }],
             shutoff_budget_s: 2_000.0,
+            transport: eea_can::TransportKind::MirroredCan,
         }
     }
 

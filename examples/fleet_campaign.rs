@@ -42,6 +42,7 @@ fn main() -> Result<(), EeaError> {
             ..Nsga2Config::default()
         },
         threads: 0,
+        ..DseConfig::default()
     };
     let front = explore(&diag, &cfg, |_, _| {}).front;
     let blueprints = blueprints_from_front(&diag, &front)?;

@@ -19,6 +19,7 @@ fn run_exploration(profiles: usize, evaluations: usize, seed: u64) -> eea_dse::D
             ..Nsga2Config::default()
         },
         threads: 1,
+        ..DseConfig::default()
     };
     explore(&diag, &cfg, |_, _| {})
 }

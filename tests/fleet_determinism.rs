@@ -10,7 +10,7 @@ use proptest::prelude::*;
 
 use eea_fleet::{
     Campaign, CampaignConfig, CutConfig, CutModel, EcuSessionPlan, ShutoffModel,
-    VehicleBlueprint,
+    TransportKind, VehicleBlueprint,
 };
 use eea_model::ResourceId;
 
@@ -30,10 +30,12 @@ fn cut() -> &'static CutModel {
     })
 }
 
-/// A small hand-built blueprint set: one all-local fast implementation,
-/// one gateway-streaming implementation, one with a session that can
-/// never run (infinite transfer) to exercise the skip path.
-fn blueprints() -> Vec<VehicleBlueprint> {
+/// A small hand-built blueprint set over a given transport backend: one
+/// all-local fast implementation, one gateway-streaming implementation,
+/// one with a session that can never run (infinite transfer) to exercise
+/// the skip path. The timeline quantities are the same for every backend —
+/// determinism must hold regardless of where the numbers came from.
+fn blueprints(transport: TransportKind) -> Vec<VehicleBlueprint> {
     let plan = |ecu: usize, transfer_s: f64, upload_bw: f64| EcuSessionPlan {
         ecu: ResourceId::from_index(ecu),
         profile_id: 1,
@@ -48,16 +50,19 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             implementation_index: 0,
             sessions: vec![plan(0, 0.0, 400.0), plan(1, 0.0, 150.0)],
             shutoff_budget_s: 900.0,
+            transport,
         },
         VehicleBlueprint {
             implementation_index: 1,
             sessions: vec![plan(2, 1_500.0, 80.0)],
             shutoff_budget_s: 4_000.0,
+            transport,
         },
         VehicleBlueprint {
             implementation_index: 2,
             sessions: vec![plan(3, f64::INFINITY, 0.0), plan(4, 300.0, 60.0)],
             shutoff_budget_s: 2_000.0,
+            transport,
         },
     ]
 }
@@ -73,8 +78,9 @@ proptest! {
         seed in 0u64..u64::MAX,
         batch_size in 1usize..96,
         threads in 2usize..9,
+        transport_idx in 0usize..3,
     ) {
-        let bp = blueprints();
+        let bp = blueprints(TransportKind::ALL[transport_idx]);
         let mut cfg = CampaignConfig {
             vehicles,
             defect_fraction: defect_pct as f64 / 100.0,
@@ -98,8 +104,9 @@ proptest! {
     fn same_config_same_report_across_runs(
         vehicles in 1u32..120,
         seed in 0u64..u64::MAX,
+        transport_idx in 0usize..3,
     ) {
-        let bp = blueprints();
+        let bp = blueprints(TransportKind::ALL[transport_idx]);
         let cfg = CampaignConfig {
             vehicles,
             seed,

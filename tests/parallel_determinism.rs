@@ -20,6 +20,7 @@ fn run(threads: usize) -> DseResult {
             ..Nsga2Config::default()
         },
         threads,
+        ..DseConfig::default()
     };
     explore(&diag, &cfg, |_, _| {})
 }

@@ -1,0 +1,91 @@
+//! Frozen-front regression guard for the `Transport` refactor.
+//!
+//! The `MirroredCan` backend must be a *strict refactor* of the historical
+//! Eq. (1) free-function path: for a fixed-seed exploration the minimised
+//! objective vectors `[cost, -quality, shutoff]` of every front
+//! implementation are compared **bit for bit** against a front frozen
+//! before the refactor. Any numerical drift — a reordered bandwidth sum, a
+//! changed clamp, a different error mapping — trips this test.
+//!
+//! Regenerate the frozen table (only when the *exploration* itself changes
+//! deliberately, never to paper over transport drift) with:
+//!
+//! ```text
+//! EEA_FREEZE_FRONT=1 cargo test -p eea-dse --test transport_regression -- --nocapture
+//! ```
+
+use eea_bist::paper_table1;
+use eea_dse::augment::augment;
+use eea_dse::explore::{explore, DseConfig};
+use eea_model::paper_case_study;
+use eea_moea::Nsga2Config;
+
+/// Exploration fixture: small budget, fixed seed, one worker thread.
+fn frozen_cfg() -> DseConfig {
+    DseConfig {
+        nsga2: Nsga2Config {
+            population: 20,
+            evaluations: 400,
+            seed: 0xF40_2E7,
+            ..Nsga2Config::default()
+        },
+        threads: 1,
+        ..DseConfig::default()
+    }
+}
+
+fn run_front() -> Vec<[u64; 3]> {
+    let case = paper_case_study();
+    let diag = augment(&case, &paper_table1()[..4]).expect("gateway present");
+    let result = explore(&diag, &frozen_cfg(), |_, _| {});
+    result
+        .front
+        .iter()
+        .map(|e| {
+            let v = e.objectives.to_minimized();
+            [v[0].to_bits(), v[1].to_bits(), v[2].to_bits()]
+        })
+        .collect()
+}
+
+/// The pre-refactor front: `f64::to_bits` of each minimised objective
+/// vector, cost-sorted (the explore() output order).
+const FROZEN_FRONT: &[[u64; 3]] = &[
+    [0x4079400000000000, 0x8000000000000000, 0x0000000000000000],
+    [0x4079494665AA7EC4, 0xBFEECE9ED57275E0, 0x40ADA05A79BBADC1],
+    [0x407B841E68A0D34B, 0xBFEF19598536058E, 0x3F73F290ABB44E51],
+    [0x407C00B1C0010C71, 0xBFEF3EC283B58B39, 0x3F73F290ABB44E51],
+];
+
+#[test]
+fn mirrored_can_reproduces_frozen_front_bit_for_bit() {
+    let front = run_front();
+    if std::env::var("EEA_FREEZE_FRONT").is_ok() {
+        println!("const FROZEN_FRONT: &[[u64; 3]] = &[");
+        for v in &front {
+            println!(
+                "    [0x{:016X}, 0x{:016X}, 0x{:016X}],",
+                v[0], v[1], v[2]
+            );
+        }
+        println!("];");
+        return;
+    }
+    assert_eq!(
+        front.len(),
+        FROZEN_FRONT.len(),
+        "front size changed: {} vs frozen {}",
+        front.len(),
+        FROZEN_FRONT.len()
+    );
+    for (i, (got, want)) in front.iter().zip(FROZEN_FRONT).enumerate() {
+        assert_eq!(
+            got, want,
+            "objective vector {i} drifted: got {:?} ({:e}, {:e}, {:e})",
+            got,
+            f64::from_bits(got[0]),
+            f64::from_bits(got[1]),
+            f64::from_bits(got[2]),
+        );
+    }
+}
