@@ -86,5 +86,36 @@ fn bench_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_vs_serial, bench_thread_sweep);
+/// PPSFP forward-evaluation micro-bench on a c1355-sized circuit
+/// (ISCAS-85 c1355: ~1,355 equivalent gates, 41 inputs). One iteration =
+/// one 64-pattern `detect_block` over the collapsed fault universe. This
+/// is the workload the per-simulator fan-in scratch buffer serves: before
+/// the hoist, every wide-gate visit in the faulty-value propagation loop
+/// allocated a fresh `Vec<u64>`; now all visits reuse one buffer owned by
+/// the simulator.
+fn bench_c1355_forward_eval(c: &mut Criterion) {
+    let circuit = synthesize(&SynthConfig {
+        gates: 1_355,
+        inputs: 41,
+        dffs: 64,
+        seed: 0xC1355,
+        ..SynthConfig::default()
+    })
+    .expect("synthesizes");
+
+    let mut group = c.benchmark_group("ppsfp_c1355");
+    group.sample_size(10);
+    group.bench_function("detect_block_64_patterns", |b| {
+        let mut sim = FaultSim::new(&circuit);
+        let mut rng = 0xC135_5EEDu64;
+        b.iter(|| {
+            let mut universe = FaultUniverse::collapsed(&circuit);
+            let block = random_block(&circuit, &mut rng, 64);
+            sim.detect_block(&block, &mut universe)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_vs_serial, bench_thread_sweep, bench_c1355_forward_eval);
 criterion_main!(benches);

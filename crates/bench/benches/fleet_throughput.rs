@@ -102,9 +102,33 @@ fn bench_campaign_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Aggregation-only throughput at 1/2/4/8 diagnosis shards: the fleet is
+/// simulated **once** (aggregation borrows [`eea_fleet::FleetShards`]), so
+/// the group isolates the merge → diagnose → fold stages the sharded
+/// gateway pipeline (DESIGN.md §10) parallelized. Reports stay
+/// bit-identical across the shard sweep.
+fn bench_aggregation_shard_sweep(c: &mut Criterion) {
+    let cut = cut();
+    let bp = blueprints(TransportKind::MirroredCan);
+    let mut group = c.benchmark_group("fleet_aggregation");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = CampaignConfig {
+            shards,
+            ..campaign_config(0)
+        };
+        let campaign = Campaign::new(&cut, &bp, cfg).expect("valid campaign");
+        let sim = campaign.simulate();
+        group.bench_function(format!("shards_{shards}"), |b| {
+            b.iter(|| campaign.aggregate(&sim))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_campaign_serial, bench_campaign_thread_sweep
+    targets = bench_campaign_serial, bench_campaign_thread_sweep, bench_aggregation_shard_sweep
 }
 criterion_main!(benches);

@@ -11,10 +11,16 @@
 //! transport, tagged with its `"transport"` label), so a single run yields
 //! the classic-vs-FD-vs-FlexRay latency comparison.
 //!
+//! A second, `EEA_FLEET_SCALE`-driven sweep (default 100k/1M/10M vehicles)
+//! exercises the streaming sharded aggregation (DESIGN.md §10) at scale on
+//! the first selected backend, recording per-stage timings
+//! (simulate/merge/diagnose/fold) and the process peak RSS per point.
+//!
 //! ```text
 //! cargo run -p eea-bench --bin fleet_campaign --release
 //! EEA_FLEET_VEHICLES=10000 cargo run -p eea-bench --bin fleet_campaign --release
 //! EEA_TRANSPORTS=classic-can cargo run -p eea-bench --bin fleet_campaign --release
+//! EEA_FLEET_SCALE=100000 cargo run -p eea-bench --bin fleet_campaign --release
 //! EEA_OUT_DIR=target/exp cargo run -p eea-bench --bin fleet_campaign --release
 //! ```
 //!
@@ -23,7 +29,10 @@
 
 use std::time::Instant;
 
-use eea_bench::{env_transports, env_u64, env_usize, out_path, run_case_study_exploration};
+use eea_bench::{
+    env_scale_sweep, env_transports, env_u64, env_usize, out_path, peak_rss_kb,
+    run_case_study_exploration,
+};
 use eea_dse::EeaError;
 use eea_fleet::{
     blueprints_from_front_with, Campaign, CampaignConfig, CutConfig, CutModel, FleetReport,
@@ -31,6 +40,16 @@ use eea_fleet::{
 };
 
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Default `EEA_FLEET_SCALE` points: 100k, 1M, 10M vehicles.
+const SCALE_SWEEP: [u64; 3] = [100_000, 1_000_000, 10_000_000];
+
+/// Minimum best-case parallel speedup the thread sweep must show on a
+/// multi-core machine with a fleet large enough to amortize spawn
+/// overhead. Deliberately lax — the gate catches "parallelism broke
+/// entirely", not scheduler noise.
+const MIN_SPEEDUP: f64 = 1.05;
+const SPEEDUP_MIN_VEHICLES: u32 = 50_000;
 
 struct SweepPoint {
     threads: usize,
@@ -141,6 +160,32 @@ fn main() -> Result<(), EeaError> {
             continue;
         };
 
+        // Speedup gate: on a multi-core machine with a fleet big enough
+        // to amortize thread spawns, *some* sweep point must beat the
+        // serial baseline — otherwise the parallel fold regressed.
+        let best_speedup = points
+            .iter()
+            .map(|p| points[0].seconds / p.seconds)
+            .fold(1.0_f64, f64::max);
+        if cores == 1 {
+            eprintln!(
+                "[{kind}] note: single-core machine — thread-sweep speedup \
+assertion skipped (best observed {best_speedup:.3}x)"
+            );
+        } else if vehicles < SPEEDUP_MIN_VEHICLES {
+            eprintln!(
+                "[{kind}] note: fleet of {vehicles} is below the \
+{SPEEDUP_MIN_VEHICLES}-vehicle floor — speedup dominated by thread \
+overhead, assertion skipped (best observed {best_speedup:.3}x)"
+            );
+        } else {
+            assert!(
+                best_speedup > MIN_SPEEDUP,
+                "[{kind}] best thread-sweep speedup {best_speedup:.3}x on a \
+{cores}-core machine — parallel simulation fold regressed"
+            );
+        }
+
         eprintln!(
             "[{kind}] {} defective vehicles, {} detected ({:.1} %), {} localized ({:.1} %), \
 p50 latency {:.1} h\n",
@@ -168,16 +213,70 @@ p50 latency {:.1} h\n",
             })
             .collect();
         entries.push(format!(
-            "    {{\n      \"transport\": \"{}\",\n      \"bit_identical_across_sweep\": true,\n      {},\n      \"sweep\": [\n{}\n      ]\n    }}",
+            "    {{\n      \"transport\": \"{}\",\n      \"machine_cores\": {cores},\n      \"bit_identical_across_sweep\": true,\n      {},\n      \"sweep\": [\n{}\n      ]\n    }}",
             kind.label(),
             json_report(&report),
             sweep.join(",\n")
         ));
     }
 
+    // Scale sweep: the streaming-aggregation evidence. One run per fleet
+    // size on the first selected backend at auto thread count, reporting
+    // per-stage timings (simulate / merge / diagnose / fold) and the
+    // process peak RSS. Points run in ascending size order because the
+    // RSS high-water mark is monotone — each sample then belongs to the
+    // largest campaign seen so far, i.e. its own.
+    let mut scales = env_scale_sweep(&SCALE_SWEEP);
+    scales.sort_unstable();
+    let mut scale_entries = Vec::new();
+    if let Some(&kind) = transports.first() {
+        let transport = TransportConfig::for_kind(kind);
+        let blueprints = blueprints_from_front_with(&diag, &result.front, &transport)?;
+        for &fleet in &scales {
+            let cfg = CampaignConfig {
+                vehicles: fleet as u32,
+                seed,
+                threads: 0,
+                ..CampaignConfig::default()
+            };
+            let threads_used = eea_faultsim::resolve_threads(cfg.threads);
+            let campaign = Campaign::new(&cut, &blueprints, cfg)?;
+            let start = Instant::now();
+            let (report, stages) = campaign.run_timed();
+            let seconds = start.elapsed().as_secs_f64();
+            let rss = peak_rss_kb();
+            eprintln!(
+                "[scale {fleet}] {seconds:.3} s total ({:.0} vehicles/s) — \
+simulate {:.3} s, merge {:.3} s, diagnose {:.3} s, fold {:.3} s, \
+peak RSS {} KiB",
+                fleet as f64 / seconds,
+                stages.simulate_s,
+                stages.merge_s,
+                stages.diagnose_s,
+                stages.fold_s,
+                rss.map_or_else(|| "?".into(), |kb| kb.to_string()),
+            );
+            scale_entries.push(format!(
+                "    {{\"vehicles\": {fleet}, \"transport\": \"{}\", \"threads\": {threads_used}, \
+\"machine_cores\": {cores}, \"seconds\": {seconds:.6}, \"vehicles_per_s\": {:.2}, \
+\"peak_rss_kb\": {}, \"detected\": {}, \"stages\": {{\"simulate_s\": {:.6}, \
+\"merge_s\": {:.6}, \"diagnose_s\": {:.6}, \"fold_s\": {:.6}}}}}",
+                kind.label(),
+                fleet as f64 / seconds,
+                rss.map_or_else(|| "null".into(), |kb| kb.to_string()),
+                report.detected,
+                stages.simulate_s,
+                stages.merge_s,
+                stages.diagnose_s,
+                stages.fold_s,
+            ));
+        }
+    }
+
     let json = format!(
-        "{{\n  \"machine_cores\": {cores},\n  \"transports\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+        "{{\n  \"machine_cores\": {cores},\n  \"transports\": [\n{}\n  ],\n  \"scale_sweep\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        scale_entries.join(",\n")
     );
     println!("{json}");
     let path = out_path("BENCH_fleet.json");

@@ -14,6 +14,7 @@
 //! | `EEA_OUT_DIR` | `.` (repo root) | where `fig5`, `fig6`, `bench_parallel`, `fleet_campaign` write their CSV/JSON artifacts |
 //! | `EEA_FLEET_VEHICLES` | 100,000 | `fleet_campaign` fleet size |
 //! | `EEA_FLEET_EVALS` | 2,000 | `fleet_campaign` exploration budget for the blueprint front |
+//! | `EEA_FLEET_SCALE` | `100000,1000000,10000000` | `fleet_campaign` scale-sweep fleet sizes (comma-separated; empty disables the sweep) |
 //! | `EEA_TRANSPORTS` | per binary | comma-separated transport backends (`classic-can`, `can-fd`, `flexray`); `fig5`/`fig6` default to `classic-can`, `fleet_campaign` to all three |
 
 // Library targets are panic-free by policy (see DESIGN.md, "Error
@@ -64,6 +65,33 @@ pub fn env_transports(default: &[TransportKind]) -> Vec<TransportKind> {
         return default.to_vec();
     }
     kinds
+}
+
+/// Reads the `EEA_FLEET_SCALE` knob: a comma-separated list of fleet
+/// sizes for the `fleet_campaign` scale sweep. Unparsable entries are
+/// skipped; an unset variable falls back to `default`; a set-but-empty
+/// (or all-garbage) variable disables the sweep entirely.
+pub fn env_scale_sweep(default: &[u64]) -> Vec<u64> {
+    let Ok(raw) = std::env::var("EEA_FLEET_SCALE") else {
+        return default.to_vec();
+    };
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.parse().ok())
+        .collect()
+}
+
+/// The process's peak resident-set size ("VmHWM" high-water mark) in KiB,
+/// read from `/proc/self/status`. Returns `None` off Linux or when the
+/// field is missing — callers report the value as unavailable rather than
+/// failing the run. Note the high-water mark is monotone over the process
+/// lifetime: when sampling a sweep, run the scale points in ascending
+/// order so each sample reflects the largest campaign seen so far.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// Resolves where an experiment artifact (CSV/JSON) lands: inside
@@ -190,6 +218,27 @@ mod tests {
             TransportKind::ALL.to_vec()
         );
         std::env::remove_var("EEA_TRANSPORTS");
+    }
+
+    #[test]
+    fn scale_sweep_knob_parses() {
+        std::env::remove_var("EEA_FLEET_SCALE");
+        assert_eq!(env_scale_sweep(&[100_000]), vec![100_000]);
+        std::env::set_var("EEA_FLEET_SCALE", "1000, 2000,garbage,3000");
+        assert_eq!(env_scale_sweep(&[100_000]), vec![1000, 2000, 3000]);
+        std::env::set_var("EEA_FLEET_SCALE", "");
+        assert_eq!(env_scale_sweep(&[100_000]), Vec::<u64>::new());
+        std::env::remove_var("EEA_FLEET_SCALE");
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        // The helper is best-effort by contract, but on the Linux CI
+        // machines it must produce a plausible nonzero figure.
+        if cfg!(target_os = "linux") {
+            let kb = peak_rss_kb().expect("VmHWM present on Linux");
+            assert!(kb > 0);
+        }
     }
 
     #[test]

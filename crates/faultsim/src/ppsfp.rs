@@ -43,6 +43,9 @@ pub struct FaultSim<'c> {
     /// Event queue bucketed by logic level.
     buckets: Vec<Vec<GateId>>,
     queued: Vec<u32>,
+    /// Reusable fanin-value gather buffer: one scratch allocation per
+    /// simulator instead of one `Vec` per evaluated gate.
+    scratch: Vec<u64>,
 }
 
 impl<'c> FaultSim<'c> {
@@ -63,6 +66,7 @@ impl<'c> FaultSim<'c> {
             is_output,
             buckets: vec![Vec::new(); depth + 1],
             queued: vec![0; n],
+            scratch: Vec::with_capacity(8),
         }
     }
 
@@ -85,6 +89,22 @@ impl<'c> FaultSim<'c> {
     /// When `early_exit` is true, returns as soon as any pattern detects the
     /// fault; the returned mask is then a nonempty subset of the full mask.
     pub fn detect_mask(&mut self, fault: Fault, block: &PatternBlock, early_exit: bool) -> u64 {
+        // The fanin gather buffer lives on the simulator; take/restore
+        // keeps the borrow checker out of the propagation loop while the
+        // hot path stays allocation-free.
+        let mut fanin_vals = std::mem::take(&mut self.scratch);
+        let detected = self.detect_mask_inner(fault, block, early_exit, &mut fanin_vals);
+        self.scratch = fanin_vals;
+        detected
+    }
+
+    fn detect_mask_inner(
+        &mut self,
+        fault: Fault,
+        block: &PatternBlock,
+        early_exit: bool,
+        fanin_vals: &mut Vec<u64>,
+    ) -> u64 {
         let c = self.circuit;
         let mask = block.mask();
         self.epoch += 1;
@@ -107,13 +127,10 @@ impl<'c> FaultSim<'c> {
                     return (good_d ^ forced) & mask;
                 }
                 // Re-evaluate the receiving gate with the pin forced.
-                let mut fanin_vals: Vec<u64> = c
-                    .fanin(gate)
-                    .iter()
-                    .map(|&f| self.good.value(f))
-                    .collect();
+                fanin_vals.clear();
+                fanin_vals.extend(c.fanin(gate).iter().map(|&f| self.good.value(f)));
                 fanin_vals[pin as usize] = forced;
-                c.kind(gate).eval_words(&fanin_vals)
+                c.kind(gate).eval_words(fanin_vals)
             }
         };
 
@@ -138,7 +155,6 @@ impl<'c> FaultSim<'c> {
         // Event-driven propagation in level order. Fanout always has a
         // strictly larger level, so buckets never receive events at or
         // before the level currently being drained.
-        let mut fanin_vals: Vec<u64> = Vec::with_capacity(8);
         for lvl in 0..self.buckets.len() {
             let mut i = 0;
             while i < self.buckets[lvl].len() {
@@ -153,7 +169,7 @@ impl<'c> FaultSim<'c> {
                     };
                     fanin_vals.push(v);
                 }
-                let fv = c.kind(g).eval_words(&fanin_vals);
+                let fv = c.kind(g).eval_words(fanin_vals);
                 let diff = (fv ^ self.good.value(g)) & mask;
                 self.faulty[g.index()] = fv;
                 self.stamp[g.index()] = self.epoch;

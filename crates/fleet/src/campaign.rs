@@ -1,17 +1,31 @@
-//! The deterministic fleet campaign engine.
+//! The deterministic fleet campaign engine — a **streaming, sharded
+//! pipeline** from vehicle simulation to the gateway report.
 //!
-//! [`Campaign::run`] simulates every vehicle's shut-off timeline
-//! worklist-parallel over contiguous index chunks with
-//! [`std::thread::scope`], then feeds the resulting fail-data uploads
-//! through a serial gateway aggregation pipeline (sorted by arrival time,
-//! processed in batches, diagnosed with the shared [`CutModel`]
-//! dictionary). Each vehicle's outcome is a pure function of the campaign
-//! seed and its index — the same discipline as `eea_faultsim::ParFaultSim`
-//! — so the [`FleetReport`] is **bit-identical at any thread count**.
+//! [`Campaign::run`] never materializes a per-vehicle outcome vector.
+//! Worker threads fold contiguous vehicle-index ranges directly into
+//! [`ShardAccumulator`]s (simulation fused with pre-aggregation), the
+//! per-shard sorted upload runs are k-way merged into gateway-arrival
+//! order, the diagnosis stage shards the pure per-fault dictionary
+//! lookups, and a final serial scan folds batches, latency statistics and
+//! the coverage curve. Peak memory is O(detections + shard state), not
+//! O(fleet) — a 10M-vehicle campaign carries only its uploads plus a few
+//! hundred kB of per-block partials.
+//!
+//! Every stage keeps the determinism contract of `eea_faultsim`'s
+//! parallel engine (DESIGN.md §10): each vehicle's outcome is a pure
+//! function of the campaign seed and its index, floating-point folds run
+//! over fixed [`SIM_BLOCK`]-sized blocks so the reduction tree is
+//! independent of the worker count, the upload merge key `(time_s,
+//! vehicle)` is a total order, and diagnosis shards merge by fault index
+//! — so the [`FleetReport`] is **bit-identical at any thread count and
+//! any shard count**.
 
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 use eea_faultsim::resolve_threads;
+use eea_model::ResourceId;
 use eea_moea::Rng;
 
 use crate::blueprint::VehicleBlueprint;
@@ -19,10 +33,19 @@ use crate::cut::CutModel;
 use crate::error::FleetError;
 use crate::report::{DefectFinding, EcuReport, FleetReport, LatencyStats};
 use crate::shutoff::ShutoffModel;
-use crate::vehicle::{simulate_vehicle, Upload, VehicleOutcome};
+use crate::vehicle::{simulate_vehicle, Upload};
 
 /// Number of points of the coverage-over-time curve.
 const COVERAGE_POINTS: usize = 32;
+
+/// Vehicles per fold block — the unit the simulation stage's deterministic
+/// floating-point reduction is built from. Worker chunks are whole block
+/// ranges, so every per-block partial (the BIST-time sums) covers the same
+/// vehicles regardless of thread count, and the serial left-fold over
+/// block sums in block order *is the definition* of the fleet-wide value.
+/// Small enough that modest fleets still split across workers; at 10M
+/// vehicles the per-block partials total ~1.25 MB.
+const SIM_BLOCK: usize = 64;
 
 /// Configuration of a fleet campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +61,12 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Worker threads; `0` = auto (all cores, `EEA_THREADS` overrides).
     pub threads: usize,
+    /// Diagnosis-stage shards; `0` = auto (the worker-thread resolution
+    /// above). The per-fault diagnosis cache is pure — every vehicle
+    /// carries the same CUT — so shards diagnose disjoint fault-index
+    /// ranges and merge by fault index: the report is bit-identical at
+    /// any shard count.
+    pub shards: usize,
     /// Shut-off event model vehicles draw their schedules from.
     pub shutoff: ShutoffModel,
     /// Gateway aggregation batch size (uploads per batch).
@@ -52,10 +81,100 @@ impl Default for CampaignConfig {
             horizon_s: 30.0 * 86_400.0,
             seed: 0xF1EE7CA4,
             threads: 0,
+            shards: 0,
             shutoff: ShutoffModel::default(),
             batch_size: 64,
         }
     }
+}
+
+/// Total upload order at the gateway: arrival time, then vehicle index.
+/// Each vehicle uploads at most once, so the key is strictly increasing
+/// along the merged sequence — no ties, which is why an unstable sort and
+/// any run partitioning of the k-way merge yield the same sequence.
+fn upload_order(a: &Upload, b: &Upload) -> Ordering {
+    a.time_s
+        .total_cmp(&b.time_s)
+        .then(a.vehicle.cmp(&b.vehicle))
+}
+
+/// Partial aggregation state one simulation worker folds its contiguous
+/// block range into — the streaming replacement for the old per-vehicle
+/// outcome vector. Holds O(shard detections + shard blocks) memory.
+#[derive(Debug, Clone, Default)]
+struct ShardAccumulator {
+    /// This shard's uploads, sorted by [`upload_order`].
+    uploads: Vec<Upload>,
+    /// Vehicles of this shard carrying a seeded defect.
+    defective: u32,
+    /// BIST sessions completed in this shard.
+    sessions_completed: u64,
+    /// Shut-off windows in which BIST made progress.
+    windows_used: u64,
+    /// Per-[`SIM_BLOCK`] left-fold sums of vehicle BIST time, in block
+    /// order — the shard-count-independent reduction tree for the one
+    /// floating-point fleet counter.
+    block_bist_s: Vec<f64>,
+    /// Seeded-defect counts per ECU (exact integer merge).
+    seeded: BTreeMap<ResourceId, u32>,
+}
+
+/// The simulation stage's output: per-worker shard accumulators in
+/// vehicle-index order. Opaque — produce it with [`Campaign::simulate`]
+/// and feed it to [`Campaign::aggregate`] (possibly repeatedly: the
+/// aggregation borrows the shards immutably, which is what the
+/// aggregation-only benches exploit).
+#[derive(Debug, Clone)]
+pub struct FleetShards {
+    shards: Vec<ShardAccumulator>,
+}
+
+impl FleetShards {
+    /// Number of shards the fleet was folded into (= simulation workers
+    /// that received at least one block).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fleet-wide number of fail-data uploads (= detections).
+    pub fn detections(&self) -> usize {
+        self.shards.iter().map(|s| s.uploads.len()).sum()
+    }
+}
+
+/// Wall-clock seconds of the pipeline stages, as measured by
+/// [`Campaign::run_timed`]. Kept **out** of [`FleetReport`] so reports
+/// stay comparable bit-for-bit across machines and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimings {
+    /// Parallel vehicle simulation fused with per-shard pre-aggregation.
+    pub simulate_s: f64,
+    /// K-way merge of per-shard sorted upload runs + counter folds.
+    pub merge_s: f64,
+    /// Sharded per-fault diagnosis of the distinct uploaded fault set.
+    pub diagnose_s: f64,
+    /// Final serial scan: findings, batches, latency stats, coverage
+    /// curve, per-ECU aggregation.
+    pub fold_s: f64,
+}
+
+/// Everything the k-way merge produces: the globally ordered upload
+/// sequence plus the exactly merged fleet counters.
+struct MergedFleet {
+    uploads: Vec<Upload>,
+    defective: u32,
+    sessions_completed: u64,
+    windows_used: u64,
+    bist_time_s: f64,
+    seeded: BTreeMap<ResourceId, u32>,
+}
+
+/// Cached diagnosis of one fault index against the shared dictionary.
+#[derive(Debug, Clone, Copy)]
+struct DiagEntry {
+    candidates: usize,
+    rank: usize,
+    localized: bool,
 }
 
 /// A validated, ready-to-run campaign over a CUT model and a blueprint
@@ -114,112 +233,235 @@ impl<'a> Campaign<'a> {
         &self.config
     }
 
-    /// Deterministic per-vehicle seed: one SplitMix64 step over the
-    /// campaign seed mixed with the vehicle index. Independent of thread
+    /// Deterministic per-vehicle seed: one SplitMix64 output step over the
+    /// campaign seed mixed with the vehicle index ([`Rng::mix`], no
+    /// intermediate RNG state on the hot path). Independent of thread
     /// count and chunking by construction.
     fn vehicle_seed(&self, index: u32) -> u64 {
-        let mixed = self
-            .config
-            .seed
-            .wrapping_add(u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        Rng::new(mixed).next_u64()
+        Rng::mix(
+            self.config
+                .seed
+                .wrapping_add(u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
     }
 
     /// Runs the campaign and aggregates the fleet report.
     pub fn run(&self) -> FleetReport {
-        let outcomes = self.simulate_fleet();
-        self.aggregate(&outcomes)
+        self.run_timed().0
     }
 
-    /// Simulates all vehicles, worklist-parallel over contiguous index
-    /// chunks; outcomes are merged back in vehicle-index order.
-    fn simulate_fleet(&self) -> Vec<VehicleOutcome> {
+    /// Like [`run`](Self::run), but also reports per-stage wall-clock
+    /// timings (simulate / merge / diagnose / fold). The report itself
+    /// carries no timing fields, so it stays bit-comparable.
+    pub fn run_timed(&self) -> (FleetReport, StageTimings) {
+        let t = Instant::now();
+        let shards = self.simulate();
+        let simulate_s = t.elapsed().as_secs_f64();
+        let (report, mut timings) = self.aggregate_timed(&shards);
+        timings.simulate_s = simulate_s;
+        (report, timings)
+    }
+
+    /// Simulation stage: folds every vehicle into per-worker
+    /// [`FleetShards`], worklist-parallel over contiguous
+    /// [`SIM_BLOCK`]-aligned index ranges. No per-vehicle state survives
+    /// the fold — peak memory is O(detections + blocks).
+    pub fn simulate(&self) -> FleetShards {
         let n = self.config.vehicles as usize;
-        let threads = resolve_threads(self.config.threads).min(n).max(1);
-        let sim_one = |i: u32| {
-            simulate_vehicle(
-                i,
-                self.blueprints,
-                self.cut,
-                &self.config.shutoff,
-                self.config.defect_fraction,
-                self.config.horizon_s,
-                self.vehicle_seed(i),
-            )
-        };
+        let blocks = n.div_ceil(SIM_BLOCK);
+        let threads = resolve_threads(self.config.threads).clamp(1, blocks);
         if threads == 1 {
-            return (0..self.config.vehicles).map(sim_one).collect();
+            return FleetShards {
+                shards: vec![self.fold_blocks(0, blocks)],
+            };
         }
-        let chunk = n.div_ceil(threads);
-        let sim_ref = &sim_one;
-        let mut merged: Vec<VehicleOutcome> = Vec::with_capacity(n);
+        let chunk = blocks.div_ceil(threads);
+        let mut shards = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
                 let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(blocks);
                 if lo >= hi {
                     break;
                 }
-                handles.push(scope.spawn(move || {
-                    (lo as u32..hi as u32).map(sim_ref).collect::<Vec<_>>()
-                }));
+                let this = &*self;
+                handles.push(scope.spawn(move || this.fold_blocks(lo, hi)));
             }
             for h in handles {
                 match h.join() {
-                    Ok(part) => merged.extend(part),
+                    Ok(acc) => shards.push(acc),
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
         });
-        merged
+        FleetShards { shards }
     }
 
-    /// Serial gateway-side aggregation: sort uploads by arrival, process
-    /// in batches, diagnose each against the shared dictionary (cached
-    /// per fault index), then fold the fleet statistics.
-    fn aggregate(&self, outcomes: &[VehicleOutcome]) -> FleetReport {
-        let mut uploads: Vec<Upload> = outcomes.iter().filter_map(|o| o.upload).collect();
-        uploads.sort_by(|a, b| {
-            a.time_s
-                .total_cmp(&b.time_s)
-                .then(a.vehicle.cmp(&b.vehicle))
-        });
+    /// Aggregation stage over simulated shards: deterministic k-way merge,
+    /// sharded diagnosis, serial final fold. Borrow-only, so the same
+    /// [`FleetShards`] can be aggregated repeatedly (e.g. at different
+    /// shard counts — the result is identical).
+    pub fn aggregate(&self, shards: &FleetShards) -> FleetReport {
+        self.aggregate_timed(shards).0
+    }
 
-        // Diagnosis cache: every vehicle carries the same CUT, so two
-        // uploads of the same fault produce identical fail data.
-        let mut rank_of: BTreeMap<u32, (usize, usize, bool)> = BTreeMap::new();
-        let mut findings = Vec::with_capacity(uploads.len());
-        for (k, up) in uploads.iter().enumerate() {
-            let (candidates, rank, localized) =
-                *rank_of.entry(up.fault_index).or_insert_with(|| {
-                    let cands = self.cut.diagnose(self.cut.fail_data(up.fault_index));
-                    let rank = self.cut.true_fault_rank(up.fault_index).unwrap_or(0);
-                    let localized = self.cut.localizes(up.fault_index);
-                    (cands.len(), rank, localized)
-                });
+    fn aggregate_timed(&self, shards: &FleetShards) -> (FleetReport, StageTimings) {
+        let t = Instant::now();
+        let merged = merge_shards(&shards.shards);
+        let merge_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let table = self.diagnosis_table(&merged.uploads);
+        let diagnose_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let report = self.fold_report(&merged, &table);
+        let fold_s = t.elapsed().as_secs_f64();
+
+        (
+            report,
+            StageTimings {
+                simulate_s: 0.0,
+                merge_s,
+                diagnose_s,
+                fold_s,
+            },
+        )
+    }
+
+    /// Folds the vehicles of blocks `[block_lo, block_hi)` into one shard
+    /// accumulator. BIST time is folded per block so the floating-point
+    /// reduction tree does not depend on how blocks are distributed over
+    /// workers.
+    fn fold_blocks(&self, block_lo: usize, block_hi: usize) -> ShardAccumulator {
+        let n = self.config.vehicles as usize;
+        let mut acc = ShardAccumulator::default();
+        acc.block_bist_s.reserve(block_hi - block_lo);
+        for b in block_lo..block_hi {
+            let lo = b * SIM_BLOCK;
+            let hi = ((b + 1) * SIM_BLOCK).min(n);
+            let mut block_bist = 0.0f64;
+            for i in lo as u32..hi as u32 {
+                let o = simulate_vehicle(
+                    i,
+                    self.blueprints,
+                    self.cut,
+                    &self.config.shutoff,
+                    self.config.defect_fraction,
+                    self.config.horizon_s,
+                    self.vehicle_seed(i),
+                );
+                if let Some(d) = o.defect {
+                    acc.defective += 1;
+                    *acc.seeded.entry(d.ecu).or_insert(0) += 1;
+                }
+                acc.sessions_completed += u64::from(o.sessions_completed);
+                acc.windows_used += u64::from(o.windows_used);
+                block_bist += o.bist_time_s;
+                if let Some(up) = o.upload {
+                    acc.uploads.push(up);
+                }
+            }
+            acc.block_bist_s.push(block_bist);
+        }
+        // `(time_s, vehicle)` is a total order — at most one upload per
+        // vehicle — so stability buys nothing over `sort_unstable_by`.
+        acc.uploads.sort_unstable_by(upload_order);
+        acc
+    }
+
+    /// Diagnoses every distinct uploaded fault index against the shared
+    /// dictionary, sharded over disjoint contiguous fault-index ranges.
+    /// Sound because the lookup is pure (same CUT fleet-wide: two uploads
+    /// of one fault produce identical fail data), and deterministic
+    /// because the merge is keyed by fault index.
+    fn diagnosis_table(&self, uploads: &[Upload]) -> BTreeMap<u32, DiagEntry> {
+        let distinct: Vec<u32> = uploads
+            .iter()
+            .map(|u| u.fault_index)
+            .collect::<BTreeSet<u32>>()
+            .into_iter()
+            .collect();
+        if distinct.is_empty() {
+            return BTreeMap::new();
+        }
+        let shards = self.resolve_shards().min(distinct.len());
+        if shards == 1 {
+            return distinct
+                .iter()
+                .map(|&fi| (fi, self.diagnose_fault(fi)))
+                .collect();
+        }
+        let chunk = distinct.len().div_ceil(shards);
+        let mut table = BTreeMap::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            for part in distinct.chunks(chunk) {
+                let this = &*self;
+                handles.push(scope.spawn(move || {
+                    part.iter()
+                        .map(|&fi| (fi, this.diagnose_fault(fi)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(entries) => table.extend(entries),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        table
+    }
+
+    fn resolve_shards(&self) -> usize {
+        if self.config.shards == 0 {
+            resolve_threads(0)
+        } else {
+            self.config.shards
+        }
+    }
+
+    fn diagnose_fault(&self, fault_index: u32) -> DiagEntry {
+        DiagEntry {
+            candidates: self.cut.diagnose(self.cut.fail_data(fault_index)).len(),
+            rank: self.cut.true_fault_rank(fault_index).unwrap_or(0),
+            localized: self.cut.localizes(fault_index),
+        }
+    }
+
+    /// Final serial scan over the merged upload sequence: arrival-order
+    /// batches, latency statistics, the coverage curve and the per-ECU
+    /// aggregation — exactly the pre-sharding semantics.
+    fn fold_report(&self, merged: &MergedFleet, table: &BTreeMap<u32, DiagEntry>) -> FleetReport {
+        let mut findings = Vec::with_capacity(merged.uploads.len());
+        for (k, up) in merged.uploads.iter().enumerate() {
+            // The table covers every uploaded fault index by construction.
+            let Some(e) = table.get(&up.fault_index) else {
+                continue;
+            };
             findings.push(DefectFinding {
                 vehicle: up.vehicle,
                 ecu: up.ecu,
                 fault_index: up.fault_index,
                 detected_at_s: up.time_s,
                 batch: (k / self.config.batch_size) as u32,
-                candidates,
-                true_fault_rank: rank,
-                localized,
+                candidates: e.candidates,
+                true_fault_rank: e.rank,
+                localized: e.localized,
             });
         }
-        let batches = uploads.len().div_ceil(self.config.batch_size) as u32;
+        let batches = merged.uploads.len().div_ceil(self.config.batch_size) as u32;
 
-        let defective = outcomes.iter().filter(|o| o.defect.is_some()).count() as u32;
         let detected = findings.len() as u32;
         let localized = findings.iter().filter(|f| f.localized).count() as u32;
 
         let latencies: Vec<f64> = findings.iter().map(|f| f.detected_at_s).collect();
         let latency = LatencyStats::from_sorted(&latencies);
 
-        // Coverage over time at fixed horizon fractions; uploads are
-        // already time-sorted, so one forward scan suffices.
+        // Coverage over time at fixed horizon fractions; the merged
+        // uploads are time-sorted, so one forward scan suffices.
         let mut coverage_over_time = Vec::with_capacity(COVERAGE_POINTS);
         let mut seen = 0usize;
         for p in 1..=COVERAGE_POINTS {
@@ -227,20 +469,19 @@ impl<'a> Campaign<'a> {
             while seen < latencies.len() && latencies[seen] <= t {
                 seen += 1;
             }
-            let frac = if defective == 0 {
+            let frac = if merged.defective == 0 {
                 0.0
             } else {
-                seen as f64 / f64::from(defective)
+                seen as f64 / f64::from(merged.defective)
             };
             coverage_over_time.push((t, frac));
         }
 
-        // Per-ECU aggregation.
-        let mut per_ecu_map: BTreeMap<eea_model::ResourceId, EcuAcc> = BTreeMap::new();
-        for o in outcomes {
-            if let Some(d) = o.defect {
-                per_ecu_map.entry(d.ecu).or_default().seeded += 1;
-            }
+        // Per-ECU aggregation: seeded counts come exactly merged from the
+        // shards; detections fold from the findings scan.
+        let mut per_ecu_map: BTreeMap<ResourceId, EcuAcc> = BTreeMap::new();
+        for (&ecu, &seeded) in &merged.seeded {
+            per_ecu_map.entry(ecu).or_default().seeded = seeded;
         }
         for f in &findings {
             let acc = per_ecu_map.entry(f.ecu).or_default();
@@ -271,12 +512,12 @@ impl<'a> Campaign<'a> {
 
         FleetReport {
             vehicles: self.config.vehicles,
-            defective,
+            defective: merged.defective,
             detected,
             localized,
-            sessions_completed: outcomes.iter().map(|o| u64::from(o.sessions_completed)).sum(),
-            windows_used: outcomes.iter().map(|o| u64::from(o.windows_used)).sum(),
-            bist_time_s: outcomes.iter().map(|o| o.bist_time_s).sum(),
+            sessions_completed: merged.sessions_completed,
+            windows_used: merged.windows_used,
+            bist_time_s: merged.bist_time_s,
             batches,
             latency,
             coverage_over_time,
@@ -284,6 +525,57 @@ impl<'a> Campaign<'a> {
             findings,
         }
     }
+}
+
+/// Merges shard accumulators: a deterministic k-way merge of the
+/// per-shard sorted upload runs (the merge key is a total order, so the
+/// result is *the* sorted sequence regardless of run partitioning),
+/// exact integer folds for the counters, and the fixed per-block
+/// left-fold for the one floating-point counter.
+fn merge_shards(shards: &[ShardAccumulator]) -> MergedFleet {
+    let total: usize = shards.iter().map(|s| s.uploads.len()).sum();
+    let mut uploads = Vec::with_capacity(total);
+    let mut heads = vec![0usize; shards.len()];
+    loop {
+        let mut best: Option<(usize, &Upload)> = None;
+        for (s, shard) in shards.iter().enumerate() {
+            if let Some(u) = shard.uploads.get(heads[s]) {
+                let better = match best {
+                    None => true,
+                    Some((_, bu)) => upload_order(u, bu) == Ordering::Less,
+                };
+                if better {
+                    best = Some((s, u));
+                }
+            }
+        }
+        let Some((s, &u)) = best else {
+            break;
+        };
+        uploads.push(u);
+        heads[s] += 1;
+    }
+
+    let mut merged = MergedFleet {
+        uploads,
+        defective: 0,
+        sessions_completed: 0,
+        windows_used: 0,
+        bist_time_s: 0.0,
+        seeded: BTreeMap::new(),
+    };
+    for s in shards {
+        merged.defective += s.defective;
+        merged.sessions_completed += s.sessions_completed;
+        merged.windows_used += s.windows_used;
+        for &b in &s.block_bist_s {
+            merged.bist_time_s += b;
+        }
+        for (&ecu, &count) in &s.seeded {
+            *merged.seeded.entry(ecu).or_insert(0) += count;
+        }
+    }
+    merged
 }
 
 #[derive(Default)]
@@ -398,5 +690,67 @@ mod tests {
             let report = Campaign::new(&cut, &bp, cfg.clone()).expect("valid").run();
             assert_eq!(report, baseline, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_shard_counts() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let mut cfg = CampaignConfig {
+            vehicles: 300,
+            defect_fraction: 0.2,
+            horizon_s: 7.0 * 86_400.0,
+            seed: 9,
+            threads: 2,
+            shards: 1,
+            ..CampaignConfig::default()
+        };
+        let serial = Campaign::new(&cut, &bp, cfg.clone()).expect("valid").run();
+        for shards in [2, 3, 8] {
+            cfg.shards = shards;
+            let sharded = Campaign::new(&cut, &bp, cfg.clone()).expect("valid").run();
+            assert_eq!(sharded, serial, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn simulate_then_aggregate_equals_run() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let cfg = CampaignConfig {
+            vehicles: 260,
+            defect_fraction: 0.3,
+            horizon_s: 14.0 * 86_400.0,
+            seed: 3,
+            threads: 3,
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::new(&cut, &bp, cfg).expect("valid");
+        let shards = campaign.simulate();
+        // 260 vehicles = 5 blocks over 3 workers: every worker got blocks.
+        assert_eq!(shards.shard_count(), 3);
+        let report = campaign.aggregate(&shards);
+        assert_eq!(report.detected as usize, shards.detections());
+        assert_eq!(report, campaign.run());
+        // Aggregation is borrow-only: a second pass is identical.
+        assert_eq!(campaign.aggregate(&shards), report);
+    }
+
+    #[test]
+    fn stage_timings_cover_every_stage() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let cfg = CampaignConfig {
+            vehicles: 100,
+            defect_fraction: 0.5,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let (report, timings) = Campaign::new(&cut, &bp, cfg).expect("valid").run_timed();
+        assert!(report.detected > 0);
+        assert!(timings.simulate_s >= 0.0);
+        assert!(timings.merge_s >= 0.0);
+        assert!(timings.diagnose_s >= 0.0);
+        assert!(timings.fold_s >= 0.0);
     }
 }

@@ -24,12 +24,15 @@
 //!    [`Transport`](eea_can::Transport) backend (classic mirrored CAN,
 //!    CAN FD, FlexRay static slots — DESIGN.md §9),
 //! 3. [`ShutoffModel`] — per-vehicle driving/parked alternation,
-//! 4. [`Campaign`] — seeded fleet generation, worklist-parallel vehicle
-//!    timelines (`std::thread::scope`, contiguous chunks, per-vehicle
-//!    SplitMix64 seeds) and the serial gateway aggregation pipeline,
+//! 4. [`Campaign`] — seeded fleet generation and the **streaming, sharded
+//!    pipeline** (DESIGN.md §10): worker threads fold contiguous
+//!    vehicle-index blocks straight into [`FleetShards`] (simulation
+//!    fused with pre-aggregation, peak memory O(detections + shards)),
+//!    per-shard sorted upload runs k-way merge deterministically, and
+//!    the diagnosis stage shards the pure per-fault dictionary lookups,
 //! 5. [`FleetReport`] — detection-latency distribution, per-ECU candidate
 //!    rankings, campaign coverage over time; bit-identical at any thread
-//!    count.
+//!    count *and* any shard count.
 //!
 //! # Example
 //!
@@ -71,7 +74,7 @@ pub use blueprint::{
 // The transport axis is part of the blueprint surface; re-exported so
 // campaign drivers need not name `eea_can`.
 pub use eea_can::{TransportConfig, TransportError, TransportKind};
-pub use campaign::{Campaign, CampaignConfig};
+pub use campaign::{Campaign, CampaignConfig, FleetShards, StageTimings};
 pub use cut::{CutConfig, CutModel};
 pub use error::FleetError;
 pub use report::{DefectFinding, EcuReport, FleetReport, LatencyStats};

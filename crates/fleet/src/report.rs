@@ -31,6 +31,18 @@ pub struct LatencyStats {
 impl LatencyStats {
     /// Computes the statistics from latencies sorted ascending. Returns
     /// all-zero stats for an empty slice.
+    ///
+    /// Percentiles use the **nearest-rank (`round`) convention**:
+    /// `p(q) = sorted[round((n − 1) · q)]`, the order statistic whose
+    /// fractional rank is closest to `q`, with `.5` rounding away from
+    /// zero (toward the larger rank, per [`f64::round`]). Consequences
+    /// the tests pin: for `n = 2`, p50 is the *larger* value (rank 0.5
+    /// rounds to 1); for `n = 3`, p50 is the true median `sorted[1]`;
+    /// duplicate timestamps are ordinary order statistics, so the
+    /// percentile of a run of equal values is that value. The sharded
+    /// pipeline computes percentiles only on the **globally merged**
+    /// latency sequence — never per shard — so these semantics cannot
+    /// shift with shard boundaries.
     pub(crate) fn from_sorted(sorted: &[f64]) -> Self {
         let n = sorted.len();
         if n == 0 {
@@ -163,6 +175,46 @@ mod tests {
         assert_eq!(one.min_s, 7.5);
         assert_eq!(one.max_s, 7.5);
         assert_eq!(one.p99_s, 7.5);
+    }
+
+    #[test]
+    fn nearest_rank_at_n2_picks_the_larger_value() {
+        // rank(p50) = round(1 · 0.5) = 1: the .5 case rounds *up*.
+        let s = LatencyStats::from_sorted(&[1.0, 2.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min_s, 1.0);
+        assert_eq!(s.max_s, 2.0);
+        assert_eq!(s.mean_s, 1.5);
+        assert_eq!(s.p50_s, 2.0);
+        assert_eq!(s.p90_s, 2.0);
+        assert_eq!(s.p99_s, 2.0);
+    }
+
+    #[test]
+    fn nearest_rank_at_n3_is_the_true_median() {
+        // rank(p50) = round(2 · 0.5) = 1; p90/p99 round to the maximum.
+        let s = LatencyStats::from_sorted(&[1.0, 2.0, 10.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50_s, 2.0);
+        assert_eq!(s.p90_s, 10.0);
+        assert_eq!(s.p99_s, 10.0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_are_plain_order_statistics() {
+        // A run of equal values: whatever rank a percentile lands on
+        // inside the run, the statistic is that value — shard boundaries
+        // cutting through the run cannot change it.
+        let s = LatencyStats::from_sorted(&[5.0, 5.0, 5.0, 9.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50_s, 5.0); // rank round(3 · 0.5) = 2
+        assert_eq!(s.p90_s, 9.0); // rank round(3 · 0.9) = 3
+        assert_eq!(s.p99_s, 9.0);
+        let all_equal = LatencyStats::from_sorted(&[4.25; 5]);
+        assert_eq!(all_equal.p50_s, 4.25);
+        assert_eq!(all_equal.p90_s, 4.25);
+        assert_eq!(all_equal.p99_s, 4.25);
+        assert_eq!(all_equal.mean_s, 4.25);
     }
 
     #[test]

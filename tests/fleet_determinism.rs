@@ -1,8 +1,11 @@
-//! Property test for the fleet engine's determinism contract: for a
-//! *random* campaign configuration, the fleet report at 1 worker thread is
-//! bit-identical to the report at N threads — same discipline as
-//! `tests/parallel_determinism.rs`, but with the configuration space
-//! explored by proptest instead of a fixed workload.
+//! Property tests for the fleet engine's determinism contract: for a
+//! *random* campaign configuration, the fleet report at 1 worker thread /
+//! 1 aggregation shard is bit-identical to the report at N threads and M
+//! shards — same discipline as `tests/parallel_determinism.rs`, but with
+//! the configuration space explored by proptest instead of a fixed
+//! workload. Covers both axes of the sharded pipeline (DESIGN.md §10):
+//! the simulation-stage fold (thread count) and the diagnosis-stage
+//! sharding (shard count), across all three transport backends.
 
 use std::sync::OnceLock;
 
@@ -71,13 +74,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn fleet_report_is_thread_count_independent(
+    fn fleet_report_is_thread_and_shard_count_independent(
         vehicles in 1u32..250,
         defect_pct in 0usize..=100,
         horizon_days in 1u64..=30,
         seed in 0u64..u64::MAX,
         batch_size in 1usize..96,
         threads in 2usize..9,
+        shards in 2usize..9,
         transport_idx in 0usize..3,
     ) {
         let bp = blueprints(TransportKind::ALL[transport_idx]);
@@ -87,6 +91,7 @@ proptest! {
             horizon_s: horizon_days as f64 * 86_400.0,
             seed,
             threads: 1,
+            shards: 1,
             shutoff: ShutoffModel::default(),
             batch_size,
         };
@@ -94,10 +99,43 @@ proptest! {
             .unwrap_or_else(|e| panic!("valid campaign: {e}"))
             .run();
         cfg.threads = threads;
+        cfg.shards = shards;
         let parallel = Campaign::new(cut(), &bp, cfg)
             .unwrap_or_else(|e| panic!("valid campaign: {e}"))
             .run();
         prop_assert_eq!(parallel, serial);
+    }
+
+    /// The tentpole contract of the sharded gateway: serial aggregation
+    /// (1 shard) and sharded aggregation produce the identical
+    /// `FleetReport` across {1, 2, 3, 8} shards, for every transport
+    /// backend, over the *same* simulated shards — aggregation is
+    /// borrow-only, so one simulation feeds every shard count.
+    #[test]
+    fn sharded_aggregation_matches_serial_aggregate(
+        vehicles in 1u32..300,
+        defect_pct in 0usize..=100,
+        seed in 0u64..u64::MAX,
+        transport_idx in 0usize..3,
+    ) {
+        let bp = blueprints(TransportKind::ALL[transport_idx]);
+        let cfg = CampaignConfig {
+            vehicles,
+            defect_fraction: defect_pct as f64 / 100.0,
+            seed,
+            threads: 2,
+            shards: 1,
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::new(cut(), &bp, cfg.clone())
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        for shards in [1usize, 2, 3, 8] {
+            let sharded = Campaign::new(cut(), &bp, CampaignConfig { shards, ..cfg.clone() })
+                .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+                .run();
+            prop_assert_eq!(&sharded, &campaign, "shards = {}", shards);
+        }
     }
 
     #[test]
