@@ -6,7 +6,7 @@
 //! by 30–50 % — directly reducing the *encoded deterministic test data*
 //! volume `s(b^D)` that the paper's DSE must place in gateway or ECU memory.
 
-use eea_faultsim::{FaultSim, FaultUniverse, PatternBlock};
+use eea_faultsim::{FaultUniverse, WideFaultSim, WidePatternBlock};
 use eea_netlist::Circuit;
 
 use crate::cube::TestCube;
@@ -33,11 +33,13 @@ pub fn compact_from_state(
     cubes: &[TestCube],
     universe: &mut FaultUniverse,
 ) -> Vec<TestCube> {
-    let mut sim = FaultSim::new(circuit);
+    // One cube per block: the narrow 1-lane word avoids paying the default
+    // width for single-pattern grading.
+    let mut sim = WideFaultSim::<1>::new(circuit);
     let mut keep = vec![false; cubes.len()];
     for (idx, cube) in cubes.iter().enumerate().rev() {
         let filled = cube.filled_with(|| false);
-        let block = PatternBlock::from_patterns(circuit, &[filled]);
+        let block = WidePatternBlock::<1>::from_patterns(circuit, &[filled]);
         if sim.detect_block(&block, universe) > 0 {
             keep[idx] = true;
         }
@@ -83,7 +85,7 @@ mod tests {
         let mut u_before = eea_faultsim::FaultUniverse::collapsed(&c);
         let mut sim = eea_faultsim::FaultSim::new(&c);
         for cube in &cubes {
-            let block = PatternBlock::from_patterns(&c, &[cube.filled_with(|| false)]);
+            let block = eea_faultsim::PatternBlock::from_patterns(&c, &[cube.filled_with(|| false)]);
             sim.detect_block(&block, &mut u_before);
         }
         let cov_before = u_before.coverage();

@@ -100,10 +100,10 @@ impl TestCube {
     }
 
     /// Packs fully specified versions of `cubes` (don't-cares zero-filled)
-    /// into 64-wide pattern blocks for the fault simulator.
+    /// into full-width pattern blocks for the fault simulator.
     pub fn pack_blocks(circuit: &Circuit, cubes: &[TestCube]) -> Vec<PatternBlock> {
         cubes
-            .chunks(64)
+            .chunks(PatternBlock::CAPACITY)
             .map(|chunk| {
                 let mut block = PatternBlock::zeroed(circuit, chunk.len());
                 for (j, cube) in chunk.iter().enumerate() {

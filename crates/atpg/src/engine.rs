@@ -1,7 +1,7 @@
 //! ATPG driver: PODEM per undetected fault with fault dropping and
 //! compaction.
 
-use eea_faultsim::{FaultSim, FaultUniverse, PatternBlock};
+use eea_faultsim::{FaultUniverse, WideFaultSim, WidePatternBlock};
 use eea_netlist::Circuit;
 
 
@@ -102,7 +102,9 @@ pub fn generate_tests_for(
     config: &AtpgConfig,
 ) -> AtpgRun {
     let mut podem = Podem::new(circuit, config.backtrack_limit);
-    let mut sim = FaultSim::new(circuit);
+    // Grading one cube at a time: the narrow 1-lane word skips the unused
+    // upper lanes of the default-width pattern block.
+    let mut sim = WideFaultSim::<1>::new(circuit);
     let mut cubes: Vec<TestCube> = Vec::new();
     let mut specified_care_bits = 0usize;
     let mut untestable = 0;
@@ -134,7 +136,8 @@ pub fn generate_tests_for(
             AtpgOutcome::Test(cube) => {
                 specified_care_bits += cube.care_bits();
                 let filled = cube.filled_with(&mut fill);
-                let block = PatternBlock::from_patterns(circuit, std::slice::from_ref(&filled));
+                let block =
+                    WidePatternBlock::<1>::from_patterns(circuit, std::slice::from_ref(&filled));
                 let newly = sim.detect_block(&block, universe);
                 debug_assert!(newly > 0, "generated cube must detect its target");
                 // Store the *filled* pattern: compaction and downstream BIST

@@ -1,19 +1,26 @@
 //! Ablation: bit-parallel PPSFP vs a naive serial (one pattern at a time)
-//! fault simulation. The 64-way parallelism is what makes BIST profile
-//! generation tractable.
+//! fault simulation, plus the wide-word (512-bit block) vs classic u64
+//! pattern-word comparison. The pattern-parallelism is what makes BIST
+//! profile generation tractable.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use eea_faultsim::{FaultSim, FaultUniverse, ParFaultSim, PatternBlock};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eea_faultsim::{
+    FaultSim, FaultUniverse, ParFaultSim, PatternBlock, WideFaultSim, WidePatternBlock,
+};
 use eea_netlist::{synthesize, SynthConfig};
 
-fn random_block(c: &eea_netlist::Circuit, rng: &mut u64, count: usize) -> PatternBlock {
-    let mut block = PatternBlock::zeroed(c, count);
-    for i in 0..c.pattern_width() {
+fn random_block<const L: usize>(
+    c: &eea_netlist::Circuit,
+    rng: &mut u64,
+    count: usize,
+) -> WidePatternBlock<L> {
+    let mut block = WidePatternBlock::<L>::zeroed(c, count);
+    block.fill_words(|| {
         *rng ^= *rng << 13;
         *rng ^= *rng >> 7;
         *rng ^= *rng << 17;
-        *block.word_mut(i) = *rng;
-    }
+        *rng
+    });
     block
 }
 
@@ -86,13 +93,24 @@ fn bench_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-/// PPSFP forward-evaluation micro-bench on a c1355-sized circuit
-/// (ISCAS-85 c1355: ~1,355 equivalent gates, 41 inputs). One iteration =
-/// one 64-pattern `detect_block` over the collapsed fault universe. This
-/// is the workload the per-simulator fan-in scratch buffer serves: before
-/// the hoist, every wide-gate visit in the faulty-value propagation loop
-/// allocated a fresh `Vec<u64>`; now all visits reuse one buffer owned by
-/// the simulator.
+/// PPSFP forward-evaluation bench on a c1355-sized circuit (ISCAS-85
+/// c1355: ~1,355 equivalent gates, 41 inputs). Each wide-vs-narrow pair
+/// pushes the same 512 patterns through the collapsed fault universe per
+/// iteration — once as a single 8-lane block, once as eight classic
+/// 64-pattern `u64` blocks — so the per-iteration wall-clock ratio is the
+/// per-pattern speedup of the wide word.
+///
+/// Two workloads:
+///
+/// * `full_masks_*` — the simulate stage of BIST profile generation
+///   (`detect_block_with_positions` semantics): every fault's complete
+///   detection mask, no early exit. Every cone is walked to exhaustion,
+///   so the wide word's per-gate amortization shows in full.
+/// * `detect_*` — the adaptive coverage scan (`detect_block`): walks
+///   truncate at the first detecting pattern and detected faults leave
+///   the worklist. Most faults are caught within the first 64 patterns,
+///   where both word widths do identical truncated work, so the wide
+///   win is structurally smaller here (see EXPERIMENTS.md).
 fn bench_c1355_forward_eval(c: &mut Criterion) {
     let circuit = synthesize(&SynthConfig {
         gates: 1_355,
@@ -105,14 +123,80 @@ fn bench_c1355_forward_eval(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ppsfp_c1355");
     group.sample_size(10);
-    group.bench_function("detect_block_64_patterns", |b| {
+
+    group.bench_function("full_masks_512_patterns_wide8", |b| {
+        let mut sim = FaultSim::new(&circuit);
+        let universe = FaultUniverse::collapsed(&circuit);
+        let mut rng = 0xC135_5EEDu64;
+        let block = random_block(&circuit, &mut rng, PatternBlock::CAPACITY);
+        sim.run_good(&block);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for fi in 0..universe.num_faults() {
+                let mask = sim.detect_mask(universe.fault(fi), &block, false);
+                acc = acc.wrapping_add(mask.lanes()[0]);
+            }
+            acc
+        })
+    });
+    group.bench_function("full_masks_512_patterns_narrow_u64", |b| {
+        let mut sim = WideFaultSim::<1>::new(&circuit);
+        let universe = FaultUniverse::collapsed(&circuit);
+        let mut rng = 0xC135_5EEDu64;
+        let blocks: Vec<_> = (0..PatternBlock::CAPACITY / 64)
+            .map(|_| random_block::<1>(&circuit, &mut rng, 64))
+            .collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            // The u64 path re-runs the good machine per 64-pattern block;
+            // that is part of pushing 512 patterns through a narrow word.
+            for block in &blocks {
+                sim.run_good(block);
+                for fi in 0..universe.num_faults() {
+                    let mask = sim.detect_mask(universe.fault(fi), block, false);
+                    acc = acc.wrapping_add(mask.lanes()[0]);
+                }
+            }
+            acc
+        })
+    });
+
+    // Universe collapse and pattern generation are identical on both
+    // sides and independent of the word width, so they are built untimed
+    // (`iter_batched`) — the timed region is pure fault simulation.
+    group.bench_function("detect_512_patterns_wide8", |b| {
         let mut sim = FaultSim::new(&circuit);
         let mut rng = 0xC135_5EEDu64;
-        b.iter(|| {
-            let mut universe = FaultUniverse::collapsed(&circuit);
-            let block = random_block(&circuit, &mut rng, 64);
-            sim.detect_block(&block, &mut universe)
-        })
+        b.iter_batched(
+            || {
+                let universe = FaultUniverse::collapsed(&circuit);
+                let block = random_block(&circuit, &mut rng, PatternBlock::CAPACITY);
+                (universe, block)
+            },
+            |(mut universe, block)| sim.detect_block(&block, &mut universe),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("detect_512_patterns_narrow_u64", |b| {
+        let mut sim = WideFaultSim::<1>::new(&circuit);
+        let mut rng = 0xC135_5EEDu64;
+        b.iter_batched(
+            || {
+                let universe = FaultUniverse::collapsed(&circuit);
+                let blocks: Vec<_> = (0..PatternBlock::CAPACITY / 64)
+                    .map(|_| random_block::<1>(&circuit, &mut rng, 64))
+                    .collect();
+                (universe, blocks)
+            },
+            |(mut universe, blocks)| {
+                let mut total = 0;
+                for block in &blocks {
+                    total += sim.detect_block(block, &mut universe);
+                }
+                total
+            },
+            BatchSize::PerIteration,
+        )
     });
     group.finish();
 }

@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use eea_bench::{env_usize, out_path, paper_diag_spec};
 use eea_dse::{DseProblem, EeaError, EVAL_LANES};
-use eea_faultsim::{FaultUniverse, ParFaultSim, PatternBlock};
+use eea_faultsim::{FaultUniverse, ParFaultSim, PatternBlock, DEFAULT_LANES};
 use eea_moea::{Problem, Rng};
 use eea_netlist::{synthesize, Circuit, SynthConfig};
 
@@ -33,17 +33,17 @@ struct SweepPoint {
 
 fn random_block(c: &Circuit, rng: &mut u64, count: usize) -> PatternBlock {
     let mut block = PatternBlock::zeroed(c, count);
-    for i in 0..c.pattern_width() {
+    block.fill_words(|| {
         *rng ^= *rng << 13;
         *rng ^= *rng >> 7;
         *rng ^= *rng << 17;
-        *block.word_mut(i) = *rng;
-    }
+        *rng
+    });
     block
 }
 
 /// One faultsim workload: a fresh collapsed universe pushed through `blocks`
-/// 64-pattern blocks. Returns the per-block detection counts (the
+/// full-width pattern blocks. Returns the per-block detection counts (the
 /// determinism fingerprint).
 fn faultsim_workload(
     circuit: &Circuit,
@@ -54,7 +54,7 @@ fn faultsim_workload(
     let mut rng = 0x5EEDu64;
     (0..blocks)
         .map(|_| {
-            let block = random_block(circuit, &mut rng, 64);
+            let block = random_block(circuit, &mut rng, PatternBlock::CAPACITY);
             sim.detect_block(&block, &mut universe)
         })
         .collect()
@@ -167,9 +167,11 @@ fn main() -> Result<(), EeaError> {
     assert!(fs_identical, "faultsim results diverged across thread counts");
     assert!(dse_identical, "dse results diverged across thread counts");
 
+    let word_bits = PatternBlock::CAPACITY;
+    let lanes = DEFAULT_LANES;
     let json = format!
 (
-        "{{\n  \"machine_cores\": {cores},\n  \"workload\": {{\"faultsim_blocks\": {blocks}, \"dse_batches\": {batches}, \"dse_batch_size\": {EVAL_LANES}}},\n{},\n{}\n}}\n",
+        "{{\n  \"machine_cores\": {cores},\n  \"word_bits\": {word_bits},\n  \"lanes\": {lanes},\n  \"workload\": {{\"faultsim_blocks\": {blocks}, \"dse_batches\": {batches}, \"dse_batch_size\": {EVAL_LANES}}},\n{},\n{}\n}}\n",
         json_sweep("faultsim", "blocks", &fs_points, fs_identical),
         json_sweep("dse", "evals", &dse_points, dse_identical),
     );

@@ -85,7 +85,13 @@ fn main() -> Result<(), EeaError> {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    eprintln!("machine: {cores} core(s) available");
+    // Pattern-word geometry of the simulation substrate that produced the
+    // CUT model — recorded alongside machine_cores in every entry so that
+    // timing entries from different word widths are never compared as if
+    // like-for-like.
+    let word_bits = eea_faultsim::PatternBlock::CAPACITY;
+    let lanes = eea_faultsim::DEFAULT_LANES;
+    eprintln!("machine: {cores} core(s) available, {word_bits}-bit pattern word ({lanes} lanes)");
 
     eprintln!("building CUT model (golden session + per-fault fail data)...");
     let cut = CutModel::build(CutConfig::default())?;
@@ -213,7 +219,7 @@ p50 latency {:.1} h\n",
             })
             .collect();
         entries.push(format!(
-            "    {{\n      \"transport\": \"{}\",\n      \"machine_cores\": {cores},\n      \"bit_identical_across_sweep\": true,\n      {},\n      \"sweep\": [\n{}\n      ]\n    }}",
+            "    {{\n      \"transport\": \"{}\",\n      \"machine_cores\": {cores},\n      \"word_bits\": {word_bits},\n      \"lanes\": {lanes},\n      \"bit_identical_across_sweep\": true,\n      {},\n      \"sweep\": [\n{}\n      ]\n    }}",
             kind.label(),
             json_report(&report),
             sweep.join(",\n")
@@ -258,7 +264,8 @@ peak RSS {} KiB",
             );
             scale_entries.push(format!(
                 "    {{\"vehicles\": {fleet}, \"transport\": \"{}\", \"threads\": {threads_used}, \
-\"machine_cores\": {cores}, \"seconds\": {seconds:.6}, \"vehicles_per_s\": {:.2}, \
+\"machine_cores\": {cores}, \"word_bits\": {word_bits}, \"lanes\": {lanes}, \
+\"seconds\": {seconds:.6}, \"vehicles_per_s\": {:.2}, \
 \"peak_rss_kb\": {}, \"detected\": {}, \"stages\": {{\"simulate_s\": {:.6}, \
 \"merge_s\": {:.6}, \"diagnose_s\": {:.6}, \"fold_s\": {:.6}}}}}",
                 kind.label(),
@@ -274,7 +281,7 @@ peak RSS {} KiB",
     }
 
     let json = format!(
-        "{{\n  \"machine_cores\": {cores},\n  \"transports\": [\n{}\n  ],\n  \"scale_sweep\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"machine_cores\": {cores},\n  \"word_bits\": {word_bits},\n  \"lanes\": {lanes},\n  \"transports\": [\n{}\n  ],\n  \"scale_sweep\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
         scale_entries.join(",\n")
     );

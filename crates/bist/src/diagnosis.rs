@@ -16,7 +16,7 @@
 //! between their *predicted* failing-window set (from fault simulation of
 //! the session's pattern stream) and the *observed* one.
 
-use eea_faultsim::{Fault, FaultSim, FaultUniverse};
+use eea_faultsim::{Fault, FaultSim, FaultUniverse, PatternBlock};
 use eea_netlist::Circuit;
 
 use crate::fail::FailData;
@@ -97,14 +97,12 @@ impl Diagnoser {
         let mut lfsr = Lfsr::new32(lfsr_seed);
         let mut done = 0u64;
         while done < patterns {
-            let count = ((patterns - done).min(64)) as usize;
+            let count = ((patterns - done).min(PatternBlock::CAPACITY as u64)) as usize;
             let block = lfsr_pattern_block(circuit, chains, &mut lfsr, count);
             sim.run_good(&block);
             for (fi, fail_windows) in failing.iter_mut().enumerate() {
-                let mut mask = sim.detect_mask(universe.fault(fi), &block, false);
-                while mask != 0 {
-                    let j = mask.trailing_zeros();
-                    mask &= mask - 1;
+                let mask = sim.detect_mask(universe.fault(fi), &block, false);
+                for j in mask.iter_ones() {
                     let pattern_idx = done + u64::from(j);
                     fail_windows.insert((pattern_idx / window) as u32);
                 }

@@ -20,7 +20,7 @@ use std::error::Error;
 use std::fmt;
 
 use eea_atpg::{generate_tests_for, AtpgConfig};
-use eea_faultsim::{resolve_threads, FaultUniverse, ParFaultSim};
+use eea_faultsim::{resolve_threads, FaultUniverse, ParFaultSim, PatternBlock};
 use eea_netlist::{Circuit, ScanChains, ScanError};
 
 use crate::lfsr::Lfsr;
@@ -196,7 +196,7 @@ pub fn generate_profiles(
     let mut done = 0u64;
     for &target in &counts {
         while done < target {
-            let count = ((target - done).min(64)) as usize;
+            let count = ((target - done).min(PatternBlock::CAPACITY as u64)) as usize;
             let block = lfsr_pattern_block(circuit, &chains, &mut lfsr, count);
             sim.detect_block(&block, &mut universe);
             done += count as u64;

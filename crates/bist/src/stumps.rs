@@ -9,7 +9,7 @@
 //! \[10\]): with per-window signatures, the set of failing windows
 //! fingerprints the fault instead of merely flagging the first corruption.
 
-use eea_faultsim::{Fault, FaultSim, GoodSim, PatternBlock};
+use eea_faultsim::{BitBlock, Fault, FaultSim, GoodSim, PatternBlock, DEFAULT_LANES};
 use eea_netlist::{Circuit, ScanChains};
 
 use crate::fail::FailData;
@@ -98,7 +98,8 @@ impl<'c> StumpsSession<'c> {
         }
     }
 
-    /// Generates the next 64-pattern block from the LFSR stream.
+    /// Generates the next pattern block (up to [`PatternBlock::CAPACITY`]
+    /// patterns) from the LFSR stream.
     fn next_block(&self, lfsr: &mut Lfsr, count: usize) -> PatternBlock {
         lfsr_pattern_block(self.circuit, self.chains, lfsr, count)
     }
@@ -111,7 +112,7 @@ impl<'c> StumpsSession<'c> {
         let mut word = 0u64;
         let mut k = 0;
         for i in 0..r.width() {
-            if (r.word(i) >> j) & 1 == 1 {
+            if r.get(i, j) {
                 word |= 1 << k;
             }
             k += 1;
@@ -135,7 +136,7 @@ impl<'c> StumpsSession<'c> {
         let mut signatures = Vec::new();
         let mut done = 0u64;
         while done < patterns {
-            let count = ((patterns - done).min(64)) as usize;
+            let count = ((patterns - done).min(PatternBlock::CAPACITY as u64)) as usize;
             let block = self.next_block(&mut lfsr, count);
             sim.run(&block);
             for j in 0..count {
@@ -175,7 +176,7 @@ impl<'c> StumpsSession<'c> {
         let mut done = 0u64;
         let mut window_idx = 0u32;
         while done < patterns {
-            let count = ((patterns - done).min(64)) as usize;
+            let count = ((patterns - done).min(PatternBlock::CAPACITY as u64)) as usize;
             let block = self.next_block(&mut lfsr, count);
             fsim.run_good(&block);
             let detect = fsim.detect_mask(fault, &block, false);
@@ -185,7 +186,7 @@ impl<'c> StumpsSession<'c> {
                 // the corrupted capture (behavioural abstraction — the MISR
                 // diverges permanently afterwards, as in reality).
                 self.compact_response(&mut misr, fsim.good_sim(), &block, j);
-                if (detect >> j) & 1 == 1 {
+                if detect.bit(j) {
                     misr.absorb(1); // corrupt: extra error word
                 }
                 done += 1;
@@ -282,19 +283,19 @@ impl<'s, 'c> ResumableRun<'s, 'c> {
         let todo = patterns.min(self.target - self.done);
         let mut applied = 0u64;
         while applied < todo {
-            let count = ((todo - applied).min(64)) as usize;
+            let count = ((todo - applied).min(PatternBlock::CAPACITY as u64)) as usize;
             let block = self
                 .session
                 .next_block(&mut self.lfsr, count);
             self.fsim.run_good(&block);
             let detect = match self.fault {
                 Some(fault) => self.fsim.detect_mask(fault, &block, false),
-                None => 0,
+                None => BitBlock::<DEFAULT_LANES>::ZEROS,
             };
             for j in 0..count {
                 self.session
                     .compact_response(&mut self.misr, self.fsim.good_sim(), &block, j);
-                if (detect >> j) & 1 == 1 {
+                if detect.bit(j) {
                     self.misr.absorb(1); // corrupt: extra error word
                 }
                 self.done += 1;
@@ -443,7 +444,7 @@ mod tests {
         fsim.run_good(&block);
         let mut detected_fault = None;
         for fi in 0..universe.num_faults() {
-            if fsim.detect_mask(universe.fault(fi), &block, true) != 0 {
+            if fsim.detect_mask(universe.fault(fi), &block, true).any() {
                 detected_fault = Some(universe.fault(fi));
                 break;
             }

@@ -1,0 +1,308 @@
+//! Wide pattern words: fixed-lane `[u64; LANES]` blocks.
+//!
+//! The simulation stack is generic over the pattern-word width. A
+//! [`BitBlock<LANES>`] packs `64 * LANES` patterns, one per bit; every
+//! bitwise operation runs lane-parallel over a fixed-size array, a shape
+//! LLVM autovectorizes into SIMD loads/ops on any target with vector
+//! registers (two 256-bit AVX2 ops cover the default 8-lane word). Lane 1
+//! (`BitBlock<1>`) is bit-for-bit the classic `u64` path, which is what
+//! the wide-vs-narrow oracle proptests compare against.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+use eea_netlist::SimWord;
+
+/// Lane count of the default pattern word: `8 × u64` = 512 patterns per
+/// simulation pass. [`crate::PatternBlock`], [`crate::FaultSim`] and the
+/// rest of the default-width aliases are pinned to this; the generic
+/// `Wide*` types accept any lane count (1 and 4 are exercised by the
+/// oracle tests).
+pub const DEFAULT_LANES: usize = 8;
+
+/// A pattern word of `64 * L` bits, stored as `L` little-endian `u64`
+/// lanes: bit `j` of the block is bit `j % 64` of lane `j / 64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitBlock<const L: usize>([u64; L]);
+
+impl<const L: usize> BitBlock<L> {
+    /// Number of pattern bits the block holds.
+    pub const BITS: usize = 64 * L;
+
+    /// The all-zeros block.
+    pub const ZEROS: Self = BitBlock([0; L]);
+
+    /// The all-ones block.
+    pub const ONES: Self = BitBlock([u64::MAX; L]);
+
+    /// Builds a block whose lane 0 is `w` and whose other lanes are zero
+    /// — the embedding of a classic `u64` pattern word.
+    #[inline]
+    pub fn from_u64(w: u64) -> Self {
+        let mut lanes = [0u64; L];
+        lanes[0] = w;
+        BitBlock(lanes)
+    }
+
+    /// The raw lanes.
+    #[inline]
+    pub fn lanes(&self) -> &[u64; L] {
+        &self.0
+    }
+
+    /// Mutable access to the raw lanes.
+    #[inline]
+    pub fn lanes_mut(&mut self) -> &mut [u64; L] {
+        &mut self.0
+    }
+
+    /// A block with the low `n` bits set (`n <= BITS`); `n == BITS` yields
+    /// all ones. The wide analogue of `(1u64 << n) - 1`.
+    #[inline]
+    pub fn low_mask(n: usize) -> Self {
+        debug_assert!(n <= Self::BITS);
+        let mut lanes = [0u64; L];
+        let full = n / 64;
+        for lane in lanes.iter_mut().take(full) {
+            *lane = u64::MAX;
+        }
+        let rem = n % 64;
+        if rem > 0 && full < L {
+            lanes[full] = (1u64 << rem) - 1;
+        }
+        BitBlock(lanes)
+    }
+
+    /// Whether any bit is set.
+    #[inline]
+    pub fn any(&self) -> bool {
+        // `fold` over the lanes (not `iter().any`) keeps the loop
+        // branch-free and vectorizable.
+        self.0.iter().fold(0u64, |acc, &w| acc | w) != 0
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        !self.any()
+    }
+
+    /// Value of bit `j`.
+    #[inline]
+    pub fn bit(&self, j: usize) -> bool {
+        debug_assert!(j < Self::BITS);
+        (self.0[j / 64] >> (j % 64)) & 1 == 1
+    }
+
+    /// Sets bit `j` to `value`.
+    #[inline]
+    pub fn set_bit(&mut self, j: usize, value: bool) {
+        debug_assert!(j < Self::BITS);
+        if value {
+            self.0[j / 64] |= 1 << (j % 64);
+        } else {
+            self.0[j / 64] &= !(1 << (j % 64));
+        }
+    }
+
+    /// Index of the lowest set bit, or `BITS as u32` when the block is
+    /// zero — the same convention as `u64::trailing_zeros`.
+    #[inline]
+    pub fn trailing_zeros(&self) -> u32 {
+        for (k, &w) in self.0.iter().enumerate() {
+            if w != 0 {
+                return (k * 64) as u32 + w.trailing_zeros();
+            }
+        }
+        Self::BITS as u32
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterates the indices of the set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.iter().enumerate().flat_map(|(k, &lane)| {
+            // Only non-zero values are yielded (and passed to the successor
+            // closure), so `w - 1` cannot underflow.
+            std::iter::successors((lane != 0).then_some(lane), |&w| {
+                let rest = w & (w - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |w| (k * 64) as u32 + w.trailing_zeros())
+        })
+    }
+}
+
+impl<const L: usize> Default for BitBlock<L> {
+    fn default() -> Self {
+        Self::ZEROS
+    }
+}
+
+impl<const L: usize> fmt::Debug for BitBlock<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Most-significant lane first, so the rendering reads as one wide
+        // hex number.
+        write!(f, "BitBlock<{L}>(0x")?;
+        for &lane in self.0.iter().rev() {
+            write!(f, "{lane:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const L: usize> BitAnd for BitBlock<L> {
+    type Output = Self;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        BitBlock(std::array::from_fn(|k| self.0[k] & rhs.0[k]))
+    }
+}
+
+impl<const L: usize> BitOr for BitBlock<L> {
+    type Output = Self;
+    #[inline]
+    fn bitor(self, rhs: Self) -> Self {
+        BitBlock(std::array::from_fn(|k| self.0[k] | rhs.0[k]))
+    }
+}
+
+impl<const L: usize> BitXor for BitBlock<L> {
+    type Output = Self;
+    #[inline]
+    fn bitxor(self, rhs: Self) -> Self {
+        BitBlock(std::array::from_fn(|k| self.0[k] ^ rhs.0[k]))
+    }
+}
+
+impl<const L: usize> Not for BitBlock<L> {
+    type Output = Self;
+    #[inline]
+    fn not(self) -> Self {
+        BitBlock(std::array::from_fn(|k| !self.0[k]))
+    }
+}
+
+impl<const L: usize> BitAndAssign for BitBlock<L> {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Self) {
+        for k in 0..L {
+            self.0[k] &= rhs.0[k];
+        }
+    }
+}
+
+impl<const L: usize> BitOrAssign for BitBlock<L> {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Self) {
+        for k in 0..L {
+            self.0[k] |= rhs.0[k];
+        }
+    }
+}
+
+impl<const L: usize> BitXorAssign for BitBlock<L> {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: Self) {
+        for k in 0..L {
+            self.0[k] ^= rhs.0[k];
+        }
+    }
+}
+
+impl<const L: usize> SimWord for BitBlock<L> {
+    const ZEROS: Self = Self::ZEROS;
+    const ONES: Self = Self::ONES;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_mask_boundaries() {
+        assert_eq!(BitBlock::<4>::low_mask(0), BitBlock::ZEROS);
+        assert_eq!(BitBlock::<4>::low_mask(256), BitBlock::ONES);
+        let m = BitBlock::<4>::low_mask(65);
+        assert_eq!(m.lanes()[0], u64::MAX);
+        assert_eq!(m.lanes()[1], 1);
+        assert_eq!(m.lanes()[2], 0);
+        assert_eq!(m.count_ones(), 65);
+    }
+
+    #[test]
+    fn lane1_matches_u64_semantics() {
+        for w in [0u64, 1, 0xFFFF_0000_FFFF_0000, u64::MAX] {
+            let b = BitBlock::<1>::from_u64(w);
+            assert_eq!(b.trailing_zeros(), w.trailing_zeros());
+            assert_eq!(b.count_ones(), w.count_ones());
+            assert_eq!(b.any(), w != 0);
+            assert_eq!((!b).lanes()[0], !w);
+        }
+    }
+
+    #[test]
+    fn bit_set_get_across_lanes() {
+        let mut b = BitBlock::<4>::ZEROS;
+        for j in [0usize, 63, 64, 127, 200, 255] {
+            assert!(!b.bit(j));
+            b.set_bit(j, true);
+            assert!(b.bit(j));
+        }
+        assert_eq!(b.count_ones(), 6);
+        assert_eq!(b.trailing_zeros(), 0);
+        b.set_bit(0, false);
+        assert_eq!(b.trailing_zeros(), 63);
+        let ones: Vec<u32> = b.iter_ones().collect();
+        assert_eq!(ones, vec![63, 64, 127, 200, 255]);
+    }
+
+    #[test]
+    fn trailing_zeros_of_zero_is_bits() {
+        assert_eq!(BitBlock::<8>::ZEROS.trailing_zeros(), 512);
+        assert_eq!(BitBlock::<1>::ZEROS.trailing_zeros(), 64);
+    }
+
+    #[test]
+    fn bitwise_ops_are_lanewise() {
+        let mut a = BitBlock::<2>::ZEROS;
+        a.lanes_mut()[0] = 0b1100;
+        a.lanes_mut()[1] = 0xF0;
+        let mut b = BitBlock::<2>::ZEROS;
+        b.lanes_mut()[0] = 0b1010;
+        b.lanes_mut()[1] = 0x0F;
+        assert_eq!((a & b).lanes(), &[0b1000, 0x00]);
+        assert_eq!((a | b).lanes(), &[0b1110, 0xFF]);
+        assert_eq!((a ^ b).lanes(), &[0b0110, 0xFF]);
+        let mut c = a;
+        c &= b;
+        assert_eq!(c, a & b);
+        c = a;
+        c |= b;
+        assert_eq!(c, a | b);
+        c = a;
+        c ^= b;
+        assert_eq!(c, a ^ b);
+    }
+
+    #[test]
+    fn iter_ones_full_block() {
+        let all: Vec<u32> = BitBlock::<1>::ONES.iter_ones().collect();
+        assert_eq!(all.len(), 64);
+        assert_eq!(all[0], 0);
+        assert_eq!(all[63], 63);
+    }
+
+    #[test]
+    fn debug_renders_wide_hex() {
+        let b = BitBlock::<2>::from_u64(0xAB);
+        assert_eq!(
+            format!("{b:?}"),
+            "BitBlock<2>(0x000000000000000000000000000000ab)"
+        );
+    }
+}

@@ -16,13 +16,20 @@
 //! * [`enumerate_faults`] + [`collapse`] — fault universe construction with
 //!   structural equivalence collapsing (the paper quotes *collapsed* fault
 //!   counts),
-//! * [`PatternBlock`]/[`GoodSim`] — 64-way bit-parallel logic simulation of
-//!   the full-scan combinational core,
+//! * [`BitBlock`] — the wide pattern word (`[u64; LANES]`, 512 patterns at
+//!   the default width) every simulator is generic over,
+//! * [`PatternBlock`]/[`GoodSim`] — bit-parallel logic simulation of the
+//!   full-scan combinational core, one pattern per block bit,
 //! * [`FaultSim`] — PPSFP (parallel-pattern single-fault propagation) with
 //!   event-driven cone simulation and early exit,
 //! * [`ParFaultSim`] — worklist-parallel PPSFP over `std::thread::scope`
 //!   workers, bit-identical to the serial path at any thread count,
 //! * [`FaultUniverse`] — detection bookkeeping and coverage curves.
+//!
+//! The unqualified names above are aliases of generic `Wide*` types pinned
+//! to [`DEFAULT_LANES`]; the generics ([`WidePatternBlock`],
+//! [`WideFaultSim`], …) accept any lane count, and lane count 1 is
+//! bit-for-bit the classic 64-pattern `u64` path.
 //!
 //! # Example
 //!
@@ -34,7 +41,7 @@
 //! let c = bench_format::parse(bench_format::C17)?;
 //! let mut universe = FaultUniverse::collapsed(&c);
 //! let mut sim = FaultSim::new(&c);
-//! // Exhaustive 32-pattern test of the 5-input circuit:
+//! // Exhaustive 32-pattern test of the 5-input circuit fits one block:
 //! let block = PatternBlock::exhaustive(&c).expect("few inputs");
 //! sim.detect_block(&block, &mut universe);
 //! assert!((universe.coverage() - 1.0).abs() < 1e-9);
@@ -42,6 +49,7 @@
 //! # }
 //! ```
 
+mod block;
 mod collapsing;
 mod fault;
 mod par;
@@ -50,13 +58,16 @@ mod sim;
 mod transition;
 mod universe;
 
+pub use block::{BitBlock, DEFAULT_LANES};
 pub use collapsing::{collapse, CollapseReport};
 pub use fault::{enumerate_faults, Fault, FaultSite};
-pub use par::{resolve_threads, ParFaultSim};
-pub use ppsfp::FaultSim;
-pub use sim::{GoodSim, PatternBlock, Response};
+pub use par::{resolve_threads, ParFaultSim, WideParFaultSim};
+pub use ppsfp::{FaultSim, WideFaultSim};
+pub use sim::{
+    GoodSim, PatternBlock, Response, WideGoodSim, WidePatternBlock, WideResponse,
+};
 pub use transition::{
     enumerate_transition_faults, launch_on_capture, transition_coverage, TransitionFault,
-    TransitionKind, TransitionSim,
+    TransitionKind, TransitionSim, WideTransitionSim,
 };
 pub use universe::{CoveragePoint, FaultUniverse};

@@ -1,12 +1,12 @@
 //! Deterministic parallel fault simulation.
 //!
 //! [`ParFaultSim`] partitions the undetected-fault worklist across
-//! `std::thread::scope` workers, each owning its own [`FaultSim`] (good- and
-//! faulty-machine buffers are per-worker). Because PPSFP detection of one
-//! fault is independent of every other fault — the universe only gates
-//! *which* faults are still tried — the parallel result is bit-identical to
-//! the serial path: the same faults are detected, with the same
-//! first-detecting pattern positions, for any worker count.
+//! `std::thread::scope` workers, each owning its own [`WideFaultSim`]
+//! (good- and faulty-machine buffers are per-worker). Because PPSFP
+//! detection of one fault is independent of every other fault — the
+//! universe only gates *which* faults are still tried — the parallel result
+//! is bit-identical to the serial path: the same faults are detected, with
+//! the same first-detecting pattern positions, for any worker count.
 //!
 //! Determinism is enforced structurally: the live worklist is snapshotted
 //! and sorted by fault index, split into contiguous chunks, and the
@@ -15,8 +15,9 @@
 
 use eea_netlist::Circuit;
 
-use crate::ppsfp::FaultSim;
-use crate::sim::PatternBlock;
+use crate::block::{BitBlock, DEFAULT_LANES};
+use crate::ppsfp::WideFaultSim;
+use crate::sim::WidePatternBlock;
 use crate::universe::FaultUniverse;
 
 /// Resolves a requested worker count: `0` means one worker per available
@@ -36,12 +37,12 @@ pub fn resolve_threads(requested: usize) -> usize {
 }
 
 /// Worklist-parallel PPSFP simulator: the drop-in multi-worker counterpart
-/// of [`FaultSim::detect_block`] and
-/// [`FaultSim::detect_block_with_positions`].
+/// of [`WideFaultSim::detect_block`] and
+/// [`WideFaultSim::detect_block_with_positions`].
 ///
-/// Results are bit-identical to the serial [`FaultSim`] path at any worker
-/// count (see the module docs); a one-worker instance degenerates to the
-/// serial algorithm without spawning.
+/// Results are bit-identical to the serial [`WideFaultSim`] path at any
+/// worker count (see the module docs); a one-worker instance degenerates to
+/// the serial algorithm without spawning.
 ///
 /// # Example
 ///
@@ -59,18 +60,21 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct ParFaultSim<'c> {
-    sims: Vec<FaultSim<'c>>,
+pub struct WideParFaultSim<'c, const L: usize> {
+    sims: Vec<WideFaultSim<'c, L>>,
 }
 
-impl<'c> ParFaultSim<'c> {
+/// The default-width parallel PPSFP simulator: [`DEFAULT_LANES`] lanes.
+pub type ParFaultSim<'c> = WideParFaultSim<'c, DEFAULT_LANES>;
+
+impl<'c, const L: usize> WideParFaultSim<'c, L> {
     /// Creates a simulator with exactly `threads.max(1)` workers. Callers
     /// wanting the `0 = auto` / `EEA_THREADS` convention resolve via
     /// [`resolve_threads`] first.
     pub fn new(circuit: &'c Circuit, threads: usize) -> Self {
         let t = threads.max(1);
-        ParFaultSim {
-            sims: (0..t).map(|_| FaultSim::new(circuit)).collect(),
+        WideParFaultSim {
+            sims: (0..t).map(|_| WideFaultSim::new(circuit)).collect(),
         }
     }
 
@@ -79,9 +83,13 @@ impl<'c> ParFaultSim<'c> {
         self.sims.len()
     }
 
-    /// Parallel counterpart of [`FaultSim::detect_block`]: marks every
+    /// Parallel counterpart of [`WideFaultSim::detect_block`]: marks every
     /// fault detected by `block` and returns how many were newly detected.
-    pub fn detect_block(&mut self, block: &PatternBlock, universe: &mut FaultUniverse) -> usize {
+    pub fn detect_block(
+        &mut self,
+        block: &WidePatternBlock<L>,
+        universe: &mut FaultUniverse,
+    ) -> usize {
         let hits = self.scan(block, universe, true);
         for &(fi, _) in &hits {
             universe.mark_detected(fi as usize);
@@ -89,12 +97,12 @@ impl<'c> ParFaultSim<'c> {
         hits.len()
     }
 
-    /// Parallel counterpart of [`FaultSim::detect_block_with_positions`]:
-    /// returns `(fault index, first detecting pattern)` pairs sorted by
-    /// fault index.
+    /// Parallel counterpart of
+    /// [`WideFaultSim::detect_block_with_positions`]: returns `(fault
+    /// index, first detecting pattern)` pairs sorted by fault index.
     pub fn detect_block_with_positions(
         &mut self,
-        block: &PatternBlock,
+        block: &WidePatternBlock<L>,
         universe: &mut FaultUniverse,
     ) -> Vec<(usize, u32)> {
         let hits = self.scan(block, universe, false);
@@ -110,10 +118,10 @@ impl<'c> ParFaultSim<'c> {
     /// pairs in fault-index order, without mutating the universe.
     fn scan(
         &mut self,
-        block: &PatternBlock,
+        block: &WidePatternBlock<L>,
         universe: &FaultUniverse,
         early_exit: bool,
-    ) -> Vec<(u32, u64)> {
+    ) -> Vec<(u32, BitBlock<L>)> {
         // Snapshot and sort: the worklist itself is unordered (swap-remove),
         // but sorted contiguous chunks make the merged hit list fault-index
         // ordered for free.
@@ -127,7 +135,7 @@ impl<'c> ParFaultSim<'c> {
             return Self::scan_chunk(&mut self.sims[0], block, universe, &live, early_exit);
         }
         let chunk = live.len().div_ceil(workers);
-        let mut merged: Vec<(u32, u64)> = Vec::new();
+        let mut merged: Vec<(u32, BitBlock<L>)> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .sims
@@ -150,18 +158,18 @@ impl<'c> ParFaultSim<'c> {
     }
 
     fn scan_chunk(
-        sim: &mut FaultSim<'c>,
-        block: &PatternBlock,
+        sim: &mut WideFaultSim<'c, L>,
+        block: &WidePatternBlock<L>,
         universe: &FaultUniverse,
         faults: &[u32],
         early_exit: bool,
-    ) -> Vec<(u32, u64)> {
+    ) -> Vec<(u32, BitBlock<L>)> {
         sim.run_good(block);
         faults
             .iter()
             .filter_map(|&fi| {
                 let mask = sim.detect_mask(universe.fault(fi as usize), block, early_exit);
-                (mask != 0).then_some((fi, mask))
+                mask.any().then_some((fi, mask))
             })
             .collect()
     }
@@ -170,6 +178,8 @@ impl<'c> ParFaultSim<'c> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ppsfp::FaultSim;
+    use crate::sim::PatternBlock;
     use eea_netlist::bench_format;
     use eea_netlist::{synthesize, SynthConfig};
 
@@ -195,15 +205,18 @@ mod tests {
             ..SynthConfig::default()
         }).expect("synthesizes");
         let mut rng = 0xDEAD_BEEF_1234_5678u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
         let mut blocks = Vec::new();
         for _ in 0..4 {
-            let mut block = PatternBlock::zeroed(&c, 64);
-            for i in 0..c.pattern_width() {
-                rng ^= rng << 13;
-                rng ^= rng >> 7;
-                rng ^= rng << 17;
-                *block.word_mut(i) = rng;
-            }
+            // Full-width blocks: the parallel merge must stay bit-identical
+            // with detections landing in every lane.
+            let mut block = PatternBlock::zeroed(&c, PatternBlock::CAPACITY);
+            block.fill_words(&mut next);
             blocks.push(block);
         }
         let mut serial_sim = FaultSim::new(&c);

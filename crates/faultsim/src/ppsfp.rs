@@ -1,15 +1,18 @@
 //! Parallel-pattern single-fault propagation (PPSFP).
 //!
 //! For each fault, the faulty machine is only simulated inside the fault's
-//! fanout cone, event-driven in level order, on 64 patterns at once. This is
-//! the standard workhorse algorithm behind industrial fault-coverage
-//! estimation and is what makes the BIST profile generation of `eea-bist`
-//! tractable on a laptop.
+//! fanout cone, event-driven in level order, on a whole pattern block at
+//! once — 512 patterns at the default width ([`crate::DEFAULT_LANES`]
+//! lanes), 64 at lane count 1. This is the standard workhorse algorithm
+//! behind industrial fault-coverage estimation and is what makes the BIST
+//! profile generation of `eea-bist` tractable on a laptop; the wide block
+//! additionally amortizes the per-fault cone setup over 8× the patterns.
 
 use eea_netlist::{Circuit, GateId, GateKind};
 
+use crate::block::{BitBlock, DEFAULT_LANES};
 use crate::fault::{Fault, FaultSite};
-use crate::sim::{GoodSim, PatternBlock};
+use crate::sim::{WideGoodSim, WidePatternBlock};
 use crate::universe::FaultUniverse;
 
 /// Bit-parallel single-fault simulator.
@@ -33,22 +36,22 @@ use crate::universe::FaultUniverse;
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct FaultSim<'c> {
+pub struct WideFaultSim<'c, const L: usize> {
     circuit: &'c Circuit,
-    good: GoodSim<'c>,
-    faulty: Vec<u64>,
+    good: WideGoodSim<'c, L>,
+    faulty: Vec<BitBlock<L>>,
     stamp: Vec<u32>,
     epoch: u32,
     is_output: Vec<bool>,
     /// Event queue bucketed by logic level.
     buckets: Vec<Vec<GateId>>,
     queued: Vec<u32>,
-    /// Reusable fanin-value gather buffer: one scratch allocation per
-    /// simulator instead of one `Vec` per evaluated gate.
-    scratch: Vec<u64>,
 }
 
-impl<'c> FaultSim<'c> {
+/// The default-width PPSFP simulator: [`DEFAULT_LANES`] lanes.
+pub type FaultSim<'c> = WideFaultSim<'c, DEFAULT_LANES>;
+
+impl<'c, const L: usize> WideFaultSim<'c, L> {
     /// Creates a simulator for `circuit`.
     pub fn new(circuit: &'c Circuit) -> Self {
         let n = circuit.num_gates();
@@ -57,28 +60,27 @@ impl<'c> FaultSim<'c> {
             is_output[o.index()] = true;
         }
         let depth = circuit.depth() as usize;
-        FaultSim {
+        WideFaultSim {
             circuit,
-            good: GoodSim::new(circuit),
-            faulty: vec![0; n],
+            good: WideGoodSim::new(circuit),
+            faulty: vec![BitBlock::ZEROS; n],
             stamp: vec![0; n],
             epoch: 0,
             is_output,
             buckets: vec![Vec::new(); depth + 1],
             queued: vec![0; n],
-            scratch: Vec::with_capacity(8),
         }
     }
 
     /// Simulates the good machine for `block`; needed before
     /// [`detect_mask`](Self::detect_mask) and done implicitly by
     /// [`detect_block`](Self::detect_block).
-    pub fn run_good(&mut self, block: &PatternBlock) {
+    pub fn run_good(&mut self, block: &WidePatternBlock<L>) {
         self.good.run(block);
     }
 
     /// Access to the good-machine values of the last simulated block.
-    pub fn good_sim(&self) -> &GoodSim<'c> {
+    pub fn good_sim(&self) -> &WideGoodSim<'c, L> {
         &self.good
     }
 
@@ -86,25 +88,15 @@ impl<'c> FaultSim<'c> {
     /// bit `j` is set iff pattern `j` detects the fault at some observation
     /// point (primary output or flip-flop data input).
     ///
-    /// When `early_exit` is true, returns as soon as any pattern detects the
-    /// fault; the returned mask is then a nonempty subset of the full mask.
-    pub fn detect_mask(&mut self, fault: Fault, block: &PatternBlock, early_exit: bool) -> u64 {
-        // The fanin gather buffer lives on the simulator; take/restore
-        // keeps the borrow checker out of the propagation loop while the
-        // hot path stays allocation-free.
-        let mut fanin_vals = std::mem::take(&mut self.scratch);
-        let detected = self.detect_mask_inner(fault, block, early_exit, &mut fanin_vals);
-        self.scratch = fanin_vals;
-        detected
-    }
-
-    fn detect_mask_inner(
+    /// When `early_exit` is true, returns as soon as any pattern — in any
+    /// lane — detects the fault; the returned mask is then a nonempty
+    /// subset of the full mask.
+    pub fn detect_mask(
         &mut self,
         fault: Fault,
-        block: &PatternBlock,
+        block: &WidePatternBlock<L>,
         early_exit: bool,
-        fanin_vals: &mut Vec<u64>,
-    ) -> u64 {
+    ) -> BitBlock<L> {
         let c = self.circuit;
         let mask = block.mask();
         self.epoch += 1;
@@ -113,7 +105,11 @@ impl<'c> FaultSim<'c> {
         }
 
         // Seed the cone with the fault effect at the origin gate.
-        let forced = if fault.stuck_at { u64::MAX } else { 0 };
+        let forced = if fault.stuck_at {
+            BitBlock::ONES
+        } else {
+            BitBlock::ZEROS
+        };
         let origin = fault.site.gate();
         let origin_val = match fault.site {
             // Stuck output stem (including stuck primary inputs and stuck
@@ -126,19 +122,24 @@ impl<'c> FaultSim<'c> {
                     let good_d = self.good.value(c.fanin(gate)[0]);
                     return (good_d ^ forced) & mask;
                 }
-                // Re-evaluate the receiving gate with the pin forced.
-                fanin_vals.clear();
-                fanin_vals.extend(c.fanin(gate).iter().map(|&f| self.good.value(f)));
-                fanin_vals[pin as usize] = forced;
-                c.kind(gate).eval_words(fanin_vals)
+                // Re-evaluate the receiving gate with the pin forced —
+                // values fold straight off the fanin walk, no gather
+                // buffer (see `eval_iter`).
+                c.kind(gate).eval_iter(c.fanin(gate).iter().enumerate().map(|(i, &f)| {
+                    if i == pin as usize {
+                        forced
+                    } else {
+                        self.good.value(f)
+                    }
+                }))
             }
         };
 
         let diff0 = (origin_val ^ self.good.value(origin)) & mask;
-        if diff0 == 0 {
-            return 0;
+        if diff0.is_zero() {
+            return BitBlock::ZEROS;
         }
-        let mut detected = 0u64;
+        let mut detected = BitBlock::ZEROS;
         if self.is_output[origin.index()] {
             detected |= diff0;
             if early_exit {
@@ -148,7 +149,7 @@ impl<'c> FaultSim<'c> {
         self.faulty[origin.index()] = origin_val;
         self.stamp[origin.index()] = self.epoch;
         self.push_fanout(origin, diff0, &mut detected);
-        if early_exit && detected != 0 {
+        if early_exit && detected.any() {
             return detected;
         }
 
@@ -160,20 +161,17 @@ impl<'c> FaultSim<'c> {
             while i < self.buckets[lvl].len() {
                 let g = self.buckets[lvl][i];
                 i += 1;
-                fanin_vals.clear();
-                for &f in c.fanin(g) {
-                    let v = if self.stamp[f.index()] == self.epoch {
+                let fv = c.kind(g).eval_iter(c.fanin(g).iter().map(|&f| {
+                    if self.stamp[f.index()] == self.epoch {
                         self.faulty[f.index()]
                     } else {
                         self.good.value(f)
-                    };
-                    fanin_vals.push(v);
-                }
-                let fv = c.kind(g).eval_words(fanin_vals);
+                    }
+                }));
                 let diff = (fv ^ self.good.value(g)) & mask;
                 self.faulty[g.index()] = fv;
                 self.stamp[g.index()] = self.epoch;
-                if diff == 0 {
+                if diff.is_zero() {
                     continue;
                 }
                 if self.is_output[g.index()] {
@@ -183,7 +181,7 @@ impl<'c> FaultSim<'c> {
                     }
                 }
                 self.push_fanout(g, diff, &mut detected);
-                if early_exit && detected != 0 {
+                if early_exit && detected.any() {
                     return detected;
                 }
             }
@@ -193,7 +191,7 @@ impl<'c> FaultSim<'c> {
 
     /// Queues the fanout of `g` for re-evaluation; flip-flop data inputs
     /// are observation points and accumulate into `detected` instead.
-    fn push_fanout(&mut self, g: GateId, diff: u64, detected: &mut u64) {
+    fn push_fanout(&mut self, g: GateId, diff: BitBlock<L>, detected: &mut BitBlock<L>) {
         let c = self.circuit;
         for &s in c.fanout(g) {
             if c.kind(s) == GateKind::Dff {
@@ -213,14 +211,18 @@ impl<'c> FaultSim<'c> {
     ///
     /// Iterates the universe's live worklist, so a block late in a session
     /// costs only the remaining undetected faults, not the full universe.
-    pub fn detect_block(&mut self, block: &PatternBlock, universe: &mut FaultUniverse) -> usize {
+    pub fn detect_block(
+        &mut self,
+        block: &WidePatternBlock<L>,
+        universe: &mut FaultUniverse,
+    ) -> usize {
         self.run_good(block);
         let mut newly = 0;
         let mut p = 0;
         while p < universe.num_live() {
             let fi = universe.live_at(p);
             let fault = universe.fault(fi);
-            if self.detect_mask(fault, block, true) != 0 {
+            if self.detect_mask(fault, block, true).any() {
                 // Swap-remove: the last live fault moves into position `p`.
                 universe.mark_detected(fi);
                 newly += 1;
@@ -237,7 +239,7 @@ impl<'c> FaultSim<'c> {
     /// intermediate-signature bookkeeping.
     pub fn detect_block_with_positions(
         &mut self,
-        block: &PatternBlock,
+        block: &WidePatternBlock<L>,
         universe: &mut FaultUniverse,
     ) -> Vec<(usize, u32)> {
         self.run_good(block);
@@ -246,7 +248,7 @@ impl<'c> FaultSim<'c> {
         while p < universe.num_live() {
             let fi = universe.live_at(p);
             let mask = self.detect_mask(universe.fault(fi), block, false);
-            if mask != 0 {
+            if mask.any() {
                 universe.mark_detected(fi);
                 hits.push((fi, mask.trailing_zeros()));
             } else {
@@ -261,9 +263,20 @@ impl<'c> FaultSim<'c> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::PatternBlock;
     use crate::universe::FaultUniverse;
     use eea_netlist::bench_format;
     use eea_netlist::{synthesize, CircuitBuilder, GateKind, SynthConfig};
+
+    /// The u64-style mask a default-width detect mask reduces to in tests
+    /// confined to lane 0.
+    fn lane0<const L: usize>(mask: BitBlock<L>) -> u64 {
+        assert!(
+            mask.lanes()[1..].iter().all(|&w| w == 0),
+            "detections beyond lane 0"
+        );
+        mask.lanes()[0]
+    }
 
     #[test]
     fn c17_exhaustive_full_coverage() {
@@ -290,15 +303,15 @@ mod tests {
         let block = PatternBlock::from_patterns(&c, &[vec![true, true]]);
         sim.run_good(&block);
         assert_eq!(
-            sim.detect_mask(Fault::sa0(FaultSite::Stem(y)), &block, false),
+            lane0(sim.detect_mask(Fault::sa0(FaultSite::Stem(y)), &block, false)),
             1
         );
         assert_eq!(
-            sim.detect_mask(Fault::sa1(FaultSite::Stem(y)), &block, false),
+            lane0(sim.detect_mask(Fault::sa1(FaultSite::Stem(y)), &block, false)),
             0
         );
         assert_eq!(
-            sim.detect_mask(Fault::sa0(FaultSite::Stem(a)), &block, false),
+            lane0(sim.detect_mask(Fault::sa0(FaultSite::Stem(a)), &block, false)),
             1
         );
     }
@@ -320,9 +333,9 @@ mod tests {
         let block = PatternBlock::from_patterns(&c, &[vec![true, true]]);
         sim.run_good(&block);
         let branch = Fault::sa0(FaultSite::Pin { gate: g1, pin: 0 });
-        assert_eq!(sim.detect_mask(branch, &block, false), 1);
+        assert_eq!(lane0(sim.detect_mask(branch, &block, false)), 1);
         let stem = Fault::sa0(FaultSite::Stem(m));
-        assert_eq!(sim.detect_mask(stem, &block, false), 1);
+        assert_eq!(lane0(sim.detect_mask(stem, &block, false)), 1);
     }
 
     #[test]
@@ -352,7 +365,7 @@ mod tests {
             let full = sim.detect_mask(f, &block, false);
             let fast = sim.detect_mask(f, &block, true);
             assert_eq!(fast & full, fast, "early-exit mask must be a subset");
-            assert_eq!(full != 0, fast != 0);
+            assert_eq!(full.any(), fast.any());
         }
     }
 
@@ -368,7 +381,7 @@ mod tests {
         let mut sim = FaultSim::new(&c);
         let mut u = FaultUniverse::collapsed(&c);
         let mut rng = 0x1234_5678_9abc_def0u64;
-        let mut next = || {
+        let mut next = move || {
             rng ^= rng << 13;
             rng ^= rng >> 7;
             rng ^= rng << 17;
@@ -377,7 +390,7 @@ mod tests {
         for _ in 0..8 {
             let mut block = PatternBlock::zeroed(&c, 64);
             for i in 0..c.pattern_width() {
-                *block.word_mut(i) = next();
+                *block.word_mut(i) = BitBlock::from_u64(next());
             }
             sim.detect_block(&block, &mut u);
         }
@@ -385,6 +398,40 @@ mod tests {
         // patterns saturate around the testable share (cf. eea-atpg's
         // redundancy proofs).
         assert!(u.coverage() > 0.6, "coverage = {}", u.coverage());
+    }
+
+    #[test]
+    fn full_width_block_detects_across_lanes() {
+        let c = synthesize(&SynthConfig {
+            gates: 150,
+            inputs: 10,
+            dffs: 8,
+            seed: 77,
+            ..SynthConfig::default()
+        }).expect("synthesizes");
+        let mut sim = FaultSim::new(&c);
+        let mut u = FaultUniverse::collapsed(&c);
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut block = PatternBlock::zeroed(&c, PatternBlock::CAPACITY);
+        block.fill_words(move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        });
+        sim.run_good(&block);
+        // Some fault must first be detected by a pattern beyond lane 0 —
+        // otherwise the wide block would be indistinguishable from narrow.
+        let mut beyond_lane0 = false;
+        for fi in 0..u.num_faults() {
+            let mask = sim.detect_mask(u.fault(fi), &block, false);
+            if mask.any() && mask.trailing_zeros() >= 64 {
+                beyond_lane0 = true;
+            }
+        }
+        sim.detect_block(&block, &mut u);
+        assert!(u.coverage() > 0.6, "coverage = {}", u.coverage());
+        assert!(beyond_lane0, "no detection landed beyond lane 0");
     }
 
     #[test]

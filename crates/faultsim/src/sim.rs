@@ -1,27 +1,41 @@
 use eea_netlist::{Circuit, GateId};
 
-/// Up to 64 test patterns, bit-packed one pattern per bit position.
+use crate::block::{BitBlock, DEFAULT_LANES};
+
+/// Up to `64 * L` test patterns, bit-packed one pattern per bit position.
 ///
 /// A pattern assigns values to the full-scan *pattern sources*: the primary
 /// inputs (first, in `Circuit::inputs()` order) followed by the flip-flops
 /// (in `Circuit::dffs()` order). `words[i]` holds the value of source `i`
-/// across all patterns: bit `j` is the value in pattern `j`.
+/// across all patterns: bit `j` is the value in pattern `j`. The default
+/// width is [`PatternBlock`] (8 lanes, 512 patterns); `WidePatternBlock<1>`
+/// is the classic 64-pattern `u64` block.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PatternBlock {
-    words: Vec<u64>,
+pub struct WidePatternBlock<const L: usize> {
+    words: Vec<BitBlock<L>>,
     count: u32,
 }
 
-impl PatternBlock {
+/// The default-width pattern block: [`DEFAULT_LANES`] lanes.
+pub type PatternBlock = WidePatternBlock<DEFAULT_LANES>;
+
+impl<const L: usize> WidePatternBlock<L> {
+    /// Maximum number of patterns a block of this width holds.
+    pub const CAPACITY: usize = 64 * L;
+
     /// Creates an all-zero block of `count` patterns for `circuit`.
     ///
     /// # Panics
     ///
-    /// Panics if `count == 0` or `count > 64`.
+    /// Panics if `count == 0` or `count > Self::CAPACITY`.
     pub fn zeroed(circuit: &Circuit, count: usize) -> Self {
-        assert!((1..=64).contains(&count), "block holds 1..=64 patterns");
-        PatternBlock {
-            words: vec![0; circuit.pattern_width()],
+        assert!(
+            (1..=Self::CAPACITY).contains(&count),
+            "block holds 1..={} patterns",
+            Self::CAPACITY
+        );
+        WidePatternBlock {
+            words: vec![BitBlock::ZEROS; circuit.pattern_width()],
             count: count as u32,
         }
     }
@@ -31,53 +45,55 @@ impl PatternBlock {
     ///
     /// # Panics
     ///
-    /// Panics if `patterns` is empty, holds more than 64 patterns, or a
-    /// pattern's length differs from `circuit.pattern_width()`.
+    /// Panics if `patterns` is empty, holds more than `Self::CAPACITY`
+    /// patterns, or a pattern's length differs from
+    /// `circuit.pattern_width()`.
     pub fn from_patterns(circuit: &Circuit, patterns: &[Vec<bool>]) -> Self {
         assert!(
-            (1..=64).contains(&patterns.len()),
-            "block holds 1..=64 patterns"
+            (1..=Self::CAPACITY).contains(&patterns.len()),
+            "block holds 1..={} patterns",
+            Self::CAPACITY
         );
         let width = circuit.pattern_width();
-        let mut words = vec![0u64; width];
+        let mut words = vec![BitBlock::ZEROS; width];
         for (j, p) in patterns.iter().enumerate() {
             assert_eq!(p.len(), width, "pattern width mismatch");
             for (i, &bit) in p.iter().enumerate() {
                 if bit {
-                    words[i] |= 1 << j;
+                    words[i].set_bit(j, true);
                 }
             }
         }
-        PatternBlock {
+        WidePatternBlock {
             words,
             count: patterns.len() as u32,
         }
     }
 
     /// Exhaustive block covering all input combinations. Only possible when
-    /// `pattern_width() <= 6` (at most 64 combinations); returns `None`
-    /// otherwise.
+    /// `2.pow(pattern_width()) <= Self::CAPACITY` (9 sources at the default
+    /// width, 6 at lane count 1); returns `None` otherwise.
     pub fn exhaustive(circuit: &Circuit) -> Option<Self> {
         let width = circuit.pattern_width();
-        if width > 6 {
+        if width >= usize::BITS as usize || (1usize << width) > Self::CAPACITY {
             return None;
         }
         let count = 1usize << width;
-        let mut words = vec![0u64; width];
+        let mut words = vec![BitBlock::ZEROS; width];
         for j in 0..count {
             for (i, word) in words.iter_mut().enumerate() {
                 if (j >> i) & 1 == 1 {
-                    *word |= 1 << j;
+                    word.set_bit(j, true);
                 }
             }
         }
-        Some(PatternBlock {
+        Some(WidePatternBlock {
             words,
             count: count as u32,
         })
     }
 
-    /// Number of patterns in the block (1..=64).
+    /// Number of patterns in the block (`1..=Self::CAPACITY`).
     #[inline]
     pub fn len(&self) -> usize {
         self.count as usize
@@ -92,59 +108,66 @@ impl PatternBlock {
 
     /// Bit mask with one bit set per valid pattern.
     #[inline]
-    pub fn mask(&self) -> u64 {
-        if self.count == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.count) - 1
-        }
+    pub fn mask(&self) -> BitBlock<L> {
+        BitBlock::low_mask(self.count as usize)
     }
 
     /// The packed word of source `i`.
     #[inline]
-    pub fn word(&self, i: usize) -> u64 {
+    pub fn word(&self, i: usize) -> BitBlock<L> {
         self.words[i]
     }
 
     /// Mutable access to the packed word of source `i`.
     #[inline]
-    pub fn word_mut(&mut self, i: usize) -> &mut u64 {
+    pub fn word_mut(&mut self, i: usize) -> &mut BitBlock<L> {
         &mut self.words[i]
+    }
+
+    /// Fills every lane of every source word from `next` (lane order within
+    /// each source) — the width-agnostic way to fill a block with raw
+    /// random words. At lane count 1 the fill order equals the historical
+    /// one-`u64`-per-source sequence.
+    pub fn fill_words(&mut self, mut next: impl FnMut() -> u64) {
+        for w in &mut self.words {
+            for lane in w.lanes_mut() {
+                *lane = next();
+            }
+        }
     }
 
     /// Sets the value of source `i` in pattern `j`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: bool) {
         debug_assert!(j < self.count as usize);
-        if value {
-            self.words[i] |= 1 << j;
-        } else {
-            self.words[i] &= !(1 << j);
-        }
+        self.words[i].set_bit(j, value);
     }
 
     /// Value of source `i` in pattern `j`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> bool {
-        (self.words[i] >> j) & 1 == 1
+        self.words[i].bit(j)
     }
 
     /// Extracts pattern `j` as a bit vector.
     pub fn pattern(&self, j: usize) -> Vec<bool> {
         assert!(j < self.count as usize, "pattern index out of range");
-        self.words.iter().map(|&w| (w >> j) & 1 == 1).collect()
+        self.words.iter().map(|w| w.bit(j)).collect()
     }
 }
 
 /// A bit-parallel response: the values observed at primary outputs followed
-/// by flip-flop data inputs, packed like [`PatternBlock`].
+/// by flip-flop data inputs, packed like [`WidePatternBlock`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Response {
-    words: Vec<u64>,
+pub struct WideResponse<const L: usize> {
+    words: Vec<BitBlock<L>>,
     count: u32,
 }
 
-impl Response {
+/// The default-width response: [`DEFAULT_LANES`] lanes.
+pub type Response = WideResponse<DEFAULT_LANES>;
+
+impl<const L: usize> WideResponse<L> {
     /// Number of patterns the response covers.
     #[inline]
     pub fn len(&self) -> usize {
@@ -160,8 +183,14 @@ impl Response {
     /// Packed word of observation point `i` (outputs first, then FF data
     /// inputs).
     #[inline]
-    pub fn word(&self, i: usize) -> u64 {
+    pub fn word(&self, i: usize) -> BitBlock<L> {
         self.words[i]
+    }
+
+    /// Value observed at point `i` in pattern `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.words[i].bit(j)
     }
 
     /// Number of observation points.
@@ -173,25 +202,34 @@ impl Response {
     /// The response of pattern `j` as a bit vector.
     pub fn pattern(&self, j: usize) -> Vec<bool> {
         assert!(j < self.count as usize, "pattern index out of range");
-        self.words.iter().map(|&w| (w >> j) & 1 == 1).collect()
+        self.words.iter().map(|w| w.bit(j)).collect()
     }
 }
 
 /// Bit-parallel good-machine simulator for the full-scan combinational core.
 ///
-/// Reusable across blocks: internal buffers are allocated once.
+/// Reusable across blocks: internal buffers — including the fanin gather
+/// scratch — are allocated once per simulator, so the per-block hot path is
+/// allocation-free.
 #[derive(Debug)]
-pub struct GoodSim<'c> {
+pub struct WideGoodSim<'c, const L: usize> {
     circuit: &'c Circuit,
-    values: Vec<u64>,
+    values: Vec<BitBlock<L>>,
+    /// Reusable fanin-value gather buffer: one scratch allocation per
+    /// simulator instead of one `Vec` per [`run`](Self::run) call.
+    fanin_buf: Vec<BitBlock<L>>,
 }
 
-impl<'c> GoodSim<'c> {
+/// The default-width good-machine simulator: [`DEFAULT_LANES`] lanes.
+pub type GoodSim<'c> = WideGoodSim<'c, DEFAULT_LANES>;
+
+impl<'c, const L: usize> WideGoodSim<'c, L> {
     /// Creates a simulator for `circuit`.
     pub fn new(circuit: &'c Circuit) -> Self {
-        GoodSim {
+        WideGoodSim {
             circuit,
-            values: vec![0; circuit.num_gates()],
+            values: vec![BitBlock::ZEROS; circuit.num_gates()],
+            fanin_buf: Vec::with_capacity(8),
         }
     }
 
@@ -202,7 +240,7 @@ impl<'c> GoodSim<'c> {
 
     /// Simulates one block and leaves per-gate values accessible via
     /// [`value`](Self::value).
-    pub fn run(&mut self, block: &PatternBlock) {
+    pub fn run(&mut self, block: &WidePatternBlock<L>) {
         let c = self.circuit;
         for (i, &pi) in c.inputs().iter().enumerate() {
             self.values[pi.index()] = block.word(i);
@@ -211,39 +249,43 @@ impl<'c> GoodSim<'c> {
         for (i, &ff) in c.dffs().iter().enumerate() {
             self.values[ff.index()] = block.word(n_pi + i);
         }
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        // Take/restore keeps the borrow checker out of the evaluation loop
+        // while the scratch stays owned by the simulator.
+        let mut fanin_buf = std::mem::take(&mut self.fanin_buf);
         for &g in c.topo_order() {
             fanin_buf.clear();
             fanin_buf.extend(c.fanin(g).iter().map(|&f| self.values[f.index()]));
-            self.values[g.index()] = c.kind(g).eval_words(&fanin_buf);
+            self.values[g.index()] = c.kind(g).eval(&fanin_buf);
         }
+        self.fanin_buf = fanin_buf;
     }
 
     /// The simulated word of gate `g` (valid after [`run`](Self::run)).
     #[inline]
-    pub fn value(&self, g: GateId) -> u64 {
+    pub fn value(&self, g: GateId) -> BitBlock<L> {
         self.values[g.index()]
     }
 
     /// All gate values (indexed by gate id), valid after [`run`](Self::run).
     #[inline]
-    pub fn values(&self) -> &[u64] {
+    pub fn values(&self) -> &[BitBlock<L>] {
         &self.values
     }
 
     /// Extracts the observable response (primary outputs, then flip-flop
     /// data inputs) of the last simulated block.
-    pub fn response(&self, block: &PatternBlock) -> Response {
+    pub fn response(&self, block: &WidePatternBlock<L>) -> WideResponse<L> {
         let c = self.circuit;
+        let mask = block.mask();
         let mut words = Vec::with_capacity(c.response_width());
         for &o in c.outputs() {
-            words.push(self.values[o.index()] & block.mask());
+            words.push(self.values[o.index()] & mask);
         }
         for &ff in c.dffs() {
             let d = c.fanin(ff)[0];
-            words.push(self.values[d.index()] & block.mask());
+            words.push(self.values[d.index()] & mask);
         }
-        Response {
+        WideResponse {
             words,
             count: block.len() as u32,
         }
@@ -283,12 +325,19 @@ mod tests {
 
     #[test]
     fn exhaustive_refuses_wide_circuits() {
-        let mut bld = CircuitBuilder::new();
-        let ins: Vec<_> = (0..7).map(|i| bld.input(&format!("i{i}"))).collect();
-        let g = bld.gate(GateKind::And, &ins, "g");
-        bld.output(g);
-        let c = bld.finish().unwrap();
-        assert!(PatternBlock::exhaustive(&c).is_none());
+        // 10 sources = 1024 combinations: beyond even the 512-pattern
+        // default block. A narrow 1-lane block already refuses 7 sources.
+        let wide = |n: usize| {
+            let mut bld = CircuitBuilder::new();
+            let ins: Vec<_> = (0..n).map(|i| bld.input(&format!("i{i}"))).collect();
+            let g = bld.gate(GateKind::And, &ins, "g");
+            bld.output(g);
+            bld.finish().unwrap()
+        };
+        assert!(PatternBlock::exhaustive(&wide(10)).is_none());
+        assert!(WidePatternBlock::<1>::exhaustive(&wide(7)).is_none());
+        // 7 sources fit the default width: 128 patterns.
+        assert_eq!(PatternBlock::exhaustive(&wide(7)).map(|b| b.len()), Some(128));
     }
 
     #[test]
@@ -316,8 +365,18 @@ mod tests {
     #[test]
     fn mask_full_and_partial() {
         let c = bench_format::parse(bench_format::C17).unwrap();
-        assert_eq!(PatternBlock::zeroed(&c, 64).mask(), u64::MAX);
-        assert_eq!(PatternBlock::zeroed(&c, 3).mask(), 0b111);
+        assert_eq!(
+            PatternBlock::zeroed(&c, PatternBlock::CAPACITY).mask(),
+            crate::BitBlock::ONES
+        );
+        assert_eq!(
+            PatternBlock::zeroed(&c, 3).mask(),
+            crate::BitBlock::from_u64(0b111)
+        );
+        // Partial fills beyond lane 0 mask correctly too.
+        let m = PatternBlock::zeroed(&c, 100).mask();
+        assert_eq!(m.count_ones(), 100);
+        assert_eq!(m.lanes()[0], u64::MAX);
     }
 
     #[test]
@@ -328,5 +387,24 @@ mod tests {
         let b = PatternBlock::from_patterns(&c, &[p0.clone(), p1.clone()]);
         assert_eq!(b.pattern(0), p0);
         assert_eq!(b.pattern(1), p1);
+    }
+
+    #[test]
+    fn wide_patterns_beyond_lane_zero() {
+        let c = bench_format::parse(bench_format::C17).unwrap();
+        // 100 patterns: pattern 80 lives in lane 1 of the default block.
+        let patterns: Vec<Vec<bool>> = (0..100)
+            .map(|j| (0..5).map(|i| (j >> i) & 1 == 1).collect())
+            .collect();
+        let b = PatternBlock::from_patterns(&c, &patterns);
+        assert_eq!(b.len(), 100);
+        for (j, p) in patterns.iter().enumerate() {
+            assert_eq!(&b.pattern(j), p, "pattern {j}");
+        }
+        let mut sim = GoodSim::new(&c);
+        sim.run(&b);
+        let r = sim.response(&b);
+        // Pattern 31 = all-ones inputs: same expectation as c17_known_vector.
+        assert_eq!(r.pattern(31), vec![true, false]);
     }
 }

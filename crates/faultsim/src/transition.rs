@@ -13,14 +13,16 @@
 //! 1. **launch**: `s` is 0 under `v1` and 1 under `v2`,
 //! 2. **propagate**: the stuck-at-0 fault at `s` is detected by `v2`.
 //!
-//! (dually for slow-to-fall). Everything is evaluated 64 patterns at a
-//! time on top of the bit-parallel stuck-at machinery.
+//! (dually for slow-to-fall). Everything is evaluated a whole pattern
+//! block at a time (512 patterns at the default width) on top of the
+//! bit-parallel stuck-at machinery.
 
 use eea_netlist::Circuit;
 
+use crate::block::{BitBlock, DEFAULT_LANES};
 use crate::fault::{enumerate_faults, Fault, FaultSite};
-use crate::ppsfp::FaultSim;
-use crate::sim::{GoodSim, PatternBlock};
+use crate::ppsfp::WideFaultSim;
+use crate::sim::{WideGoodSim, WidePatternBlock};
 
 /// Direction of the slow transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -78,10 +80,13 @@ pub fn enumerate_transition_faults(circuit: &Circuit) -> Vec<TransitionFault> {
 
 /// Derives the launch-on-capture follow-up block `v2` from `v1`: primary
 /// inputs are held, flip-flops capture their data inputs.
-pub fn launch_on_capture(circuit: &Circuit, v1: &PatternBlock) -> PatternBlock {
-    let mut sim = GoodSim::new(circuit);
+pub fn launch_on_capture<const L: usize>(
+    circuit: &Circuit,
+    v1: &WidePatternBlock<L>,
+) -> WidePatternBlock<L> {
+    let mut sim = WideGoodSim::new(circuit);
     sim.run(v1);
-    let mut v2 = PatternBlock::zeroed(circuit, v1.len());
+    let mut v2 = WidePatternBlock::zeroed(circuit, v1.len());
     let n_pi = circuit.num_inputs();
     for i in 0..n_pi {
         *v2.word_mut(i) = v1.word(i);
@@ -95,25 +100,28 @@ pub fn launch_on_capture(circuit: &Circuit, v1: &PatternBlock) -> PatternBlock {
 
 /// Bit-parallel transition-fault simulator (launch-on-capture).
 #[derive(Debug)]
-pub struct TransitionSim<'c> {
+pub struct WideTransitionSim<'c, const L: usize> {
     circuit: &'c Circuit,
-    good_v1: GoodSim<'c>,
-    fsim: FaultSim<'c>,
+    good_v1: WideGoodSim<'c, L>,
+    fsim: WideFaultSim<'c, L>,
 }
 
-impl<'c> TransitionSim<'c> {
+/// The default-width transition-fault simulator: [`DEFAULT_LANES`] lanes.
+pub type TransitionSim<'c> = WideTransitionSim<'c, DEFAULT_LANES>;
+
+impl<'c, const L: usize> WideTransitionSim<'c, L> {
     /// Creates a simulator for `circuit`.
     pub fn new(circuit: &'c Circuit) -> Self {
-        TransitionSim {
+        WideTransitionSim {
             circuit,
-            good_v1: GoodSim::new(circuit),
-            fsim: FaultSim::new(circuit),
+            good_v1: WideGoodSim::new(circuit),
+            fsim: WideFaultSim::new(circuit),
         }
     }
 
     /// Prepares the simulator for a launch block `v1`; returns the derived
     /// capture block `v2`.
-    pub fn load(&mut self, v1: &PatternBlock) -> PatternBlock {
+    pub fn load(&mut self, v1: &WidePatternBlock<L>) -> WidePatternBlock<L> {
         self.good_v1.run(v1);
         let v2 = launch_on_capture(self.circuit, v1);
         self.fsim.run_good(&v2);
@@ -126,7 +134,11 @@ impl<'c> TransitionSim<'c> {
     ///
     /// Must be called after [`load`](Self::load); `v2` must be the block
     /// returned by it.
-    pub fn detect_mask(&mut self, fault: TransitionFault, v2: &PatternBlock) -> u64 {
+    pub fn detect_mask(
+        &mut self,
+        fault: TransitionFault,
+        v2: &WidePatternBlock<L>,
+    ) -> BitBlock<L> {
         // Site value under v1 and v2 (the good machines).
         let driver = match fault.site {
             FaultSite::Stem(g) => g,
@@ -138,24 +150,27 @@ impl<'c> TransitionSim<'c> {
             TransitionKind::SlowToRise => !val_v1 & val_v2,
             TransitionKind::SlowToFall => val_v1 & !val_v2,
         } & v2.mask();
-        if launch == 0 {
-            return 0;
+        if launch.is_zero() {
+            return BitBlock::ZEROS;
         }
         let propagate = self.fsim.detect_mask(fault.as_stuck_at(), v2, false);
         launch & propagate
     }
 }
 
-/// Convenience: transition-fault coverage of a pattern set, evaluated in
-/// 64-pattern blocks. Returns `(detected, total)` over the full universe.
-pub fn transition_coverage(circuit: &Circuit, blocks: &[PatternBlock]) -> (usize, usize) {
+/// Convenience: transition-fault coverage of a pattern set, evaluated
+/// block-wise. Returns `(detected, total)` over the full universe.
+pub fn transition_coverage<const L: usize>(
+    circuit: &Circuit,
+    blocks: &[WidePatternBlock<L>],
+) -> (usize, usize) {
     let universe = enumerate_transition_faults(circuit);
     let mut detected = vec![false; universe.len()];
-    let mut sim = TransitionSim::new(circuit);
+    let mut sim = WideTransitionSim::new(circuit);
     for v1 in blocks {
         let v2 = sim.load(v1);
         for (i, &f) in universe.iter().enumerate() {
-            if !detected[i] && sim.detect_mask(f, &v2) != 0 {
+            if !detected[i] && sim.detect_mask(f, &v2).any() {
                 detected[i] = true;
             }
         }
@@ -166,6 +181,7 @@ pub fn transition_coverage(circuit: &Circuit, blocks: &[PatternBlock]) -> (usize
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::PatternBlock;
     use eea_netlist::{bench_format, synthesize, CircuitBuilder, GateKind, SynthConfig};
 
     #[test]
@@ -206,8 +222,8 @@ mod tests {
             kind: TransitionKind::SlowToFall,
         };
         // Pattern 0: q 0 -> 1 (rise); pattern 1: q 1 -> 0 (fall).
-        assert_eq!(sim.detect_mask(str_q, &v2), 0b01);
-        assert_eq!(sim.detect_mask(stf_q, &v2), 0b10);
+        assert_eq!(sim.detect_mask(str_q, &v2), BitBlock::from_u64(0b01));
+        assert_eq!(sim.detect_mask(stf_q, &v2), BitBlock::from_u64(0b10));
     }
 
     #[test]
@@ -223,9 +239,8 @@ mod tests {
                     site: FaultSite::Stem(pi),
                     kind,
                 };
-                assert_eq!(
-                    sim.detect_mask(f, &v2),
-                    0,
+                assert!(
+                    sim.detect_mask(f, &v2).is_zero(),
                     "held PI cannot launch a transition"
                 );
             }
@@ -249,7 +264,7 @@ mod tests {
                     rng ^= rng << 13;
                     rng ^= rng >> 7;
                     rng ^= rng << 17;
-                    *b.word_mut(i) = rng;
+                    *b.word_mut(i) = BitBlock::from_u64(rng);
                 }
                 b
             })
@@ -275,18 +290,18 @@ mod tests {
             ..SynthConfig::default()
         }).expect("synthesizes");
         let mut sim = TransitionSim::new(&c);
-        let mut v1 = PatternBlock::zeroed(&c, 64);
         let mut rng = 99u64;
-        for i in 0..c.pattern_width() {
+        let mut v1 = PatternBlock::zeroed(&c, PatternBlock::CAPACITY);
+        v1.fill_words(move || {
             rng ^= rng << 13;
             rng ^= rng >> 7;
             rng ^= rng << 17;
-            *v1.word_mut(i) = rng;
-        }
+            rng
+        });
         let v2 = sim.load(&v1);
         for f in enumerate_transition_faults(&c) {
             let tdf = sim.detect_mask(f, &v2);
-            if tdf != 0 {
+            if tdf.any() {
                 let sa = sim.fsim.detect_mask(f.as_stuck_at(), &v2, false);
                 assert_eq!(tdf & sa, tdf, "{f}: TDF mask must imply stuck-at mask");
             }

@@ -33,7 +33,7 @@ use crate::cut::CutModel;
 use crate::error::FleetError;
 use crate::report::{DefectFinding, EcuReport, FleetReport, LatencyStats};
 use crate::shutoff::ShutoffModel;
-use crate::vehicle::{simulate_vehicle, Upload};
+use crate::vehicle::{simulate_vehicle, SimContext, Upload};
 
 /// Number of points of the coverage-over-time curve.
 const COVERAGE_POINTS: usize = 32;
@@ -270,9 +270,19 @@ impl<'a> Campaign<'a> {
         let n = self.config.vehicles as usize;
         let blocks = n.div_ceil(SIM_BLOCK);
         let threads = resolve_threads(self.config.threads).clamp(1, blocks);
+        // Campaign-invariant context (blueprint work templates, fast
+        // blueprint divisor, campaign scalars), derived once for the whole
+        // fleet and shared read-only by every worker.
+        let ctx = SimContext::new(
+            self.blueprints,
+            self.cut,
+            self.config.shutoff,
+            self.config.defect_fraction,
+            self.config.horizon_s,
+        );
         if threads == 1 {
             return FleetShards {
-                shards: vec![self.fold_blocks(0, blocks)],
+                shards: vec![self.fold_blocks(&ctx, 0, blocks)],
             };
         }
         let chunk = blocks.div_ceil(threads);
@@ -286,7 +296,8 @@ impl<'a> Campaign<'a> {
                     break;
                 }
                 let this = &*self;
-                handles.push(scope.spawn(move || this.fold_blocks(lo, hi)));
+                let ctx = &ctx;
+                handles.push(scope.spawn(move || this.fold_blocks(ctx, lo, hi)));
             }
             for h in handles {
                 match h.join() {
@@ -334,7 +345,7 @@ impl<'a> Campaign<'a> {
     /// accumulator. BIST time is folded per block so the floating-point
     /// reduction tree does not depend on how blocks are distributed over
     /// workers.
-    fn fold_blocks(&self, block_lo: usize, block_hi: usize) -> ShardAccumulator {
+    fn fold_blocks(&self, ctx: &SimContext<'_>, block_lo: usize, block_hi: usize) -> ShardAccumulator {
         let n = self.config.vehicles as usize;
         let mut acc = ShardAccumulator::default();
         acc.block_bist_s.reserve(block_hi - block_lo);
@@ -343,15 +354,7 @@ impl<'a> Campaign<'a> {
             let hi = ((b + 1) * SIM_BLOCK).min(n);
             let mut block_bist = 0.0f64;
             for i in lo as u32..hi as u32 {
-                let o = simulate_vehicle(
-                    i,
-                    self.blueprints,
-                    self.cut,
-                    &self.config.shutoff,
-                    self.config.defect_fraction,
-                    self.config.horizon_s,
-                    self.vehicle_seed(i),
-                );
+                let o = simulate_vehicle(i, ctx, self.vehicle_seed(i));
                 if let Some(d) = o.defect {
                     acc.defective += 1;
                     *acc.seeded.entry(d.ecu).or_insert(0) += 1;

@@ -68,22 +68,155 @@ pub struct VehicleOutcome {
     pub upload: Option<Upload>,
 }
 
+/// Precomputed per-blueprint work template: everything `simulate_vehicle`
+/// would otherwise re-derive from the blueprint for every single vehicle
+/// of the fleet. Computed once per campaign (the blueprint set is shared
+/// fleet-wide) and read-only on the hot path.
+#[derive(Debug, Clone)]
+pub(crate) struct BlueprintTemplate {
+    /// Runnable session plans in blueprint order, paired with their
+    /// defect-free work `transfer_s + session_s` — the fixed work list a
+    /// vehicle walks with a cursor instead of materializing a queue.
+    runnable: Vec<(usize, f64)>,
+    /// Diagnosable plan indices (the defect placement choices).
+    diagnosable: Vec<usize>,
+}
+
+impl BlueprintTemplate {
+    pub(crate) fn new(blueprint: &VehicleBlueprint) -> Self {
+        let runnable = blueprint
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_runnable())
+            // The exact same float expression the per-vehicle loop used to
+            // evaluate — precomputing it cannot change any outcome bit.
+            .map(|(i, p)| (i, p.transfer_s + p.session_s))
+            .collect();
+        BlueprintTemplate {
+            runnable,
+            diagnosable: blueprint.diagnosable_plans(),
+        }
+    }
+}
+
+/// Exact `x % d` for a campaign-invariant divisor, computed with one
+/// 128-bit multiply chain instead of a hardware divide (Lemire's fastmod;
+/// the hot loop's blueprint draw pays the divide for *every* vehicle
+/// otherwise). Bit-identical to `%` — [`Rng::below`] semantics are part of
+/// the frozen-report contract, so this must never approximate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FastMod {
+    d: u64,
+    /// `ceil(2^128 / d)`, wrapping to 0 for `d == 1`.
+    m: u128,
+}
+
+impl FastMod {
+    pub(crate) fn new(d: u64) -> Self {
+        debug_assert!(d > 0);
+        FastMod {
+            d,
+            m: (u128::MAX / u128::from(d)).wrapping_add(1),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn rem(self, x: u64) -> u64 {
+        if self.d == 1 {
+            return 0;
+        }
+        // x mod d = ((M·x mod 2^128) · d) >> 128 with M = ceil(2^128/d).
+        let low = self.m.wrapping_mul(u128::from(x));
+        // (low · d) >> 128 without 256-bit arithmetic: split low into
+        // 64-bit halves; both partial products fit u128 and their carry
+        // sum cannot overflow.
+        let d = u128::from(self.d);
+        let hi = (low >> 64) * d;
+        let lo = (low & u128::from(u64::MAX)) * d;
+        ((hi + (lo >> 64)) >> 64) as u64
+    }
+}
+
+/// Everything campaign-invariant the per-vehicle loop reads: the
+/// blueprint set with its precomputed work templates and fast blueprint
+/// divisor, the shared CUT, the shut-off model, and the campaign scalars.
+/// Built once per campaign ([`SimContext::new`]) and shared read-only by
+/// every simulation worker.
+pub(crate) struct SimContext<'a> {
+    pub blueprints: &'a [VehicleBlueprint],
+    pub cut: &'a CutModel,
+    pub defect_fraction: f64,
+    pub horizon_s: f64,
+    pub(crate) ranges: ShutoffRanges,
+    templates: Vec<BlueprintTemplate>,
+    blueprint_mod: FastMod,
+}
+
+impl<'a> SimContext<'a> {
+    pub(crate) fn new(
+        blueprints: &'a [VehicleBlueprint],
+        cut: &'a CutModel,
+        shutoff: ShutoffModel,
+        defect_fraction: f64,
+        horizon_s: f64,
+    ) -> Self {
+        SimContext {
+            blueprints,
+            cut,
+            defect_fraction,
+            horizon_s,
+            ranges: ShutoffRanges::new(&shutoff),
+            templates: blueprints.iter().map(BlueprintTemplate::new).collect(),
+            blueprint_mod: FastMod::new(blueprints.len() as u64),
+        }
+    }
+}
+
+/// Hoisted uniform-draw coefficients of the shut-off model: the identical
+/// `min + unit()·(max − min)` expressions [`ShutoffModel::next_event`]
+/// evaluates, with the range subtractions computed once per campaign
+/// instead of once per window.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShutoffRanges {
+    min_gap_s: f64,
+    gap_range: f64,
+    min_window_s: f64,
+    window_range: f64,
+}
+
+impl ShutoffRanges {
+    fn new(m: &ShutoffModel) -> Self {
+        ShutoffRanges {
+            min_gap_s: m.min_gap_s,
+            gap_range: m.max_gap_s - m.min_gap_s,
+            min_window_s: m.min_window_s,
+            window_range: m.max_window_s - m.min_window_s,
+        }
+    }
+}
+
 /// Simulates one vehicle. `seed` must already mix the campaign seed with
 /// the vehicle index so the outcome is a pure function of `(campaign
 /// config, index)` — the engine's thread-count independence rests on
-/// that.
-pub(crate) fn simulate_vehicle(
-    index: u32,
-    blueprints: &[VehicleBlueprint],
-    cut: &CutModel,
-    shutoff: &ShutoffModel,
-    defect_fraction: f64,
-    horizon_s: f64,
-    seed: u64,
-) -> VehicleOutcome {
+/// that. The blueprint template's fixed work list is walked with a
+/// cursor, so a vehicle touches no heap at all.
+#[inline]
+pub(crate) fn simulate_vehicle(index: u32, ctx: &SimContext<'_>, seed: u64) -> VehicleOutcome {
+    let SimContext {
+        blueprints,
+        cut,
+        defect_fraction,
+        horizon_s,
+        ranges,
+        ..
+    } = *ctx;
     let mut rng = Rng::new(seed);
-    let blueprint_idx = rng.below(blueprints.len());
+    // `Rng::below(n)` is `next_u64() % n`; the fastmod divisor computes
+    // exactly that without the per-vehicle hardware divide.
+    let blueprint_idx = ctx.blueprint_mod.rem(rng.next_u64()) as usize;
     let blueprint = &blueprints[blueprint_idx];
+    let template = &ctx.templates[blueprint_idx];
 
     // Defect seeding: the fraction draw happens for every vehicle (so the
     // stream of draws is schedule-independent); the seed only lands when
@@ -92,7 +225,7 @@ pub(crate) fn simulate_vehicle(
     let defect = if wants_defect {
         let detectable = cut.detectable_faults();
         let fault_index = detectable[rng.below(detectable.len())];
-        let plans = blueprint.diagnosable_plans();
+        let plans = &template.diagnosable;
         if plans.is_empty() {
             None
         } else {
@@ -107,85 +240,161 @@ pub(crate) fn simulate_vehicle(
         None
     };
 
-    // Sequential work queue: (plan index, remaining seconds). A defective
-    // plan's work ends with the fail-data upload; passing sessions upload
-    // nothing.
-    let mut queue: Vec<(usize, f64)> = Vec::with_capacity(blueprint.sessions.len());
+    // A defective plan's work ends with the fail-data upload; passing
+    // sessions upload nothing. Diagnosable plans are runnable by
+    // definition, so the defective plan is always on the work list.
     let mut upload_due: Option<(usize, f64)> = None; // (plan, upload seconds)
-    for (i, plan) in blueprint.sessions.iter().enumerate() {
-        if !plan.is_runnable() {
-            continue;
-        }
-        let mut work = plan.transfer_s + plan.session_s;
-        if let Some(d) = defect {
-            if d.plan == i {
-                let up = plan.upload_s(cut.fail_bytes(d.fault_index));
-                work += up;
-                upload_due = Some((i, up));
-            }
-        }
-        queue.push((i, work));
+    if let Some(d) = defect {
+        let up = blueprint.sessions[d.plan].upload_s(cut.fail_bytes(d.fault_index));
+        upload_due = Some((d.plan, up));
     }
-    queue.reverse(); // pop from the back = blueprint order
 
+    let work = &template.runnable[..];
     let budget_cap = blueprint.shutoff_budget_s;
-    let mut outcome = VehicleOutcome {
+
+    // Monomorphize the window loop on defect presence: ~98 % of vehicles
+    // carry no defect and run the tight instantiation with no upload
+    // checks at all.
+    let out = if upload_due.is_none() {
+        run_windows::<false>(work, None, budget_cap, rng, ranges, horizon_s)
+    } else {
+        run_windows::<true>(work, upload_due, budget_cap, rng, ranges, horizon_s)
+    };
+
+    let upload = match (defect, out.upload_time_s) {
+        (Some(d), Some(time_s)) => Some(Upload {
+            vehicle: index,
+            ecu: d.ecu,
+            fault_index: d.fault_index,
+            time_s,
+            fail_bytes: cut.fail_bytes(d.fault_index),
+        }),
+        _ => None,
+    };
+
+    VehicleOutcome {
         vehicle: index,
         blueprint: blueprint_idx,
         defect,
+        sessions_completed: out.sessions_completed,
+        windows_used: out.windows_used,
+        bist_time_s: out.bist_time_s,
+        upload,
+    }
+}
+
+/// What the shut-off window loop produced for one vehicle.
+#[derive(Debug, Clone, Copy)]
+struct WindowOutcome {
+    sessions_completed: u32,
+    windows_used: u32,
+    bist_time_s: f64,
+    /// Completion time of the defective session (upload included), when
+    /// it finished within the horizon. Always `None` for `DEFECTIVE =
+    /// false`.
+    upload_time_s: Option<f64>,
+}
+
+/// The session at work-list position `i` including any upload tail — the
+/// same `(transfer_s + session_s) + upload_s` float expression and
+/// evaluation order the historical materialized queue used. Adding an
+/// upload requires a defect, so the defect-free caller passes `None` and
+/// the check folds away.
+#[inline(always)]
+fn session_work(work: &[(usize, f64)], upload_due: Option<(usize, f64)>, i: usize) -> f64 {
+    let (plan, w) = work[i];
+    match upload_due {
+        Some((p, up)) if p == plan => w + up,
+        _ => w,
+    }
+}
+
+/// The shut-off window loop: draws (gap, window) pairs and consumes the
+/// work list until the horizon cuts the schedule off or the work runs
+/// dry. All loop state lives in locals — the float expressions and their
+/// evaluation order are the frozen-report contract, and `DEFECTIVE` only
+/// strips the upload bookkeeping from the defect-free instantiation; it
+/// never changes an arithmetic op.
+#[inline(always)]
+fn run_windows<const DEFECTIVE: bool>(
+    work: &[(usize, f64)],
+    upload_due: Option<(usize, f64)>,
+    budget_cap: f64,
+    mut rng: Rng,
+    ranges: ShutoffRanges,
+    horizon_s: f64,
+) -> WindowOutcome {
+    let mut out = WindowOutcome {
         sessions_completed: 0,
         windows_used: 0,
         bist_time_s: 0.0,
-        upload: None,
+        upload_time_s: None,
     };
-    if budget_cap <= 0.0 {
-        return outcome;
+    if budget_cap <= 0.0 || work.is_empty() {
+        return out;
     }
-
+    let mut idx = 0usize;
+    let mut rem = session_work(work, upload_due, 0);
     let mut t = 0.0f64;
-    while !queue.is_empty() {
-        let (gap, window) = shutoff.next_event(&mut rng);
+    loop {
+        let gap = ranges.min_gap_s + rng.unit() * ranges.gap_range;
         let start = t + gap;
         if start >= horizon_s {
+            // The historical loop drew the window length before this
+            // check and threw it away on exit; the vehicle RNG is
+            // private and dies here, so skipping that draw cannot
+            // change any output bit.
             break;
         }
+        let window = ranges.min_window_s + rng.unit() * ranges.window_range;
         t = start + window;
         let budget = window.min(budget_cap);
         let mut avail = budget;
-        let mut used = false;
-        while avail > 0.0 {
-            let Some(&mut (plan, ref mut remaining)) = queue.last_mut() else {
+        let mut done = false;
+        // Inner step, dependency-minimal form of the historical
+        // `step = min(avail, rem); rem -= step; avail -= step; rem > 0?`:
+        // branching on `rem > avail` first lets each arm do a single
+        // subtraction. Bit-identical — in the partial arm the historical
+        // `avail - avail` is exactly `+0.0`, in the completion arm the
+        // historical `rem - rem` is exactly `+0.0` and never read.
+        loop {
+            if rem > avail {
+                // Window exhausted mid-session; the unfinished remainder
+                // carries into the next window.
+                rem -= avail;
+                avail = 0.0;
                 break;
-            };
-            let step = avail.min(*remaining);
-            *remaining -= step;
-            avail -= step;
-            used = true;
-            if *remaining <= 0.0 {
-                let finished_at = start + (budget - avail);
-                queue.pop();
-                if finished_at <= horizon_s {
-                    outcome.sessions_completed += 1;
-                    if let (Some(d), Some((upload_plan, _))) = (defect, upload_due) {
+            }
+            avail -= rem;
+            let finished_at = start + (budget - avail);
+            let plan = work[idx].0;
+            idx += 1;
+            if finished_at <= horizon_s {
+                out.sessions_completed += 1;
+                if DEFECTIVE {
+                    if let Some((upload_plan, _)) = upload_due {
                         if upload_plan == plan {
-                            outcome.upload = Some(Upload {
-                                vehicle: index,
-                                ecu: d.ecu,
-                                fault_index: d.fault_index,
-                                time_s: finished_at,
-                                fail_bytes: cut.fail_bytes(d.fault_index),
-                            });
+                            out.upload_time_s = Some(finished_at);
                         }
                     }
                 }
             }
+            if idx >= work.len() {
+                done = true;
+                break;
+            }
+            rem = session_work(work, if DEFECTIVE { upload_due } else { None }, idx);
+            if avail <= 0.0 {
+                break; // window exhausted exactly at a session boundary
+            }
         }
-        if used {
-            outcome.windows_used += 1;
-            outcome.bist_time_s += budget - avail;
+        out.windows_used += 1;
+        out.bist_time_s += budget - avail;
+        if done {
+            break;
         }
     }
-    outcome
+    out
 }
 
 #[cfg(test)]
@@ -194,6 +403,19 @@ mod tests {
     use crate::blueprint::EcuSessionPlan;
     use crate::cut::{CutConfig, CutModel};
     use eea_model::ResourceId;
+
+    fn run(
+        index: u32,
+        blueprints: &[VehicleBlueprint],
+        cut: &CutModel,
+        shutoff: &ShutoffModel,
+        defect_fraction: f64,
+        horizon_s: f64,
+        seed: u64,
+    ) -> VehicleOutcome {
+        let ctx = SimContext::new(blueprints, cut, *shutoff, defect_fraction, horizon_s);
+        simulate_vehicle(index, &ctx, seed)
+    }
 
     fn test_blueprint() -> VehicleBlueprint {
         VehicleBlueprint {
@@ -213,6 +435,36 @@ mod tests {
     }
 
     #[test]
+    fn fastmod_matches_hardware_remainder() {
+        let edge_xs = [
+            0u64,
+            1,
+            2,
+            63,
+            64,
+            1 << 32,
+            u64::MAX - 1,
+            u64::MAX,
+            0x9E37_79B9_7F4A_7C15,
+        ];
+        let mut rng = eea_moea::Rng::new(0xFA57);
+        let mut divisors: Vec<u64> = vec![1, 2, 3, 5, 7, 10, 63, 64, 65, 1000, 1 << 33, u64::MAX];
+        for _ in 0..200 {
+            divisors.push(rng.next_u64() | 1);
+        }
+        for &d in &divisors {
+            let fm = FastMod::new(d);
+            for &x in &edge_xs {
+                assert_eq!(fm.rem(x), x % d, "x={x} d={d}");
+            }
+            for _ in 0..100 {
+                let x = rng.next_u64();
+                assert_eq!(fm.rem(x), x % d, "x={x} d={d}");
+            }
+        }
+    }
+
+    #[test]
     fn work_resumes_across_windows() {
         let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
         let blueprints = [test_blueprint()];
@@ -225,7 +477,7 @@ mod tests {
         // defect_fraction 1.0: every vehicle with a diagnosable plan is
         // seeded; the 1200 s transfer needs three 400 s windows before the
         // 5 ms session and the upload can finish in the fourth.
-        let o = simulate_vehicle(0, &blueprints, &cut, &shutoff, 1.0, 1e6, 42);
+        let o = run(0, &blueprints, &cut, &shutoff, 1.0, 1e6, 42);
         assert!(o.defect.is_some());
         assert_eq!(o.sessions_completed, 1);
         assert!(o.windows_used >= 4);
@@ -244,7 +496,7 @@ mod tests {
             min_window_s: 400.0,
             max_window_s: 400.0,
         };
-        let o = simulate_vehicle(0, &blueprints, &cut, &shutoff, 1.0, 800.0, 42);
+        let o = run(0, &blueprints, &cut, &shutoff, 1.0, 800.0, 42);
         assert!(o.defect.is_some());
         assert_eq!(o.sessions_completed, 0);
         assert!(o.upload.is_none());
@@ -255,8 +507,8 @@ mod tests {
         let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
         let blueprints = [test_blueprint()];
         let shutoff = ShutoffModel::default();
-        let a = simulate_vehicle(5, &blueprints, &cut, &shutoff, 0.5, 1e6, 99);
-        let b = simulate_vehicle(5, &blueprints, &cut, &shutoff, 0.5, 1e6, 99);
+        let a = run(5, &blueprints, &cut, &shutoff, 0.5, 1e6, 99);
+        let b = run(5, &blueprints, &cut, &shutoff, 0.5, 1e6, 99);
         assert_eq!(a, b);
     }
 
@@ -265,7 +517,7 @@ mod tests {
         let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
         let mut b = test_blueprint();
         b.shutoff_budget_s = 0.0;
-        let o = simulate_vehicle(0, &[b], &cut, &ShutoffModel::default(), 0.0, 1e6, 1);
+        let o = run(0, &[b], &cut, &ShutoffModel::default(), 0.0, 1e6, 1);
         assert_eq!(o.windows_used, 0);
         assert_eq!(o.sessions_completed, 0);
     }

@@ -1,4 +1,31 @@
 use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A bit-parallel simulation word: one bit per test pattern.
+///
+/// Implemented by `u64` (the classic 64-pattern word) and by wider
+/// fixed-lane blocks (e.g. `eea_faultsim`'s `BitBlock<LANES>`, a
+/// `[u64; LANES]` evaluated lane-parallel). [`GateKind::eval`] is generic
+/// over this trait so the same gate-evaluation code serves every word
+/// width; the lane loops of a wide word are shaped for LLVM
+/// autovectorization.
+pub trait SimWord:
+    Copy
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Not<Output = Self>
+{
+    /// The all-zeros word.
+    const ZEROS: Self;
+    /// The all-ones word.
+    const ONES: Self;
+}
+
+impl SimWord for u64 {
+    const ZEROS: Self = 0;
+    const ONES: Self = u64::MAX;
+}
 
 /// Identifier of a gate inside a [`Circuit`](crate::Circuit).
 ///
@@ -80,19 +107,45 @@ impl GateKind {
     /// fanin slice.
     #[inline]
     pub fn eval_words(self, fanin: &[u64]) -> u64 {
+        self.eval(fanin)
+    }
+
+    /// Generic counterpart of [`eval_words`](Self::eval_words): evaluates
+    /// the gate on any [`SimWord`] width (e.g. wide multi-lane blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if called on `Input`/`Dff` or with an empty
+    /// fanin slice.
+    #[inline]
+    pub fn eval<W: SimWord>(self, fanin: &[W]) -> W {
         debug_assert!(!fanin.is_empty(), "gate evaluation needs at least one fanin");
+        self.eval_iter(fanin.iter().copied())
+    }
+
+    /// Evaluates the gate folding fanin values straight off an iterator —
+    /// no gather buffer. With wide multi-lane words the buffer round-trip
+    /// (store every fanin block, reload it for the fold) costs more than
+    /// the fold itself; hot simulation loops feed values directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if called on `Input`/`Dff`; an empty
+    /// iterator yields the fold identity.
+    #[inline]
+    pub fn eval_iter<W: SimWord>(self, mut fanin: impl Iterator<Item = W>) -> W {
         match self {
-            GateKind::And => fanin.iter().fold(u64::MAX, |acc, &w| acc & w),
-            GateKind::Nand => !fanin.iter().fold(u64::MAX, |acc, &w| acc & w),
-            GateKind::Or => fanin.iter().fold(0, |acc, &w| acc | w),
-            GateKind::Nor => !fanin.iter().fold(0, |acc, &w| acc | w),
-            GateKind::Xor => fanin.iter().fold(0, |acc, &w| acc ^ w),
-            GateKind::Xnor => !fanin.iter().fold(0, |acc, &w| acc ^ w),
-            GateKind::Not => !fanin[0],
-            GateKind::Buf => fanin[0],
+            GateKind::And => fanin.fold(W::ONES, |acc, w| acc & w),
+            GateKind::Nand => !fanin.fold(W::ONES, |acc, w| acc & w),
+            GateKind::Or => fanin.fold(W::ZEROS, |acc, w| acc | w),
+            GateKind::Nor => !fanin.fold(W::ZEROS, |acc, w| acc | w),
+            GateKind::Xor => fanin.fold(W::ZEROS, |acc, w| acc ^ w),
+            GateKind::Xnor => !fanin.fold(W::ZEROS, |acc, w| acc ^ w),
+            GateKind::Not => !fanin.next().unwrap_or(W::ZEROS),
+            GateKind::Buf => fanin.next().unwrap_or(W::ZEROS),
             GateKind::Input | GateKind::Dff => {
                 debug_assert!(false, "sources are not evaluated combinationally");
-                0
+                W::ZEROS
             }
         }
     }

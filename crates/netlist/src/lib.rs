@@ -50,7 +50,7 @@ pub mod verilog;
 
 pub use bench_format::ParseBenchError;
 pub use circuit::{BuildCircuitError, Circuit, CircuitBuilder, CircuitStats};
-pub use gate::{GateId, GateKind};
+pub use gate::{GateId, GateKind, SimWord};
 pub use verilog::ParseVerilogError;
 pub use scan::{ScanChains, ScanConfig, ScanError};
 pub use synth::{synthesize, SynthConfig, SynthError};

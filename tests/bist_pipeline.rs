@@ -72,7 +72,7 @@ fn stumps_session_localises_faults() {
     for fi in 0..universe.num_faults() {
         let fault = universe.fault(fi);
         let mask = sim.detect_mask(fault, &block, false);
-        if mask == 0 {
+        if mask.is_zero() {
             continue;
         }
         let fail = session.run_with_fault(fault, &golden);
@@ -193,18 +193,17 @@ fn untestable_faults_never_detected_by_random_patterns() {
     let mut sim = FaultSim::new(&c);
     let mut rng = 0x0DDB_1A5E_0DDB_1A5Eu64;
     for _ in 0..64 {
-        let mut block = PatternBlock::zeroed(&c, 64);
-        for i in 0..c.pattern_width() {
+        let mut block = PatternBlock::zeroed(&c, PatternBlock::CAPACITY);
+        block.fill_words(|| {
             rng ^= rng << 13;
             rng ^= rng >> 7;
             rng ^= rng << 17;
-            *block.word_mut(i) = rng;
-        }
+            rng
+        });
         sim.run_good(&block);
         for &fi in &untestable {
-            assert_eq!(
-                sim.detect_mask(universe.fault(fi), &block, true),
-                0,
+            assert!(
+                sim.detect_mask(universe.fault(fi), &block, true).is_zero(),
                 "untestable fault {} detected!",
                 universe.fault(fi)
             );
