@@ -16,6 +16,8 @@
 //! | `EEA_FLEET_EVALS` | 2,000 | `fleet_campaign` exploration budget for the blueprint front |
 //! | `EEA_FLEET_SCALE` | `100000,1000000,10000000` | `fleet_campaign` scale-sweep fleet sizes (comma-separated; empty disables the sweep) |
 //! | `EEA_TRANSPORTS` | per binary | comma-separated transport backends (`classic-can`, `can-fd`, `flexray`); `fig5`/`fig6` default to `classic-can`, `fleet_campaign` to all three |
+//! | `EEA_SOAK_SCALE` | `100000,1000000,10000000` | `gateway_soak` fleet sizes (comma-separated; empty disables the sweep) |
+//! | `EEA_SOAK_QUEUE` | 8,192 | `gateway_soak` ingest queue capacity |
 
 // Library targets are panic-free by policy (see DESIGN.md, "Error
 // taxonomy"): unwrap/expect/panic! are denied outside test code.
@@ -67,12 +69,12 @@ pub fn env_transports(default: &[TransportKind]) -> Vec<TransportKind> {
     kinds
 }
 
-/// Reads the `EEA_FLEET_SCALE` knob: a comma-separated list of fleet
-/// sizes for the `fleet_campaign` scale sweep. Unparsable entries are
-/// skipped; an unset variable falls back to `default`; a set-but-empty
-/// (or all-garbage) variable disables the sweep entirely.
-pub fn env_scale_sweep(default: &[u64]) -> Vec<u64> {
-    let Ok(raw) = std::env::var("EEA_FLEET_SCALE") else {
+/// Reads a comma-separated `u64` list knob (`EEA_FLEET_SCALE`,
+/// `EEA_SOAK_SCALE`, ...). Unparsable entries are skipped; an unset
+/// variable falls back to `default`; a set-but-empty (or all-garbage)
+/// variable yields an empty list, which disables the sweep it drives.
+pub fn env_u64_list(name: &str, default: &[u64]) -> Vec<u64> {
+    let Ok(raw) = std::env::var(name) else {
         return default.to_vec();
     };
     raw.split(',')
@@ -80,6 +82,12 @@ pub fn env_scale_sweep(default: &[u64]) -> Vec<u64> {
         .filter(|s| !s.is_empty())
         .filter_map(|s| s.parse().ok())
         .collect()
+}
+
+/// Reads the `EEA_FLEET_SCALE` knob: the fleet sizes for the
+/// `fleet_campaign` scale sweep.
+pub fn env_scale_sweep(default: &[u64]) -> Vec<u64> {
+    env_u64_list("EEA_FLEET_SCALE", default)
 }
 
 /// The process's peak resident-set size ("VmHWM" high-water mark) in KiB,
@@ -229,6 +237,11 @@ mod tests {
         std::env::set_var("EEA_FLEET_SCALE", "");
         assert_eq!(env_scale_sweep(&[100_000]), Vec::<u64>::new());
         std::env::remove_var("EEA_FLEET_SCALE");
+        std::env::remove_var("EEA_TEST_LIST");
+        assert_eq!(env_u64_list("EEA_TEST_LIST", &[5, 6]), vec![5, 6]);
+        std::env::set_var("EEA_TEST_LIST", "7, 8,bad");
+        assert_eq!(env_u64_list("EEA_TEST_LIST", &[5, 6]), vec![7, 8]);
+        std::env::remove_var("EEA_TEST_LIST");
     }
 
     #[test]

@@ -54,7 +54,23 @@ impl FailData {
     /// on-chip fail memory is bounded, so at most the first windows that fit
     /// are kept.
     pub fn byte_size(&self) -> u64 {
-        ((self.entries.len() as u64) * 12).min(FAIL_DATA_BYTES)
+        self.unclamped_byte_size().min(FAIL_DATA_BYTES)
+    }
+
+    /// Whether the bounded fail memory silently dropped entries: the
+    /// serialized size of *all* recorded windows exceeds
+    /// [`FAIL_DATA_BYTES`], so [`byte_size`](Self::byte_size) clamped.
+    /// Truncated fail data reaches the gateway incomplete — diagnosis
+    /// runs on a prefix of the failing windows, the first slice of the
+    /// paper's ambiguous-response problem — so campaign snapshots count
+    /// these uploads separately instead of hiding the clamp.
+    pub fn is_truncated(&self) -> bool {
+        self.unclamped_byte_size() > FAIL_DATA_BYTES
+    }
+
+    /// Serialized size with no fail-memory bound applied.
+    fn unclamped_byte_size(&self) -> u64 {
+        (self.entries.len() as u64) * 12
     }
 }
 
@@ -93,5 +109,26 @@ mod tests {
         let mut small = FailData::new();
         small.push(0, 1);
         assert_eq!(small.byte_size(), 12);
+    }
+
+    /// Boundary at exactly [`FAIL_DATA_BYTES`]: 638 is not a multiple of the
+    /// 12-byte entry size, so the largest untruncated payload is 53 entries
+    /// (636 bytes) and the 54th entry (648 bytes raw) is the first to clamp.
+    #[test]
+    fn truncation_boundary_at_fail_data_bytes() {
+        let max_whole_entries = (FAIL_DATA_BYTES / 12) as u32; // 53
+        let mut fd = FailData::new();
+        for i in 0..max_whole_entries {
+            fd.push(i, u64::from(i));
+        }
+        assert_eq!(fd.byte_size(), u64::from(max_whole_entries) * 12); // 636
+        assert!(fd.byte_size() < FAIL_DATA_BYTES);
+        assert!(!fd.is_truncated());
+
+        fd.push(max_whole_entries, 0xBEEF);
+        assert!(fd.is_truncated());
+        assert_eq!(fd.byte_size(), FAIL_DATA_BYTES); // clamped, not 648
+
+        assert!(!FailData::new().is_truncated());
     }
 }

@@ -22,6 +22,7 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc;
 use std::time::Instant;
 
 use eea_faultsim::resolve_threads;
@@ -31,12 +32,13 @@ use eea_moea::Rng;
 use crate::blueprint::VehicleBlueprint;
 use crate::cut::CutModel;
 use crate::error::FleetError;
+use crate::gateway::{GatewayConfig, GatewayService, VehicleArrival, DEFAULT_QUEUE_CAPACITY};
 use crate::report::{DefectFinding, EcuReport, FleetReport, LatencyStats};
 use crate::shutoff::ShutoffModel;
 use crate::vehicle::{simulate_vehicle, SimContext, Upload};
 
 /// Number of points of the coverage-over-time curve.
-const COVERAGE_POINTS: usize = 32;
+pub(crate) const COVERAGE_POINTS: usize = 32;
 
 /// Vehicles per fold block — the unit the simulation stage's deterministic
 /// floating-point reduction is built from. Worker chunks are whole block
@@ -44,8 +46,12 @@ const COVERAGE_POINTS: usize = 32;
 /// vehicles regardless of thread count, and the serial left-fold over
 /// block sums in block order *is the definition* of the fleet-wide value.
 /// Small enough that modest fleets still split across workers; at 10M
-/// vehicles the per-block partials total ~1.25 MB.
-const SIM_BLOCK: usize = 64;
+/// vehicles the per-block partials total ~1.25 MB. The gateway's block
+/// ledger (`gateway.rs`) reuses the same block geometry so its snapshot
+/// fold reproduces this reduction tree bit for bit; its one-`u64`
+/// presence mask per block requires `SIM_BLOCK <= 64`.
+pub(crate) const SIM_BLOCK: usize = 64;
+const _: () = assert!(SIM_BLOCK <= 64, "gateway block masks are single u64 words");
 
 /// Configuration of a fleet campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,10 +98,20 @@ impl Default for CampaignConfig {
 /// Each vehicle uploads at most once, so the key is strictly increasing
 /// along the merged sequence — no ties, which is why an unstable sort and
 /// any run partitioning of the k-way merge yield the same sequence.
-fn upload_order(a: &Upload, b: &Upload) -> Ordering {
+pub(crate) fn upload_order(a: &Upload, b: &Upload) -> Ordering {
     a.time_s
         .total_cmp(&b.time_s)
         .then(a.vehicle.cmp(&b.vehicle))
+}
+
+/// Deterministic per-vehicle seed: one SplitMix64 output step over the
+/// campaign seed mixed with the vehicle index ([`Rng::mix`], no
+/// intermediate RNG state on the hot path). A pure function of
+/// `(campaign_seed, index)` — independent of thread count, chunking, and
+/// of whether the vehicle is simulated by [`Campaign::simulate`], fed
+/// through [`Campaign::feed`], or drawn from [`Campaign::arrivals`].
+pub(crate) fn vehicle_seed(campaign_seed: u64, index: u32) -> u64 {
+    Rng::mix(campaign_seed.wrapping_add(u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
 /// Partial aggregation state one simulation worker folds its contiguous
@@ -158,23 +174,39 @@ pub struct StageTimings {
     pub fold_s: f64,
 }
 
+/// Census-side fleet counters — everything a [`FleetReport`] carries that
+/// is *not* derived from the upload sequence. Folded exactly (integer
+/// adds, plus the fixed per-block reduction tree for the one
+/// floating-point sum), so both producers — the k-way shard merge here
+/// and the gateway's incremental ledger — arrive at bit-identical values.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FleetTotals {
+    pub defective: u32,
+    pub sessions_completed: u64,
+    pub windows_used: u64,
+    pub bist_time_s: f64,
+    pub seeded: BTreeMap<ResourceId, u32>,
+}
+
 /// Everything the k-way merge produces: the globally ordered upload
 /// sequence plus the exactly merged fleet counters.
 struct MergedFleet {
     uploads: Vec<Upload>,
-    defective: u32,
-    sessions_completed: u64,
-    windows_used: u64,
-    bist_time_s: f64,
-    seeded: BTreeMap<ResourceId, u32>,
+    totals: FleetTotals,
 }
 
 /// Cached diagnosis of one fault index against the shared dictionary.
+/// Pure per fault (every vehicle carries the same CUT), which is what
+/// lets the gateway cache entries across snapshots.
 #[derive(Debug, Clone, Copy)]
-struct DiagEntry {
-    candidates: usize,
-    rank: usize,
-    localized: bool,
+pub(crate) struct DiagEntry {
+    pub candidates: usize,
+    pub rank: usize,
+    pub localized: bool,
+    /// Whether this fault's fail data overflowed the bounded fail memory
+    /// ([`eea_bist::FailData::is_truncated`]) — diagnosis ran on a
+    /// clamped prefix of the failing windows.
+    pub truncated: bool,
 }
 
 /// A validated, ready-to-run campaign over a CUT model and a blueprint
@@ -233,18 +265,6 @@ impl<'a> Campaign<'a> {
         &self.config
     }
 
-    /// Deterministic per-vehicle seed: one SplitMix64 output step over the
-    /// campaign seed mixed with the vehicle index ([`Rng::mix`], no
-    /// intermediate RNG state on the hot path). Independent of thread
-    /// count and chunking by construction.
-    fn vehicle_seed(&self, index: u32) -> u64 {
-        Rng::mix(
-            self.config
-                .seed
-                .wrapping_add(u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        )
-    }
-
     /// Runs the campaign and aggregates the fleet report.
     pub fn run(&self) -> FleetReport {
         self.run_timed().0
@@ -253,13 +273,168 @@ impl<'a> Campaign<'a> {
     /// Like [`run`](Self::run), but also reports per-stage wall-clock
     /// timings (simulate / merge / diagnose / fold). The report itself
     /// carries no timing fields, so it stays bit-comparable.
+    ///
+    /// Since the gateway ingest service landed, the one-shot run is a
+    /// thin wrapper over it: simulate-and-[`feed`](Self::feed) every
+    /// vehicle into a [`GatewayService`], then take the horizon snapshot.
+    /// The snapshot fold is bit-identical to the direct sharded
+    /// [`simulate`](Self::simulate)+[`aggregate`](Self::aggregate) path
+    /// (same reduction trees, same total upload order — proven by the
+    /// frozen 100k digest and the cross-pipeline unit test), which is
+    /// kept both as the borrow-only bench surface and as the typed
+    /// fallback should gateway provisioning ever fail.
     pub fn run_timed(&self) -> (FleetReport, StageTimings) {
+        match self.run_gateway_timed() {
+            Ok(done) => done,
+            // Unreachable for a validated campaign — the gateway
+            // re-validates the same bounds — but the policy is a typed
+            // fallback, never a panic: degrade to the direct path.
+            Err(_) => {
+                let t = Instant::now();
+                let shards = self.simulate();
+                let simulate_s = t.elapsed().as_secs_f64();
+                let (report, mut timings) = self.aggregate_timed(&shards);
+                timings.simulate_s = simulate_s;
+                (report, timings)
+            }
+        }
+    }
+
+    fn run_gateway_timed(&self) -> Result<(FleetReport, StageTimings), FleetError> {
         let t = Instant::now();
-        let shards = self.simulate();
+        let mut svc = self.gateway()?;
+        self.feed(&mut svc)?;
         let simulate_s = t.elapsed().as_secs_f64();
-        let (report, mut timings) = self.aggregate_timed(&shards);
+        let (snapshot, mut timings) = svc.snapshot_at_timed(self.config.horizon_s);
         timings.simulate_s = simulate_s;
-        (report, timings)
+        Ok((snapshot.report, timings))
+    }
+
+    /// Provisions a [`GatewayService`] for this campaign's fleet: same
+    /// CUT, fleet size, horizon, batch size and shard/thread counts, with
+    /// the default ingest-queue bound. The service is independent of the
+    /// campaign object afterwards — ingest arrivals from
+    /// [`arrivals`](Self::arrivals), from [`feed`](Self::feed), or build
+    /// [`VehicleArrival`]s yourself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GatewayService::new`] validation errors (none are
+    /// reachable from a validated campaign configuration).
+    pub fn gateway(&self) -> Result<GatewayService<'a>, FleetError> {
+        GatewayService::new(
+            self.cut,
+            GatewayConfig {
+                vehicles: self.config.vehicles,
+                horizon_s: self.config.horizon_s,
+                batch_size: self.config.batch_size,
+                queue_capacity: DEFAULT_QUEUE_CAPACITY,
+                shards: self.config.shards,
+                threads: self.config.threads,
+            },
+        )
+    }
+
+    /// Streams the whole fleet into `svc` under backpressure: simulation
+    /// workers produce [`VehicleArrival`] batches over contiguous
+    /// [`SIM_BLOCK`]-aligned index ranges and a bounded channel, the
+    /// calling thread folds them via [`GatewayService::accept`] (drain on
+    /// a full queue — the trusted producer blocks instead of shedding).
+    /// Arrival *interleaving* across workers is nondeterministic; the
+    /// snapshot taken afterwards is not, by the gateway's set-purity
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ingest errors — [`FleetError::UnknownVehicle`] if `svc`
+    /// was provisioned for a smaller fleet than this campaign simulates.
+    pub fn feed(&self, svc: &mut GatewayService<'_>) -> Result<(), FleetError> {
+        /// Blocks per channel send: batches amortize channel and fold
+        /// bookkeeping over 64 × 64 = 4096 vehicles without growing the
+        /// in-flight footprint past a few MB at any thread count.
+        const FEED_BATCH_BLOCKS: usize = 64;
+        let n = self.config.vehicles as usize;
+        let blocks = n.div_ceil(SIM_BLOCK);
+        let threads = resolve_threads(self.config.threads).clamp(1, blocks);
+        let ctx = SimContext::new(
+            self.blueprints,
+            self.cut,
+            self.config.shutoff,
+            self.config.defect_fraction,
+            self.config.horizon_s,
+        );
+        if threads == 1 {
+            for i in 0..self.config.vehicles {
+                let o = simulate_vehicle(i, &ctx, vehicle_seed(self.config.seed, i));
+                svc.accept(VehicleArrival::from_outcome(&o))?;
+            }
+            return Ok(());
+        }
+        let chunk = blocks.div_ceil(threads);
+        std::thread::scope(|scope| -> Result<(), FleetError> {
+            let (tx, rx) = mpsc::sync_channel::<Vec<VehicleArrival>>(2 * threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(blocks);
+                if lo >= hi {
+                    break;
+                }
+                let tx = tx.clone();
+                let ctx = &ctx;
+                let this = &*self;
+                scope.spawn(move || {
+                    let mut next = lo;
+                    while next < hi {
+                        let end = (next + FEED_BATCH_BLOCKS).min(hi);
+                        let mut batch = Vec::with_capacity((end - next) * SIM_BLOCK);
+                        for b in next..end {
+                            // In-bounds by construction (see fold_blocks);
+                            // saturate rather than wrap if that invariant
+                            // is ever broken.
+                            let vlo = u32::try_from(b * SIM_BLOCK).unwrap_or(u32::MAX);
+                            let vhi = u32::try_from(((b + 1) * SIM_BLOCK).min(n)).unwrap_or(u32::MAX);
+                            for i in vlo..vhi {
+                                let o = simulate_vehicle(i, ctx, vehicle_seed(this.config.seed, i));
+                                batch.push(VehicleArrival::from_outcome(&o));
+                            }
+                        }
+                        // A closed channel means the consumer bailed on an
+                        // ingest error; stop producing — the error is
+                        // already surfacing from the recv loop.
+                        if tx.send(batch).is_err() {
+                            return;
+                        }
+                        next = end;
+                    }
+                });
+            }
+            drop(tx);
+            for batch in rx {
+                for arrival in batch {
+                    svc.accept(arrival)?;
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// A serial iterator over the fleet's [`VehicleArrival`]s in vehicle
+    /// index order — the soak bench's and tests' handle for driving a
+    /// [`GatewayService`] at a controlled cadence. Each item is the same
+    /// pure per-vehicle outcome the parallel paths compute; O(1) memory.
+    pub fn arrivals(&self) -> Arrivals<'a> {
+        Arrivals {
+            ctx: SimContext::new(
+                self.blueprints,
+                self.cut,
+                self.config.shutoff,
+                self.config.defect_fraction,
+                self.config.horizon_s,
+            ),
+            seed: self.config.seed,
+            next: 0,
+            vehicles: self.config.vehicles,
+        }
     }
 
     /// Simulation stage: folds every vehicle into per-worker
@@ -327,7 +502,14 @@ impl<'a> Campaign<'a> {
         let diagnose_s = t.elapsed().as_secs_f64();
 
         let t = Instant::now();
-        let report = self.fold_report(&merged, &table);
+        let report = fold_report(
+            self.config.vehicles,
+            self.config.batch_size,
+            self.config.horizon_s,
+            &merged.uploads,
+            &merged.totals,
+            &table,
+        );
         let fold_s = t.elapsed().as_secs_f64();
 
         (
@@ -350,11 +532,15 @@ impl<'a> Campaign<'a> {
         let mut acc = ShardAccumulator::default();
         acc.block_bist_s.reserve(block_hi - block_lo);
         for b in block_lo..block_hi {
-            let lo = b * SIM_BLOCK;
-            let hi = ((b + 1) * SIM_BLOCK).min(n);
+            // Checked, not `as`: `hi <= n = config.vehicles as usize`
+            // always fits u32, but a silent wrap here would quietly
+            // simulate the wrong index range — saturate instead if the
+            // invariant is ever broken by a future refactor.
+            let lo = u32::try_from(b * SIM_BLOCK).unwrap_or(u32::MAX);
+            let hi = u32::try_from(((b + 1) * SIM_BLOCK).min(n)).unwrap_or(u32::MAX);
             let mut block_bist = 0.0f64;
-            for i in lo as u32..hi as u32 {
-                let o = simulate_vehicle(i, ctx, self.vehicle_seed(i));
+            for i in lo..hi {
+                let o = simulate_vehicle(i, ctx, vehicle_seed(self.config.seed, i));
                 if let Some(d) = o.defect {
                     acc.defective += 1;
                     *acc.seeded.entry(d.ecu).or_insert(0) += 1;
@@ -386,36 +572,9 @@ impl<'a> Campaign<'a> {
             .collect::<BTreeSet<u32>>()
             .into_iter()
             .collect();
-        if distinct.is_empty() {
-            return BTreeMap::new();
-        }
-        let shards = self.resolve_shards().min(distinct.len());
-        if shards == 1 {
-            return distinct
-                .iter()
-                .map(|&fi| (fi, self.diagnose_fault(fi)))
-                .collect();
-        }
-        let chunk = distinct.len().div_ceil(shards);
-        let mut table = BTreeMap::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(shards);
-            for part in distinct.chunks(chunk) {
-                let this = &*self;
-                handles.push(scope.spawn(move || {
-                    part.iter()
-                        .map(|&fi| (fi, this.diagnose_fault(fi)))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                match h.join() {
-                    Ok(entries) => table.extend(entries),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-        });
-        table
+        diagnose_faults(self.cut, &distinct, self.resolve_shards())
+            .into_iter()
+            .collect()
     }
 
     fn resolve_shards(&self) -> usize {
@@ -425,108 +584,194 @@ impl<'a> Campaign<'a> {
             self.config.shards
         }
     }
+}
 
-    fn diagnose_fault(&self, fault_index: u32) -> DiagEntry {
-        DiagEntry {
-            candidates: self.cut.diagnose(self.cut.fail_data(fault_index)).len(),
-            rank: self.cut.true_fault_rank(fault_index).unwrap_or(0),
-            localized: self.cut.localizes(fault_index),
+/// The serial arrival stream behind [`Campaign::arrivals`].
+pub struct Arrivals<'a> {
+    ctx: SimContext<'a>,
+    seed: u64,
+    next: u32,
+    vehicles: u32,
+}
+
+impl Iterator for Arrivals<'_> {
+    type Item = VehicleArrival;
+
+    fn next(&mut self) -> Option<VehicleArrival> {
+        if self.next >= self.vehicles {
+            return None;
         }
+        let i = self.next;
+        self.next += 1;
+        let o = simulate_vehicle(i, &self.ctx, vehicle_seed(self.seed, i));
+        Some(VehicleArrival::from_outcome(&o))
     }
 
-    /// Final serial scan over the merged upload sequence: arrival-order
-    /// batches, latency statistics, the coverage curve and the per-ECU
-    /// aggregation — exactly the pre-sharding semantics.
-    fn fold_report(&self, merged: &MergedFleet, table: &BTreeMap<u32, DiagEntry>) -> FleetReport {
-        let mut findings = Vec::with_capacity(merged.uploads.len());
-        for (k, up) in merged.uploads.iter().enumerate() {
-            // The table covers every uploaded fault index by construction.
-            let Some(e) = table.get(&up.fault_index) else {
-                continue;
-            };
-            findings.push(DefectFinding {
-                vehicle: up.vehicle,
-                ecu: up.ecu,
-                fault_index: up.fault_index,
-                detected_at_s: up.time_s,
-                batch: (k / self.config.batch_size) as u32,
-                candidates: e.candidates,
-                true_fault_rank: e.rank,
-                localized: e.localized,
-            });
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.vehicles - self.next) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Arrivals<'_> {}
+
+/// Diagnoses the given distinct fault indices against the shared
+/// dictionary, sharded over disjoint contiguous ranges of the input.
+/// Sound because the lookup is pure (same CUT fleet-wide: two uploads of
+/// one fault produce identical fail data), and deterministic because the
+/// output is keyed by fault index — callers merge into a `BTreeMap`.
+/// Shared by [`Campaign::aggregate`] and the gateway's snapshot stage.
+pub(crate) fn diagnose_faults(
+    cut: &CutModel,
+    distinct: &[u32],
+    shards: usize,
+) -> Vec<(u32, DiagEntry)> {
+    if distinct.is_empty() {
+        return Vec::new();
+    }
+    let shards = shards.max(1).min(distinct.len());
+    if shards == 1 {
+        return distinct.iter().map(|&fi| (fi, diagnose_fault(cut, fi))).collect();
+    }
+    let chunk = distinct.len().div_ceil(shards);
+    let mut table = Vec::with_capacity(distinct.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards);
+        for part in distinct.chunks(chunk) {
+            handles.push(scope.spawn(move || {
+                part.iter()
+                    .map(|&fi| (fi, diagnose_fault(cut, fi)))
+                    .collect::<Vec<_>>()
+            }));
         }
-        let batches = merged.uploads.len().div_ceil(self.config.batch_size) as u32;
-
-        let detected = findings.len() as u32;
-        let localized = findings.iter().filter(|f| f.localized).count() as u32;
-
-        let latencies: Vec<f64> = findings.iter().map(|f| f.detected_at_s).collect();
-        let latency = LatencyStats::from_sorted(&latencies);
-
-        // Coverage over time at fixed horizon fractions; the merged
-        // uploads are time-sorted, so one forward scan suffices.
-        let mut coverage_over_time = Vec::with_capacity(COVERAGE_POINTS);
-        let mut seen = 0usize;
-        for p in 1..=COVERAGE_POINTS {
-            let t = self.config.horizon_s * p as f64 / COVERAGE_POINTS as f64;
-            while seen < latencies.len() && latencies[seen] <= t {
-                seen += 1;
+        for h in handles {
+            match h.join() {
+                Ok(entries) => table.extend(entries),
+                Err(payload) => std::panic::resume_unwind(payload),
             }
-            let frac = if merged.defective == 0 {
-                0.0
-            } else {
-                seen as f64 / f64::from(merged.defective)
-            };
-            coverage_over_time.push((t, frac));
         }
+    });
+    table
+}
 
-        // Per-ECU aggregation: seeded counts come exactly merged from the
-        // shards; detections fold from the findings scan.
-        let mut per_ecu_map: BTreeMap<ResourceId, EcuAcc> = BTreeMap::new();
-        for (&ecu, &seeded) in &merged.seeded {
-            per_ecu_map.entry(ecu).or_default().seeded = seeded;
-        }
-        for f in &findings {
-            let acc = per_ecu_map.entry(f.ecu).or_default();
-            acc.detected += 1;
-            acc.localized += u32::from(f.localized);
-            acc.latency_sum += f.detected_at_s;
-            *acc.fault_counts.entry(f.fault_index).or_insert(0) += 1;
-        }
-        let per_ecu = per_ecu_map
-            .into_iter()
-            .map(|(ecu, acc)| {
-                let mut top_faults: Vec<(u32, u32)> = acc.fault_counts.into_iter().collect();
-                top_faults.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                EcuReport {
-                    ecu,
-                    seeded: acc.seeded,
-                    detected: acc.detected,
-                    localized: acc.localized,
-                    mean_latency_s: if acc.detected == 0 {
-                        0.0
-                    } else {
-                        acc.latency_sum / f64::from(acc.detected)
-                    },
-                    top_faults,
-                }
-            })
-            .collect();
+fn diagnose_fault(cut: &CutModel, fault_index: u32) -> DiagEntry {
+    let fail = cut.fail_data(fault_index);
+    DiagEntry {
+        candidates: cut.diagnose(fail).len(),
+        rank: cut.true_fault_rank(fault_index).unwrap_or(0),
+        localized: cut.localizes(fault_index),
+        truncated: fail.is_truncated(),
+    }
+}
 
-        FleetReport {
-            vehicles: self.config.vehicles,
-            defective: merged.defective,
-            detected,
-            localized,
-            sessions_completed: merged.sessions_completed,
-            windows_used: merged.windows_used,
-            bist_time_s: merged.bist_time_s,
-            batches,
-            latency,
-            coverage_over_time,
-            per_ecu,
-            findings,
+/// Final serial scan over a globally ordered upload sequence:
+/// arrival-order batches, latency statistics, the coverage curve and the
+/// per-ECU aggregation — exactly the pre-sharding semantics. A pure
+/// function of its inputs, shared by [`Campaign::aggregate`] and
+/// [`GatewayService::snapshot_at`]: that sharing *is* the argument that
+/// the one-shot report and the horizon snapshot agree bit for bit.
+pub(crate) fn fold_report(
+    vehicles: u32,
+    batch_size: usize,
+    horizon_s: f64,
+    uploads: &[Upload],
+    totals: &FleetTotals,
+    table: &BTreeMap<u32, DiagEntry>,
+) -> FleetReport {
+    let mut findings = Vec::with_capacity(uploads.len());
+    for (k, up) in uploads.iter().enumerate() {
+        // The table covers every uploaded fault index by construction.
+        let Some(e) = table.get(&up.fault_index) else {
+            continue;
+        };
+        findings.push(DefectFinding {
+            vehicle: up.vehicle,
+            ecu: up.ecu,
+            fault_index: up.fault_index,
+            detected_at_s: up.time_s,
+            // usize → u64 is lossless on every supported target; the
+            // widened field means no batch ordinal can wrap (the old
+            // `as u32` wrapped silently past ~4.29G ordinals).
+            batch: (k / batch_size) as u64,
+            candidates: e.candidates,
+            true_fault_rank: e.rank,
+            localized: e.localized,
+        });
+    }
+    let batches = uploads.len().div_ceil(batch_size) as u64;
+
+    let detected = findings.len() as u64;
+    let localized = findings.iter().filter(|f| f.localized).count() as u64;
+
+    let latencies: Vec<f64> = findings.iter().map(|f| f.detected_at_s).collect();
+    let latency = LatencyStats::from_sorted(&latencies);
+
+    // Coverage over time at fixed horizon fractions; the uploads are
+    // time-sorted, so one forward scan suffices. The grid always spans
+    // the full campaign horizon — a mid-campaign snapshot reports the
+    // same grid with the not-yet-reached points at the current fraction,
+    // which is what makes `snapshot_at` monotone in t.
+    let mut coverage_over_time = Vec::with_capacity(COVERAGE_POINTS);
+    let mut seen = 0usize;
+    for p in 1..=COVERAGE_POINTS {
+        let t = horizon_s * p as f64 / COVERAGE_POINTS as f64;
+        while seen < latencies.len() && latencies[seen] <= t {
+            seen += 1;
         }
+        let frac = if totals.defective == 0 {
+            0.0
+        } else {
+            seen as f64 / f64::from(totals.defective)
+        };
+        coverage_over_time.push((t, frac));
+    }
+
+    // Per-ECU aggregation: seeded counts come exactly merged from the
+    // census; detections fold from the findings scan.
+    let mut per_ecu_map: BTreeMap<ResourceId, EcuAcc> = BTreeMap::new();
+    for (&ecu, &seeded) in &totals.seeded {
+        per_ecu_map.entry(ecu).or_default().seeded = seeded;
+    }
+    for f in &findings {
+        let acc = per_ecu_map.entry(f.ecu).or_default();
+        acc.detected += 1;
+        acc.localized += u32::from(f.localized);
+        acc.latency_sum += f.detected_at_s;
+        *acc.fault_counts.entry(f.fault_index).or_insert(0) += 1;
+    }
+    let per_ecu = per_ecu_map
+        .into_iter()
+        .map(|(ecu, acc)| {
+            let mut top_faults: Vec<(u32, u32)> = acc.fault_counts.into_iter().collect();
+            top_faults.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            EcuReport {
+                ecu,
+                seeded: acc.seeded,
+                detected: acc.detected,
+                localized: acc.localized,
+                mean_latency_s: if acc.detected == 0 {
+                    0.0
+                } else {
+                    acc.latency_sum / f64::from(acc.detected)
+                },
+                top_faults,
+            }
+        })
+        .collect();
+
+    FleetReport {
+        vehicles,
+        defective: totals.defective,
+        detected,
+        localized,
+        sessions_completed: totals.sessions_completed,
+        windows_used: totals.windows_used,
+        bist_time_s: totals.bist_time_s,
+        batches,
+        latency,
+        coverage_over_time,
+        per_ecu,
+        findings,
     }
 }
 
@@ -559,26 +804,19 @@ fn merge_shards(shards: &[ShardAccumulator]) -> MergedFleet {
         heads[s] += 1;
     }
 
-    let mut merged = MergedFleet {
-        uploads,
-        defective: 0,
-        sessions_completed: 0,
-        windows_used: 0,
-        bist_time_s: 0.0,
-        seeded: BTreeMap::new(),
-    };
+    let mut totals = FleetTotals::default();
     for s in shards {
-        merged.defective += s.defective;
-        merged.sessions_completed += s.sessions_completed;
-        merged.windows_used += s.windows_used;
+        totals.defective += s.defective;
+        totals.sessions_completed += s.sessions_completed;
+        totals.windows_used += s.windows_used;
         for &b in &s.block_bist_s {
-            merged.bist_time_s += b;
+            totals.bist_time_s += b;
         }
         for (&ecu, &count) in &s.seeded {
-            *merged.seeded.entry(ecu).or_insert(0) += count;
+            *totals.seeded.entry(ecu).or_insert(0) += count;
         }
     }
-    merged
+    MergedFleet { uploads, totals }
 }
 
 #[derive(Default)]
@@ -665,7 +903,11 @@ mod tests {
         };
         let report = Campaign::new(&cut, &bp, cfg).expect("valid").run();
         assert!(report.defective > 0, "fraction 0.25 of 200 seeds defects");
-        assert_eq!(report.detected, report.defective, "horizon is generous");
+        assert_eq!(
+            report.detected,
+            u64::from(report.defective),
+            "horizon is generous"
+        );
         assert_eq!(report.localized, report.detected);
         assert_eq!(report.latency.count, report.detected);
         assert!(report.latency.min_s > 0.0);
@@ -737,6 +979,68 @@ mod tests {
         assert_eq!(report, campaign.run());
         // Aggregation is borrow-only: a second pass is identical.
         assert_eq!(campaign.aggregate(&shards), report);
+    }
+
+    /// Regression for the silent `as u32` wraps in the report counters:
+    /// the derived counters are u64 now — the `let _: u64` bindings pin
+    /// the widths at the type level, so a narrowing refactor fails to
+    /// compile — and batch ordinals are exact at batch size 1 (the old
+    /// cast wrapped past ~4.29G ordinals).
+    #[test]
+    fn report_counters_are_wide_and_batch_ordinals_exact() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let cfg = CampaignConfig {
+            vehicles: 150,
+            defect_fraction: 0.4,
+            horizon_s: 14.0 * 86_400.0,
+            seed: 21,
+            threads: 1,
+            batch_size: 1,
+            ..CampaignConfig::default()
+        };
+        let report = Campaign::new(&cut, &bp, cfg).expect("valid").run();
+        let _: u64 = report.detected;
+        let _: u64 = report.localized;
+        let _: u64 = report.batches;
+        let _: u64 = report.latency.count;
+        assert!(report.detected > 1);
+        for (k, f) in report.findings.iter().enumerate() {
+            assert_eq!(f.batch, k as u64, "batch_size 1: ordinal == index");
+        }
+        assert_eq!(report.batches, report.detected);
+    }
+
+    /// The one-shot run is now a thin wrapper over the gateway: feeding
+    /// every arrival by hand and snapshotting at the horizon must equal
+    /// both `run()` and the direct sharded simulate+aggregate path.
+    #[test]
+    fn one_shot_run_is_the_gateway_wrapper() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let cfg = CampaignConfig {
+            vehicles: 260,
+            defect_fraction: 0.3,
+            horizon_s: 14.0 * 86_400.0,
+            seed: 3,
+            threads: 2,
+            shards: 2,
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::new(&cut, &bp, cfg).expect("valid");
+        let direct = campaign.aggregate(&campaign.simulate());
+        let run = campaign.run();
+        assert_eq!(run, direct, "gateway wrapper == direct sharded path");
+
+        let mut svc = campaign.gateway().expect("provision");
+        for arrival in campaign.arrivals() {
+            svc.accept(arrival).expect("trusted path drains, never sheds");
+        }
+        let snap = svc.snapshot_at(campaign.config().horizon_s);
+        assert_eq!(snap.report, run, "manual ingest == run()");
+        assert_eq!(snap.ingested, u64::from(campaign.config().vehicles));
+        assert_eq!(snap.shed, 0);
+        assert_eq!(snap.duplicates, 0);
     }
 
     #[test]

@@ -26,6 +26,24 @@ pub enum FleetError {
     InvalidShutoffModel,
     /// The gateway batch size is zero — uploads could never drain.
     ZeroBatchSize,
+    /// The gateway ingest queue capacity is zero — every arrival would be
+    /// shed before a worker could ever fold it.
+    ZeroQueueCapacity,
+    /// The gateway ingest queue is full; the arrival was shed (counted in
+    /// the next snapshot's `shed` field). Callers under backpressure
+    /// should [`drain`](crate::GatewayService::drain) and retry.
+    Overloaded {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// An arrival named a vehicle index outside the fleet the gateway was
+    /// provisioned for — an abuse-boundary rejection, not a fold error.
+    UnknownVehicle {
+        /// The out-of-range vehicle index.
+        vehicle: u32,
+        /// The provisioned fleet size (valid indices are `0..fleet`).
+        fleet: u32,
+    },
     /// No blueprint of the exploration front carries a diagnosable BIST
     /// session (finite transfer time and non-zero upload bandwidth), so no
     /// vehicle could ever produce fail data.
@@ -58,6 +76,15 @@ impl fmt::Display for FleetError {
                 write!(f, "shut-off window model has non-positive or inverted bounds")
             }
             FleetError::ZeroBatchSize => write!(f, "gateway upload batch size must be positive"),
+            FleetError::ZeroQueueCapacity => {
+                write!(f, "gateway ingest queue capacity must be positive")
+            }
+            FleetError::Overloaded { capacity } => {
+                write!(f, "gateway ingest queue full ({capacity} pending), arrival shed")
+            }
+            FleetError::UnknownVehicle { vehicle, fleet } => {
+                write!(f, "arrival from unknown vehicle {vehicle} (fleet size {fleet})")
+            }
             FleetError::NoDiagnosableBlueprint => write!(
                 f,
                 "no blueprint carries a diagnosable BIST session (finite transfer, non-zero upload bandwidth)"
@@ -130,6 +157,17 @@ mod tests {
         assert!(matches!(e, EeaError::Fleet(_)));
         assert!(e.to_string().contains("fleet:"));
         assert!(e.to_string().contains("at least one vehicle"));
+    }
+
+    #[test]
+    fn gateway_variants_render_their_bounds() {
+        let e = FleetError::Overloaded { capacity: 64 };
+        assert!(e.to_string().contains("64 pending"));
+        assert!(e.source().is_none());
+        let e = FleetError::UnknownVehicle { vehicle: 9, fleet: 4 };
+        assert!(e.to_string().contains("vehicle 9"));
+        assert!(e.to_string().contains("fleet size 4"));
+        assert!(FleetError::ZeroQueueCapacity.to_string().contains("queue capacity"));
     }
 
     #[test]

@@ -1,0 +1,816 @@
+//! The long-lived **gateway ingest service**: the streaming face of the
+//! fleet campaign engine.
+//!
+//! Where [`Campaign::run`](crate::Campaign::run) answers "what does the
+//! whole campaign look like at the horizon", a [`GatewayService`] answers
+//! the production question: vehicles upload fail data over (simulated)
+//! wall-clock time, the service folds arrivals incrementally, and a
+//! [`FleetReport`] is a **point-in-time snapshot** queryable mid-campaign
+//! via [`GatewayService::snapshot_at`]. Ingest is a real service
+//! boundary: a bounded queue ([`GatewayConfig::queue_capacity`]) sheds
+//! arrivals with a typed [`FleetError::Overloaded`] when full, unknown
+//! vehicle indices are rejected ([`FleetError::UnknownVehicle`]), and
+//! duplicate arrivals are dropped and counted — every drop is visible in
+//! the snapshot's counters, nothing is silent.
+//!
+//! # Snapshot-under-load determinism
+//!
+//! The contract: **a snapshot is a pure function of the *set* of folded
+//! arrivals and the snapshot time `t`** — independent of thread count,
+//! shard count, queue capacity, drain cadence, and arrival interleaving.
+//! Four mechanisms make the fold order-free:
+//!
+//! 1. **Content-based shard routing.** An upload lands in shard
+//!    `vehicle % shards` — a function of the arrival, not of which worker
+//!    or drain cycle folded it. Shards only bucket storage; the snapshot
+//!    re-sorts globally, so even the shard count cannot show through.
+//! 2. **Commutative integer census.** Defective/session/window counters
+//!    are exact integer adds; per-ECU seeded counts merge into a
+//!    `BTreeMap`. Integer addition commutes — arrival order is invisible.
+//! 3. **A position-keyed block ledger for the one floating-point sum.**
+//!    f64 addition commutes but does not associate, so `bist_time_s` is
+//!    *not* folded in arrival order. Each vehicle's BIST time is parked
+//!    in its slot of a [`SIM_BLOCK`]-sized block buffer; a block's sum is
+//!    the left-fold over its slots **in vehicle-index order**, and the
+//!    total is the left-fold over block sums **in block order** — exactly
+//!    the reduction tree DESIGN.md §10 fixed for the one-shot pipeline,
+//!    reproduced here arrival-order-independently. Full blocks collapse
+//!    to one f64 (the open buffer is freed), so steady-state memory stays
+//!    O(detections + blocks).
+//! 4. **Sort-at-snapshot under a total order.** The snapshot gathers the
+//!    time-filtered uploads and sorts by `(time_s, vehicle)` — a total
+//!    order with unique keys (one upload per vehicle), so the globally
+//!    sorted sequence equals the one-shot pipeline's k-way merge output
+//!    no matter how arrivals were interleaved. Diagnosis is pure per
+//!    fault index (cached across snapshots) and the final fold is the
+//!    *same function* ([`fold_report`]) the one-shot path runs.
+//!
+//! Consequence: ingesting the whole fleet and snapshotting at the horizon
+//! is bit-identical to `Campaign::run` — the frozen 100k digest in
+//! `tests/fleet_frozen_report.rs` now pins both pipelines, and
+//! `tests/fleet_determinism.rs` proptests snapshots across
+//! interleaving × thread × shard × capacity sweeps.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use eea_faultsim::resolve_threads;
+use eea_model::ResourceId;
+
+use crate::campaign::{
+    diagnose_faults, fold_report, upload_order, DiagEntry, FleetTotals, StageTimings, SIM_BLOCK,
+};
+use crate::cut::CutModel;
+use crate::error::FleetError;
+use crate::report::FleetReport;
+use crate::vehicle::{Upload, VehicleOutcome};
+
+/// Default bound of the ingest queue: deep enough that the one-shot
+/// wrapper's 4096-arrival feed batches never shed, small enough that a
+/// stalled consumer surfaces as backpressure instead of unbounded memory.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 8_192;
+
+/// One vehicle's complete contribution to the campaign, as uploaded to
+/// the gateway: the (optional) fail-data upload plus the census counters
+/// the fleet report aggregates. `Copy` and a few dozen bytes — cheap to
+/// batch through channels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehicleArrival {
+    /// The reporting vehicle (index into the provisioned fleet).
+    pub vehicle: u32,
+    /// ECU of this vehicle's seeded defect, if any.
+    pub defect_ecu: Option<ResourceId>,
+    /// BIST sessions the vehicle completed within the horizon.
+    pub sessions_completed: u32,
+    /// Shut-off windows in which its BIST made progress.
+    pub windows_used: u32,
+    /// Total BIST time the vehicle consumed (seconds).
+    pub bist_time_s: f64,
+    /// The fail-data upload, when the seeded defect was detected and the
+    /// payload reached the gateway within the horizon.
+    pub upload: Option<Upload>,
+}
+
+impl VehicleArrival {
+    /// Packages a simulated vehicle outcome as a gateway arrival.
+    pub(crate) fn from_outcome(o: &VehicleOutcome) -> Self {
+        VehicleArrival {
+            vehicle: o.vehicle,
+            defect_ecu: o.defect.map(|d| d.ecu),
+            sessions_completed: o.sessions_completed,
+            windows_used: o.windows_used,
+            bist_time_s: o.bist_time_s,
+            upload: o.upload,
+        }
+    }
+}
+
+/// Configuration of a [`GatewayService`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayConfig {
+    /// Provisioned fleet size; arrivals must carry `vehicle < vehicles`.
+    pub vehicles: u32,
+    /// Campaign horizon in seconds — the coverage grid spans it and the
+    /// final snapshot is taken at it.
+    pub horizon_s: f64,
+    /// Gateway aggregation batch size (uploads per batch) for the
+    /// snapshot's batch ordinals.
+    pub batch_size: usize,
+    /// Ingest queue bound: once this many arrivals are pending, further
+    /// [`ingest`](GatewayService::ingest) calls shed with
+    /// [`FleetError::Overloaded`] until a [`drain`](GatewayService::drain).
+    pub queue_capacity: usize,
+    /// Storage shards uploads are routed into (`vehicle % shards`) and
+    /// diagnosis-stage parallelism; `0` = auto. Snapshots are
+    /// bit-identical at any value.
+    pub shards: usize,
+    /// Worker threads for the snapshot's diagnosis stage; `0` = auto.
+    /// Snapshots are bit-identical at any value.
+    pub threads: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            vehicles: 1_000,
+            horizon_s: 30.0 * 86_400.0,
+            batch_size: 64,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            shards: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// A point-in-time view of the campaign, produced by
+/// [`GatewayService::snapshot_at`]. Wraps the [`FleetReport`] (unchanged
+/// shape — the frozen digest pins it) with the service-side counters:
+/// everything the ingest boundary shed, dropped or clamped is accounted
+/// here, never silently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewaySnapshot {
+    /// The campaign time the report is evaluated at.
+    pub at_s: f64,
+    /// Arrivals folded into the service state so far (valid, non-duplicate).
+    pub ingested: u64,
+    /// Fail-data uploads among them.
+    pub uploads_ingested: u64,
+    /// Arrivals shed at the full queue ([`FleetError::Overloaded`]).
+    pub shed: u64,
+    /// Duplicate arrivals dropped by the ledger (a vehicle reported twice).
+    pub duplicates: u64,
+    /// Uploads in this snapshot's report whose fail data overflowed the
+    /// bounded fail memory ([`eea_bist::FAIL_DATA_BYTES`]) — their
+    /// diagnosis ran on a clamped window prefix.
+    pub truncated_uploads: u64,
+    /// The point-in-time fleet report: uploads with `time_s <= at_s`,
+    /// census counters over everything ingested.
+    pub report: FleetReport,
+}
+
+/// The long-lived gateway ingest service. See the module docs for the
+/// determinism contract; see [`Campaign::gateway`](crate::Campaign::gateway)
+/// for provisioning one from a campaign.
+#[derive(Debug)]
+pub struct GatewayService<'a> {
+    cut: &'a CutModel,
+    config: GatewayConfig,
+    shard_count: usize,
+    /// Pending arrivals, bounded by `config.queue_capacity`.
+    queue: Vec<VehicleArrival>,
+    /// Per-shard upload buckets, routed by `vehicle % shard_count`.
+    /// Unsorted — the snapshot sorts globally.
+    shards: Vec<Vec<Upload>>,
+    /// Exact integer census counters (commutative folds).
+    totals_defective: u32,
+    totals_sessions: u64,
+    totals_windows: u64,
+    seeded: BTreeMap<ResourceId, u32>,
+    /// Completed-block BIST-time sums, one per [`SIM_BLOCK`] of the fleet.
+    block_sums: Vec<f64>,
+    /// Per-block presence masks (bit `v % SIM_BLOCK` of block
+    /// `v / SIM_BLOCK`); doubles as the duplicate detector.
+    block_masks: Vec<u64>,
+    /// Slot buffers of blocks still missing vehicles; freed on completion.
+    open_blocks: Vec<Option<Box<[f64; SIM_BLOCK]>>>,
+    /// Pure per-fault diagnosis results, cached across snapshots.
+    diag_cache: BTreeMap<u32, DiagEntry>,
+    ingested: u64,
+    uploads_ingested: u64,
+    shed: u64,
+    duplicates: u64,
+}
+
+impl<'a> GatewayService<'a> {
+    /// Provisions a gateway for a fleet over the shared CUT model.
+    ///
+    /// # Errors
+    ///
+    /// * [`FleetError::EmptyFleet`] for zero vehicles,
+    /// * [`FleetError::InvalidHorizon`] for a non-positive or non-finite
+    ///   horizon,
+    /// * [`FleetError::ZeroBatchSize`] for a zero batch size,
+    /// * [`FleetError::ZeroQueueCapacity`] for a zero queue bound.
+    pub fn new(cut: &'a CutModel, config: GatewayConfig) -> Result<Self, FleetError> {
+        if config.vehicles == 0 {
+            return Err(FleetError::EmptyFleet);
+        }
+        if !config.horizon_s.is_finite() || config.horizon_s <= 0.0 {
+            return Err(FleetError::InvalidHorizon(config.horizon_s));
+        }
+        if config.batch_size == 0 {
+            return Err(FleetError::ZeroBatchSize);
+        }
+        if config.queue_capacity == 0 {
+            return Err(FleetError::ZeroQueueCapacity);
+        }
+        let shard_count = if config.shards == 0 {
+            resolve_threads(config.threads)
+        } else {
+            config.shards
+        }
+        .max(1);
+        let blocks = (config.vehicles as usize).div_ceil(SIM_BLOCK);
+        Ok(GatewayService {
+            cut,
+            shard_count,
+            queue: Vec::new(),
+            shards: vec![Vec::new(); shard_count],
+            totals_defective: 0,
+            totals_sessions: 0,
+            totals_windows: 0,
+            seeded: BTreeMap::new(),
+            block_sums: vec![0.0; blocks],
+            block_masks: vec![0; blocks],
+            open_blocks: (0..blocks).map(|_| None).collect(),
+            diag_cache: BTreeMap::new(),
+            ingested: 0,
+            uploads_ingested: 0,
+            shed: 0,
+            duplicates: 0,
+            config,
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Pending (ingested but not yet folded) arrivals.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The configured queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.config.queue_capacity
+    }
+
+    /// Arrivals shed at the full queue so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Arrivals folded into the service state so far.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Enqueues one arrival. The queue is the abuse-tolerant service
+    /// boundary: full queue → typed shed, out-of-range vehicle → typed
+    /// rejection. Folding happens at the next [`drain`](Self::drain) (or
+    /// snapshot, which drains first).
+    ///
+    /// # Errors
+    ///
+    /// * [`FleetError::UnknownVehicle`] — `arrival.vehicle` is outside
+    ///   the provisioned fleet; not counted as shed.
+    /// * [`FleetError::Overloaded`] — the queue is at capacity; counted
+    ///   in [`shed`](Self::shed) and the snapshot's `shed` field.
+    pub fn ingest(&mut self, arrival: VehicleArrival) -> Result<(), FleetError> {
+        if arrival.vehicle >= self.config.vehicles {
+            return Err(FleetError::UnknownVehicle {
+                vehicle: arrival.vehicle,
+                fleet: self.config.vehicles,
+            });
+        }
+        if self.queue.len() >= self.config.queue_capacity {
+            self.shed += 1;
+            return Err(FleetError::Overloaded {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        self.queue.push(arrival);
+        Ok(())
+    }
+
+    /// The trusted-producer path: like [`ingest`](Self::ingest), but a
+    /// full queue drains instead of shedding — in-process backpressure by
+    /// folding now rather than dropping data.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownVehicle`] as for `ingest`; never `Overloaded`.
+    pub fn accept(&mut self, arrival: VehicleArrival) -> Result<(), FleetError> {
+        if self.queue.len() >= self.config.queue_capacity {
+            self.drain();
+        }
+        self.ingest(arrival)
+    }
+
+    /// Folds every pending arrival into the service state and returns how
+    /// many were folded. Duplicates (a vehicle already in the ledger) are
+    /// dropped and counted, not folded.
+    pub fn drain(&mut self) -> usize {
+        let mut pending = std::mem::take(&mut self.queue);
+        let n = pending.len();
+        for arrival in pending.drain(..) {
+            self.fold(arrival);
+        }
+        // Hand the (empty, still-allocated) buffer back: steady-state
+        // drains allocate nothing.
+        self.queue = pending;
+        n
+    }
+
+    /// Order-free fold of one arrival; see the module docs.
+    fn fold(&mut self, a: VehicleArrival) {
+        let block = (a.vehicle as usize) / SIM_BLOCK;
+        let slot = (a.vehicle as usize) % SIM_BLOCK;
+        let bit = 1u64 << slot;
+        if self.block_masks[block] & bit != 0 {
+            self.duplicates += 1;
+            return;
+        }
+        self.block_masks[block] |= bit;
+        let buf = self.open_blocks[block].get_or_insert_with(|| Box::new([0.0; SIM_BLOCK]));
+        buf[slot] = a.bist_time_s;
+        if self.block_masks[block] == self.full_mask(block) {
+            // Block complete: collapse to its canonical left-fold sum
+            // (vehicle-index order) and free the slot buffer.
+            if let Some(buf) = self.open_blocks[block].take() {
+                let len = self.block_len(block);
+                let mut sum = 0.0f64;
+                for &v in buf.iter().take(len) {
+                    sum += v;
+                }
+                self.block_sums[block] = sum;
+            }
+        }
+        if let Some(ecu) = a.defect_ecu {
+            self.totals_defective += 1;
+            *self.seeded.entry(ecu).or_insert(0) += 1;
+        }
+        self.totals_sessions += u64::from(a.sessions_completed);
+        self.totals_windows += u64::from(a.windows_used);
+        if let Some(up) = a.upload {
+            self.uploads_ingested += 1;
+            let shard = (a.vehicle as usize) % self.shard_count;
+            self.shards[shard].push(up);
+        }
+        self.ingested += 1;
+    }
+
+    /// Vehicles in block `block` (the last block may be partial).
+    fn block_len(&self, block: usize) -> usize {
+        let n = self.config.vehicles as usize;
+        SIM_BLOCK.min(n - block * SIM_BLOCK)
+    }
+
+    fn full_mask(&self, block: usize) -> u64 {
+        let len = self.block_len(block);
+        if len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        }
+    }
+
+    /// The deterministic fleet-wide BIST-time sum over everything folded
+    /// so far: left-fold over block sums in block order, partial blocks
+    /// folded over their present slots in vehicle-index order. For a
+    /// complete census this is exactly the one-shot pipeline's reduction
+    /// tree.
+    fn bist_time_total(&self) -> f64 {
+        let mut total = 0.0f64;
+        for block in 0..self.block_sums.len() {
+            if let Some(buf) = &self.open_blocks[block] {
+                let mask = self.block_masks[block];
+                let mut sum = 0.0f64;
+                for (slot, &v) in buf.iter().enumerate().take(self.block_len(block)) {
+                    if mask & (1u64 << slot) != 0 {
+                        sum += v;
+                    }
+                }
+                total += sum;
+            } else {
+                total += self.block_sums[block];
+            }
+        }
+        total
+    }
+
+    /// Takes a point-in-time snapshot: drains the queue, then evaluates
+    /// the fleet report over every folded upload with `time_s <= at_s`.
+    /// Census counters (defective, sessions, windows, BIST time, per-ECU
+    /// seeded counts) cover everything ingested — they are campaign
+    /// facts, not arrival events. Pure in the folded-arrival *set* and
+    /// `at_s`: bit-identical at any thread/shard/capacity/interleaving,
+    /// and monotone in `at_s` for a fixed set.
+    pub fn snapshot_at(&mut self, at_s: f64) -> GatewaySnapshot {
+        self.snapshot_at_timed(at_s).0
+    }
+
+    /// Like [`snapshot_at`](Self::snapshot_at), with per-stage timings
+    /// (merge / diagnose / fold; `simulate_s` stays 0 — simulation
+    /// happens producer-side).
+    pub fn snapshot_at_timed(&mut self, at_s: f64) -> (GatewaySnapshot, StageTimings) {
+        self.drain();
+
+        let t = Instant::now();
+        let mut uploads: Vec<Upload> = self
+            .shards
+            .iter()
+            .flatten()
+            .filter(|u| u.time_s <= at_s)
+            .copied()
+            .collect();
+        // Total order with unique keys (one upload per vehicle): the
+        // global sort is *the* gateway-arrival order, equal to the
+        // one-shot pipeline's k-way merge.
+        uploads.sort_unstable_by(upload_order);
+        let merge_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let missing: Vec<u32> = {
+            let mut m: Vec<u32> = uploads
+                .iter()
+                .map(|u| u.fault_index)
+                .filter(|fi| !self.diag_cache.contains_key(fi))
+                .collect();
+            m.sort_unstable();
+            m.dedup();
+            m
+        };
+        let threads = resolve_threads(self.config.threads).max(1);
+        self.diag_cache
+            .extend(diagnose_faults(self.cut, &missing, threads));
+        let diagnose_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let totals = FleetTotals {
+            defective: self.totals_defective,
+            sessions_completed: self.totals_sessions,
+            windows_used: self.totals_windows,
+            bist_time_s: self.bist_time_total(),
+            seeded: self.seeded.clone(),
+        };
+        let truncated_uploads = uploads
+            .iter()
+            .filter(|u| {
+                self.diag_cache
+                    .get(&u.fault_index)
+                    .is_some_and(|e| e.truncated)
+            })
+            .count() as u64;
+        let report = fold_report(
+            self.config.vehicles,
+            self.config.batch_size,
+            self.config.horizon_s,
+            &uploads,
+            &totals,
+            &self.diag_cache,
+        );
+        let fold_s = t.elapsed().as_secs_f64();
+
+        (
+            GatewaySnapshot {
+                at_s,
+                ingested: self.ingested,
+                uploads_ingested: self.uploads_ingested,
+                shed: self.shed,
+                duplicates: self.duplicates,
+                truncated_uploads,
+                report,
+            },
+            StageTimings {
+                simulate_s: 0.0,
+                merge_s,
+                diagnose_s,
+                fold_s,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::EcuSessionPlan;
+    use crate::campaign::{Campaign, CampaignConfig};
+    use crate::cut::CutConfig;
+    use crate::VehicleBlueprint;
+
+    fn small_cut() -> CutModel {
+        CutModel::build(CutConfig {
+            gates: 80,
+            patterns: 64,
+            window: 8,
+            ..CutConfig::default()
+        })
+        .expect("substrate builds")
+    }
+
+    fn capable_blueprint() -> VehicleBlueprint {
+        VehicleBlueprint {
+            implementation_index: 0,
+            sessions: vec![EcuSessionPlan {
+                ecu: eea_model::ResourceId::from_index(2),
+                profile_id: 1,
+                coverage: 0.99,
+                session_s: 0.005,
+                transfer_s: 900.0,
+                local_storage: false,
+                upload_bandwidth_bytes_per_s: 200.0,
+            }],
+            shutoff_budget_s: 2_000.0,
+            transport: eea_can::TransportKind::MirroredCan,
+        }
+    }
+
+    fn small_campaign<'a>(
+        cut: &'a CutModel,
+        bp: &'a [VehicleBlueprint],
+        vehicles: u32,
+        seed: u64,
+    ) -> Campaign<'a> {
+        Campaign::new(
+            cut,
+            bp,
+            CampaignConfig {
+                vehicles,
+                defect_fraction: 0.3,
+                horizon_s: 14.0 * 86_400.0,
+                seed,
+                threads: 1,
+                ..CampaignConfig::default()
+            },
+        )
+        .expect("valid campaign")
+    }
+
+    #[test]
+    fn provisioning_validates_bounds() {
+        let cut = small_cut();
+        let bad = |f: fn(&mut GatewayConfig)| {
+            let mut cfg = GatewayConfig::default();
+            f(&mut cfg);
+            GatewayService::new(&cut, cfg).err()
+        };
+        assert_eq!(bad(|c| c.vehicles = 0), Some(FleetError::EmptyFleet));
+        assert_eq!(
+            bad(|c| c.horizon_s = f64::NAN).map(|e| matches!(e, FleetError::InvalidHorizon(_))),
+            Some(true)
+        );
+        assert_eq!(bad(|c| c.batch_size = 0), Some(FleetError::ZeroBatchSize));
+        assert_eq!(
+            bad(|c| c.queue_capacity = 0),
+            Some(FleetError::ZeroQueueCapacity)
+        );
+    }
+
+    #[test]
+    fn unknown_vehicles_are_rejected_not_shed() {
+        let cut = small_cut();
+        let mut svc = GatewayService::new(
+            &cut,
+            GatewayConfig {
+                vehicles: 4,
+                ..GatewayConfig::default()
+            },
+        )
+        .expect("provision");
+        let stranger = VehicleArrival {
+            vehicle: 9,
+            defect_ecu: None,
+            sessions_completed: 0,
+            windows_used: 0,
+            bist_time_s: 0.0,
+            upload: None,
+        };
+        assert_eq!(
+            svc.ingest(stranger),
+            Err(FleetError::UnknownVehicle {
+                vehicle: 9,
+                fleet: 4
+            })
+        );
+        assert_eq!(svc.shed(), 0, "rejection is not shedding");
+        assert_eq!(svc.queue_len(), 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_overload_and_counts() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let campaign = small_campaign(&cut, &bp, 64, 7);
+        let mut svc = GatewayService::new(
+            &cut,
+            GatewayConfig {
+                vehicles: 64,
+                queue_capacity: 4,
+                ..GatewayConfig::default()
+            },
+        )
+        .expect("provision");
+        let arrivals: Vec<VehicleArrival> = campaign.arrivals().collect();
+        let mut shed = 0u64;
+        for &a in &arrivals[..8] {
+            match svc.ingest(a) {
+                Ok(()) => {}
+                Err(FleetError::Overloaded { capacity }) => {
+                    assert_eq!(capacity, 4);
+                    shed += 1;
+                }
+                Err(e) => unreachable!("unexpected ingest error: {e}"),
+            }
+        }
+        assert_eq!(shed, 4, "capacity 4, offered 8");
+        assert_eq!(svc.shed(), 4);
+        // After a drain the queue accepts again, and the snapshot
+        // reports the shed count.
+        assert_eq!(svc.drain(), 4);
+        for &a in &arrivals[8..12] {
+            svc.ingest(a).expect("drained queue has room");
+        }
+        let snap = svc.snapshot_at(campaign.config().horizon_s);
+        assert_eq!(snap.shed, 4);
+        assert_eq!(snap.ingested, 8);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_and_counted() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let campaign = small_campaign(&cut, &bp, 64, 13);
+        let mut svc = campaign.gateway().expect("provision");
+        let arrivals: Vec<VehicleArrival> = campaign.arrivals().collect();
+        for &a in &arrivals {
+            svc.accept(a).expect("in range");
+        }
+        // Replay the first half — every one is a duplicate.
+        for &a in &arrivals[..32] {
+            svc.accept(a).expect("duplicates are accepted then dropped");
+        }
+        let baseline = campaign.run();
+        let snap = svc.snapshot_at(campaign.config().horizon_s);
+        assert_eq!(snap.duplicates, 32);
+        assert_eq!(snap.ingested, 64, "duplicates are not folded");
+        assert_eq!(snap.report, baseline, "replay does not perturb the report");
+    }
+
+    /// Satellite: snapshot edge cases — zero uploads ingested.
+    #[test]
+    fn empty_snapshot_has_zeroed_stats_and_full_grid() {
+        let cut = small_cut();
+        let mut svc = GatewayService::new(&cut, GatewayConfig::default()).expect("provision");
+        let snap = svc.snapshot_at(1_000.0);
+        assert_eq!(snap.ingested, 0);
+        assert_eq!(snap.uploads_ingested, 0);
+        assert_eq!(snap.truncated_uploads, 0);
+        let r = &snap.report;
+        assert_eq!(r.detected, 0);
+        assert_eq!(r.localized, 0);
+        assert_eq!(r.batches, 0);
+        assert_eq!(r.latency.count, 0);
+        assert_eq!(r.latency.min_s, 0.0);
+        assert_eq!(r.latency.p99_s, 0.0);
+        assert!(r.findings.is_empty());
+        assert!(r.per_ecu.is_empty());
+        // The coverage grid always spans the configured horizon.
+        assert_eq!(r.coverage_over_time.len(), 32);
+        assert!(r.coverage_over_time.iter().all(|&(_, f)| f == 0.0));
+        let last = r.coverage_over_time.last().expect("non-empty grid");
+        assert!((last.0 - svc.config().horizon_s).abs() < 1e-9);
+    }
+
+    /// Satellite: snapshot edge cases — exactly one upload.
+    #[test]
+    fn single_upload_snapshot_degenerate_stats() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let campaign = small_campaign(&cut, &bp, 256, 7);
+        let mut svc = campaign.gateway().expect("provision");
+        let first = campaign
+            .arrivals()
+            .find(|a| a.upload.is_some())
+            .expect("defect fraction 0.3 of 256 produces uploads");
+        svc.accept(first).expect("in range");
+        let snap = svc.snapshot_at(campaign.config().horizon_s);
+        let r = &snap.report;
+        assert_eq!(snap.uploads_ingested, 1);
+        assert_eq!(r.detected, 1);
+        assert_eq!(r.latency.count, 1);
+        let t = first.upload.expect("chosen for its upload").time_s;
+        assert_eq!(r.latency.min_s, t);
+        assert_eq!(r.latency.max_s, t);
+        assert_eq!(r.latency.mean_s, t);
+        assert_eq!(r.latency.p50_s, t);
+        assert_eq!(r.latency.p99_s, t);
+        assert_eq!(r.batches, 1);
+        assert_eq!(r.findings.len(), 1);
+        // Coverage: defective census is 1, so the curve steps 0 → 1 at
+        // the upload time.
+        for &(grid_t, frac) in &r.coverage_over_time {
+            assert_eq!(frac, if grid_t >= t { 1.0 } else { 0.0 });
+        }
+    }
+
+    /// Satellite: `snapshot_at(t)` is monotone in detections as t grows,
+    /// and the horizon snapshot equals the one-shot report.
+    #[test]
+    fn snapshot_at_is_monotone_in_time() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let campaign = small_campaign(&cut, &bp, 300, 41);
+        let mut svc = campaign.gateway().expect("provision");
+        for a in campaign.arrivals() {
+            svc.accept(a).expect("in range");
+        }
+        let horizon = campaign.config().horizon_s;
+        let mut last_detected = 0u64;
+        let mut last_coverage = 0.0f64;
+        for step in 1..=10 {
+            let snap = svc.snapshot_at(horizon * f64::from(step) / 10.0);
+            assert!(
+                snap.report.detected >= last_detected,
+                "detections are cumulative"
+            );
+            let cov = snap
+                .report
+                .coverage_over_time
+                .last()
+                .expect("non-empty grid")
+                .1;
+            assert!(cov >= last_coverage, "coverage is cumulative");
+            // Census facts don't depend on t.
+            assert_eq!(snap.report.defective, campaign.run().defective);
+            last_detected = snap.report.detected;
+            last_coverage = cov;
+        }
+        let final_snap = svc.snapshot_at(horizon);
+        assert_eq!(final_snap.report, campaign.run());
+        assert!(final_snap.report.detected > 0);
+    }
+
+    /// Truncated-upload accounting is consistent with the CUT's fail
+    /// data, and a single-pattern-window CUT actually produces truncated
+    /// payloads (>53 failing windows overflow the 638-byte fail memory).
+    #[test]
+    fn truncated_uploads_are_counted() {
+        let cut = CutModel::build(CutConfig {
+            gates: 80,
+            patterns: 256,
+            window: 1,
+            ..CutConfig::default()
+        })
+        .expect("substrate builds");
+        assert!(
+            cut.detectable_faults()
+                .iter()
+                .any(|&fi| cut.fail_data(fi).is_truncated()),
+            "window=1 × 256 patterns: some fault fails >53 windows"
+        );
+        let bp = [capable_blueprint()];
+        let campaign = Campaign::new(
+            &cut,
+            &bp,
+            CampaignConfig {
+                vehicles: 300,
+                defect_fraction: 0.5,
+                horizon_s: 14.0 * 86_400.0,
+                seed: 29,
+                threads: 1,
+                ..CampaignConfig::default()
+            },
+        )
+        .expect("valid campaign");
+        let mut svc = campaign.gateway().expect("provision");
+        for a in campaign.arrivals() {
+            svc.accept(a).expect("in range");
+        }
+        let snap = svc.snapshot_at(campaign.config().horizon_s);
+        let expect = snap
+            .report
+            .findings
+            .iter()
+            .filter(|f| cut.fail_data(f.fault_index).is_truncated())
+            .count() as u64;
+        assert_eq!(snap.truncated_uploads, expect);
+        assert!(
+            snap.truncated_uploads > 0,
+            "the truncating CUT shows up in the snapshot counter"
+        );
+    }
+}

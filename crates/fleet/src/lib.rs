@@ -32,7 +32,15 @@
 //!    the diagnosis stage shards the pure per-fault dictionary lookups,
 //! 5. [`FleetReport`] — detection-latency distribution, per-ECU candidate
 //!    rankings, campaign coverage over time; bit-identical at any thread
-//!    count *and* any shard count.
+//!    count *and* any shard count,
+//! 6. [`GatewayService`] — the long-lived ingest face of the same engine
+//!    (DESIGN.md §12): vehicles upload [`VehicleArrival`]s over simulated
+//!    wall-clock time through a bounded queue (typed
+//!    [`FleetError::Overloaded`] shed policy), arrivals fold
+//!    incrementally, and [`GatewayService::snapshot_at`] yields a
+//!    point-in-time [`GatewaySnapshot`] mid-campaign — bit-identical
+//!    regardless of arrival interleaving. [`Campaign::run`] is a thin
+//!    wrapper over feed-everything-then-snapshot.
 //!
 //! # Example
 //!
@@ -64,6 +72,7 @@ mod blueprint;
 mod campaign;
 mod cut;
 mod error;
+mod gateway;
 mod report;
 mod shutoff;
 mod vehicle;
@@ -74,9 +83,12 @@ pub use blueprint::{
 // The transport axis is part of the blueprint surface; re-exported so
 // campaign drivers need not name `eea_can`.
 pub use eea_can::{TransportConfig, TransportError, TransportKind};
-pub use campaign::{Campaign, CampaignConfig, FleetShards, StageTimings};
+pub use campaign::{Arrivals, Campaign, CampaignConfig, FleetShards, StageTimings};
 pub use cut::{CutConfig, CutModel};
 pub use error::FleetError;
+pub use gateway::{
+    GatewayConfig, GatewayService, GatewaySnapshot, VehicleArrival, DEFAULT_QUEUE_CAPACITY,
+};
 pub use report::{DefectFinding, EcuReport, FleetReport, LatencyStats};
 pub use shutoff::ShutoffModel;
 pub use vehicle::{DefectSeed, Upload, VehicleOutcome};

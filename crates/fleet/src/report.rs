@@ -12,8 +12,11 @@ use eea_model::ResourceId;
 /// campaign start to fail-data arrival at the gateway).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyStats {
-    /// Number of detections the statistics cover.
-    pub count: u32,
+    /// Number of detections the statistics cover. `u64` so the counter
+    /// can never silently wrap, whatever fleet size feeds it; `Debug`
+    /// prints integers width-independently, so the widening from the
+    /// original `u32` left every frozen report digest unchanged.
+    pub count: u64,
     /// Shortest observed latency.
     pub min_s: f64,
     /// Longest observed latency.
@@ -58,7 +61,7 @@ impl LatencyStats {
         }
         let pick = |q: f64| sorted[(((n - 1) as f64) * q).round() as usize];
         LatencyStats {
-            count: n as u32,
+            count: n as u64,
             min_s: sorted[0],
             max_s: sorted[n - 1],
             mean_s: sorted.iter().sum::<f64>() / n as f64,
@@ -80,8 +83,10 @@ pub struct DefectFinding {
     pub fault_index: u32,
     /// Absolute campaign time of the fail-data upload.
     pub detected_at_s: f64,
-    /// Gateway batch the upload was processed in (0-based).
-    pub batch: u32,
+    /// Gateway batch the upload was processed in (0-based). `u64`: the
+    /// batch index is `upload ordinal / batch_size` and must not wrap
+    /// for any fleet size × batch size combination.
+    pub batch: u64,
     /// Number of candidate faults diagnosis returned.
     pub candidates: usize,
     /// Rank (1-based, by score class) of the true fault among the
@@ -118,17 +123,23 @@ pub struct FleetReport {
     /// Vehicles carrying a seeded defect.
     pub defective: u32,
     /// Defective vehicles whose fail data reached the gateway in time.
-    pub detected: u32,
+    /// `u64` (widened from `u32`): derived by counting findings, and
+    /// counters derived from collection lengths must never wrap. The
+    /// widening is digest-invariant — `Debug` prints integers the same
+    /// at any width (see `tests/fleet_frozen_report.rs`).
+    pub detected: u64,
     /// Detected defects with the true fault in the top score class.
-    pub localized: u32,
+    /// `u64` for the same no-silent-wrap reason as [`detected`](Self::detected).
+    pub localized: u64,
     /// BIST sessions completed fleet-wide (uploads included).
     pub sessions_completed: u64,
     /// Shut-off windows in which BIST made progress, fleet-wide.
     pub windows_used: u64,
     /// Total BIST time consumed fleet-wide (seconds).
     pub bist_time_s: f64,
-    /// Gateway batches processed.
-    pub batches: u32,
+    /// Gateway batches processed. `u64` so `ceil(uploads / batch_size)`
+    /// cannot wrap for tiny batch sizes on huge fleets.
+    pub batches: u64,
     /// Detection-latency distribution.
     pub latency: LatencyStats,
     /// Campaign coverage over time: `(time, detected fraction of seeded
@@ -147,7 +158,7 @@ impl FleetReport {
         if self.defective == 0 {
             0.0
         } else {
-            f64::from(self.detected) / f64::from(self.defective)
+            self.detected as f64 / f64::from(self.defective)
         }
     }
 
@@ -156,7 +167,7 @@ impl FleetReport {
         if self.detected == 0 {
             0.0
         } else {
-            f64::from(self.localized) / f64::from(self.detected)
+            self.localized as f64 / self.detected as f64
         }
     }
 }

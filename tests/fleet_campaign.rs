@@ -92,7 +92,8 @@ fn seeded_defects_are_detected_and_localized() {
         "a 20 % defect fraction over 400 vehicles seeds defects"
     );
     assert_eq!(
-        report.detected, report.defective,
+        report.detected,
+        u64::from(report.defective),
         "every seeded defect's fail data reaches the gateway within 90 days"
     );
     assert_eq!(
@@ -105,11 +106,11 @@ fn seeded_defects_are_detected_and_localized() {
     assert!(report.latency.p90_s <= report.latency.p99_s);
 
     // Findings are consistent with the per-ECU aggregation.
-    assert_eq!(report.findings.len() as u32, report.detected);
+    assert_eq!(report.findings.len() as u64, report.detected);
     let seeded: u32 = report.per_ecu.iter().map(|e| e.seeded).sum();
     let detected: u32 = report.per_ecu.iter().map(|e| e.detected).sum();
     assert_eq!(seeded, report.defective);
-    assert_eq!(detected, report.detected);
+    assert_eq!(u64::from(detected), report.detected);
     for f in &report.findings {
         assert!(f.localized);
         assert_eq!(f.true_fault_rank, 1, "true fault tops its own diagnosis");

@@ -5,17 +5,21 @@
 //! the configuration space explored by proptest instead of a fixed
 //! workload. Covers both axes of the sharded pipeline (DESIGN.md §10):
 //! the simulation-stage fold (thread count) and the diagnosis-stage
-//! sharding (shard count), across all three transport backends.
+//! sharding (shard count), across all three transport backends — plus
+//! the gateway ingest service's snapshot-under-load contract
+//! (DESIGN.md §12): mid-campaign snapshots are bit-identical across
+//! arrival interleaving × queue capacity × thread × shard sweeps.
 
 use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
 use eea_fleet::{
-    Campaign, CampaignConfig, CutConfig, CutModel, EcuSessionPlan, ShutoffModel,
-    TransportKind, VehicleBlueprint,
+    Campaign, CampaignConfig, CutConfig, CutModel, EcuSessionPlan, GatewayConfig,
+    GatewayService, ShutoffModel, TransportKind, VehicleArrival, VehicleBlueprint,
 };
 use eea_model::ResourceId;
+use eea_moea::Rng;
 
 /// One shared CUT model: building it per case would dominate the runtime
 /// without adding coverage (the properties vary the campaign, not the
@@ -136,6 +140,111 @@ proptest! {
                 .run();
             prop_assert_eq!(&sharded, &campaign, "shards = {}", shards);
         }
+    }
+
+    /// The gateway tentpole contract, snapshot-under-load determinism: a
+    /// mid-campaign snapshot after ingesting a given *set* of arrivals
+    /// (a random prefix of the fleet) at a random time t is bit-identical
+    /// regardless of arrival interleaving (Fisher-Yates permutation),
+    /// queue capacity / drain cadence, thread count and shard count.
+    #[test]
+    fn gateway_snapshot_is_interleaving_thread_and_shard_independent(
+        vehicles in 1u32..220,
+        defect_pct in 0usize..=100,
+        seed in 0u64..u64::MAX,
+        prefix_pct in 0usize..=100,
+        t_pct in 1usize..=100,
+        threads in 1usize..9,
+        shards in 1usize..9,
+        capacity in 1usize..257,
+        shuffle_seed in 0u64..u64::MAX,
+        transport_idx in 0usize..3,
+    ) {
+        let bp = blueprints(TransportKind::ALL[transport_idx]);
+        let cfg = CampaignConfig {
+            vehicles,
+            defect_fraction: defect_pct as f64 / 100.0,
+            seed,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::new(cut(), &bp, cfg)
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"));
+        let arrivals: Vec<VehicleArrival> = campaign.arrivals().collect();
+        let n_prefix = arrivals.len() * prefix_pct / 100;
+        let horizon_s = campaign.config().horizon_s;
+        let at_s = horizon_s * t_pct as f64 / 100.0;
+
+        // Reference: vehicle-index order, serial service, ample queue.
+        let mut reference = GatewayService::new(cut(), GatewayConfig {
+            vehicles,
+            horizon_s,
+            shards: 1,
+            threads: 1,
+            ..GatewayConfig::default()
+        }).unwrap_or_else(|e| panic!("provisions: {e}"));
+        for &a in &arrivals[..n_prefix] {
+            reference.accept(a).unwrap_or_else(|e| panic!("accept: {e}"));
+        }
+        let want = reference.snapshot_at(at_s);
+
+        // The same *set*, shuffled, folded through a small bounded queue
+        // (drain cadence = whenever it fills) at other thread/shard counts.
+        let mut permuted: Vec<VehicleArrival> = arrivals[..n_prefix].to_vec();
+        let mut rng = Rng::new(shuffle_seed);
+        for i in (1..permuted.len()).rev() {
+            let j = rng.below(i + 1);
+            permuted.swap(i, j);
+        }
+        let mut svc = GatewayService::new(cut(), GatewayConfig {
+            vehicles,
+            horizon_s,
+            queue_capacity: capacity,
+            shards,
+            threads,
+            ..GatewayConfig::default()
+        }).unwrap_or_else(|e| panic!("provisions: {e}"));
+        for &a in &permuted {
+            svc.accept(a).unwrap_or_else(|e| panic!("accept: {e}"));
+        }
+        let got = svc.snapshot_at(at_s);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The one-shot wrapper under *real* producer nondeterminism: feeding
+    /// the whole fleet through the parallel bounded-channel producers and
+    /// snapshotting at the horizon equals the serial `run()`, at any
+    /// thread and shard count.
+    #[test]
+    fn gateway_feed_at_any_parallelism_matches_run(
+        vehicles in 1u32..260,
+        defect_pct in 0usize..=100,
+        seed in 0u64..u64::MAX,
+        threads in 1usize..9,
+        shards in 1usize..9,
+        transport_idx in 0usize..3,
+    ) {
+        let bp = blueprints(TransportKind::ALL[transport_idx]);
+        let cfg = CampaignConfig {
+            vehicles,
+            defect_fraction: defect_pct as f64 / 100.0,
+            seed,
+            threads: 1,
+            shards: 1,
+            ..CampaignConfig::default()
+        };
+        let serial = Campaign::new(cut(), &bp, cfg.clone())
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        let campaign = Campaign::new(cut(), &bp, CampaignConfig { threads, shards, ..cfg })
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"));
+        let mut svc = campaign.gateway().unwrap_or_else(|e| panic!("provisions: {e}"));
+        campaign.feed(&mut svc).unwrap_or_else(|e| panic!("feeds: {e}"));
+        let snap = svc.snapshot_at(campaign.config().horizon_s);
+        prop_assert_eq!(snap.report, serial);
+        prop_assert_eq!(snap.ingested, u64::from(vehicles));
+        prop_assert_eq!(snap.shed, 0, "the trusted feed path never sheds");
+        prop_assert_eq!(snap.duplicates, 0);
     }
 
     #[test]
