@@ -38,7 +38,7 @@ use std::time::Instant;
 use eea_bench::{env_u64, env_u64_list, env_usize, out_path, peak_rss_kb};
 use eea_dse::EeaError;
 use eea_fleet::{
-    Campaign, CampaignConfig, CutConfig, CutModel, EcuSessionPlan, GatewayConfig,
+    Campaign, CampaignConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan, GatewayConfig,
     GatewayService, GatewaySnapshot, TransportKind, VehicleBlueprint, DEFAULT_QUEUE_CAPACITY,
 };
 use eea_model::ResourceId;
@@ -49,10 +49,13 @@ const SCALE_SWEEP: [u64; 3] = [100_000, 1_000_000, 10_000_000];
 /// Mid-campaign snapshots taken per scale point while arrivals continue.
 const MID_SNAPSHOTS: usize = 8;
 
-/// Shed probe: a queue this small, offered twice as many arrivals
-/// without a drain, must shed exactly the overflow.
-const PROBE_CAPACITY: usize = 256;
-const PROBE_OFFERED: u32 = 512;
+/// The ingest queue capacity: `EEA_SOAK_QUEUE` (floored at 1) over the
+/// service default. One resolver for both the sweep *and* the shed probe
+/// — the probe historically pinned its own 256-entry queue and silently
+/// ignored the env knob.
+fn soak_queue_capacity() -> usize {
+    env_usize("EEA_SOAK_QUEUE", DEFAULT_QUEUE_CAPACITY).max(1)
+}
 
 /// The hand-built blueprint trio shared with the determinism and frozen
 /// gateway tests: one all-local fast implementation, one
@@ -66,6 +69,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
         transfer_s,
         local_storage: transfer_s == 0.0,
         upload_bandwidth_bytes_per_s: upload_bw,
+        family: CutFamily::Logic,
     };
     vec![
         VehicleBlueprint {
@@ -73,18 +77,21 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(0, 0.0, 400.0), plan(1, 0.0, 150.0)],
             shutoff_budget_s: 900.0,
             transport: TransportKind::MirroredCan,
+            task_set: None,
         },
         VehicleBlueprint {
             implementation_index: 1,
             sessions: vec![plan(2, 1_500.0, 80.0)],
             shutoff_budget_s: 4_000.0,
             transport: TransportKind::MirroredCan,
+            task_set: None,
         },
         VehicleBlueprint {
             implementation_index: 2,
             sessions: vec![plan(3, f64::INFINITY, 0.0), plan(4, 300.0, 60.0)],
             shutoff_budget_s: 2_000.0,
             transport: TransportKind::MirroredCan,
+            task_set: None,
         },
     ]
 }
@@ -98,20 +105,28 @@ fn campaign_config(vehicles: u32, seed: u64) -> CampaignConfig {
     }
 }
 
-/// The overload shed policy, exercised end to end: offer
-/// [`PROBE_OFFERED`] arrivals to a capacity-[`PROBE_CAPACITY`] queue with
-/// no drain in between. Every rejection must be the typed `Overloaded`
-/// error, the shed counter must match, and the snapshot must account
-/// `ingested + shed == offered`.
-fn shed_probe(cut: &CutModel, bp: &[VehicleBlueprint], seed: u64) -> Result<String, EeaError> {
-    let campaign = Campaign::new(cut, bp, campaign_config(PROBE_OFFERED, seed))?;
+/// The overload shed policy, exercised end to end: offer twice
+/// `queue_capacity` arrivals to the configured queue with no drain in
+/// between. Every rejection must be the typed `Overloaded` error, the
+/// shed counter must match, and the snapshot must account
+/// `ingested + shed == offered`. The probe honors `EEA_SOAK_QUEUE` like
+/// the sweep does — the overflow asserted is always exactly the
+/// capacity, whatever the knob says.
+fn shed_probe(
+    cut: &CutModel,
+    bp: &[VehicleBlueprint],
+    seed: u64,
+    queue_capacity: usize,
+) -> Result<String, EeaError> {
+    let probe_offered = u32::try_from(queue_capacity * 2).unwrap_or(u32::MAX);
+    let campaign = Campaign::new(cut, bp, campaign_config(probe_offered, seed))?;
     let horizon_s = campaign.config().horizon_s;
     let mut svc = GatewayService::new(
         cut,
         GatewayConfig {
-            vehicles: PROBE_OFFERED,
+            vehicles: probe_offered,
             horizon_s,
-            queue_capacity: PROBE_CAPACITY,
+            queue_capacity,
             ..GatewayConfig::default()
         },
     )?;
@@ -136,16 +151,16 @@ fn shed_probe(cut: &CutModel, bp: &[VehicleBlueprint], seed: u64) -> Result<Stri
     );
     assert_eq!(
         snap.shed,
-        u64::from(PROBE_OFFERED) - PROBE_CAPACITY as u64,
+        u64::from(probe_offered) - queue_capacity as u64,
         "a full queue with no drain sheds exactly the overflow"
     );
     eprintln!(
-        "[shed probe] queue {PROBE_CAPACITY}, offered {offered}: \
+        "[shed probe] queue {queue_capacity}, offered {offered}: \
 ingested {}, shed {} (typed Overloaded), detected {}",
         snap.ingested, snap.shed, snap.report.detected
     );
     Ok(format!(
-        "\"shed_probe\": {{\"queue_capacity\": {PROBE_CAPACITY}, \"offered\": {offered}, \
+        "\"shed_probe\": {{\"queue_capacity\": {queue_capacity}, \"offered\": {offered}, \
 \"ingested\": {}, \"shed\": {}, \"accounted\": true}}",
         snap.ingested, snap.shed
     ))
@@ -180,7 +195,7 @@ fn replay_bit_identical(
 
 fn main() -> Result<(), EeaError> {
     let seed = env_u64("EEA_SEED", 2014);
-    let queue_capacity = env_usize("EEA_SOAK_QUEUE", DEFAULT_QUEUE_CAPACITY).max(1);
+    let queue_capacity = soak_queue_capacity();
     let mut scales = env_u64_list("EEA_SOAK_SCALE", &SCALE_SWEEP);
     // Ascending order: the RSS high-water mark is monotone over the
     // process lifetime, so each sample then reflects its own campaign.
@@ -204,7 +219,7 @@ scales {scales:?}"
     })?;
     let bp = blueprints();
 
-    let probe_json = shed_probe(&cut, &bp, seed)?;
+    let probe_json = shed_probe(&cut, &bp, seed, queue_capacity)?;
 
     let mut entries = Vec::new();
     for &fleet in &scales {
@@ -339,7 +354,24 @@ fn merge_section(existing: Option<&str>, section: &str) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::merge_section;
+    use super::{merge_section, soak_queue_capacity};
+    use eea_fleet::DEFAULT_QUEUE_CAPACITY;
+
+    #[test]
+    fn soak_queue_env_parses_with_floor_and_fallback() {
+        // The one knob the shed probe historically ignored: valid values
+        // pass through, zero floors at 1 (a zero-capacity queue can never
+        // ingest), garbage falls back to the service default.
+        std::env::remove_var("EEA_SOAK_QUEUE");
+        assert_eq!(soak_queue_capacity(), DEFAULT_QUEUE_CAPACITY.max(1));
+        std::env::set_var("EEA_SOAK_QUEUE", "1024");
+        assert_eq!(soak_queue_capacity(), 1024);
+        std::env::set_var("EEA_SOAK_QUEUE", "0");
+        assert_eq!(soak_queue_capacity(), 1);
+        std::env::set_var("EEA_SOAK_QUEUE", "not-a-number");
+        assert_eq!(soak_queue_capacity(), DEFAULT_QUEUE_CAPACITY.max(1));
+        std::env::remove_var("EEA_SOAK_QUEUE");
+    }
 
     #[test]
     fn merges_and_remerges() {

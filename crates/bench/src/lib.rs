@@ -17,7 +17,8 @@
 //! | `EEA_FLEET_SCALE` | `100000,1000000,10000000` | `fleet_campaign` scale-sweep fleet sizes (comma-separated; empty disables the sweep) |
 //! | `EEA_TRANSPORTS` | per binary | comma-separated transport backends (`classic-can`, `can-fd`, `flexray`); `fig5`/`fig6` default to `classic-can`, `fleet_campaign` to all three |
 //! | `EEA_SOAK_SCALE` | `100000,1000000,10000000` | `gateway_soak` fleet sizes (comma-separated; empty disables the sweep) |
-//! | `EEA_SOAK_QUEUE` | 8,192 | `gateway_soak` ingest queue capacity |
+//! | `EEA_SOAK_QUEUE` | 8,192 | `gateway_soak` ingest queue capacity (also sizes its shed probe) |
+//! | `EEA_SCHED_VEHICLES` | 100,000 | `sched_campaign` fleet size for the flat-vs-schedule window comparison |
 
 // Library targets are panic-free by policy (see DESIGN.md, "Error
 // taxonomy"): unwrap/expect/panic! are denied outside test code.
@@ -171,6 +172,7 @@ pub fn run_case_study_exploration_with_transport(
         },
         threads,
         transport,
+        ..DseConfig::default()
     };
     let result = explore(&diag, &cfg, |evals, archive| {
         if evals % 2_000 < 100 {

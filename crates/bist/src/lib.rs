@@ -39,6 +39,7 @@
 mod diagnosis;
 mod fail;
 mod lfsr;
+mod march;
 mod misr;
 mod paper_data;
 mod profile;
@@ -46,6 +47,10 @@ mod stumps;
 
 pub use diagnosis::{Candidate, Diagnoser};
 pub use fail::{FailData, FailEntry, FAIL_DATA_BYTES};
+pub use march::{
+    march_fail_data, CutFamily, MarchCandidate, MarchError, MarchFault, MarchFaultKind,
+    MarchTest, SramConfig,
+};
 pub use lfsr::{Lfsr, UnsupportedLfsrWidthError};
 pub use misr::Misr;
 pub use paper_data::{paper_table1, PAPER_CUT};

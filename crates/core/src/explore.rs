@@ -15,7 +15,9 @@ use eea_model::Implementation;
 use eea_moea::{run, Nsga2Config, ParetoArchive, Problem};
 use eea_sat::SolveResult;
 
+use eea_bist::CutFamily;
 use eea_can::TransportConfig;
+use eea_sched::TaskSetConfig;
 
 use crate::augment::DiagSpec;
 use crate::encode::{encode, Encoding};
@@ -37,6 +39,20 @@ pub struct DseConfig {
     /// static slots. The MOEA then explores fronts *per transport*; run
     /// `explore` once per configuration to compare them.
     pub transport: TransportConfig,
+    /// CUT family the downstream fleet campaign instantiates for the
+    /// diagnosable sessions of this front: gate-level logic BIST (the
+    /// paper's substrate, the default) or a word-addressed SRAM March
+    /// test. The exploration itself is family-agnostic — the field rides
+    /// on the config so blueprint construction
+    /// (`blueprints_from_front_configured` in `eea-fleet`) sees one
+    /// coherent campaign description.
+    pub cut_family: CutFamily,
+    /// Optional in-ECU cyclic-task set: when set, fleet blueprints built
+    /// from this front derive their shut-off windows from the schedule's
+    /// idle intervals (`eea_sched::TaskSchedule`) instead of the flat
+    /// driving/parked budget. `None` (the default) keeps the historical
+    /// flat-budget path bit-for-bit.
+    pub task_set: Option<TaskSetConfig>,
 }
 
 impl Default for DseConfig {
@@ -49,6 +65,8 @@ impl Default for DseConfig {
             },
             threads: 0,
             transport: TransportConfig::MirroredCan,
+            cut_family: CutFamily::Logic,
+            task_set: None,
         }
     }
 }
@@ -608,6 +626,7 @@ pub fn baseline_cost(
         },
         threads,
         transport: TransportConfig::MirroredCan,
+        ..DseConfig::default()
     };
     let res = explore(&diag, &cfg, |_, _| {});
     Ok(res

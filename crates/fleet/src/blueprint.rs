@@ -17,10 +17,12 @@
 
 use std::collections::BTreeMap;
 
+use eea_bist::CutFamily;
 use eea_can::{mirror_messages_auto, CanId, Message, TransportConfig, TransportKind};
 use eea_dse::augment::DiagSpec;
 use eea_dse::explore::ExploredImplementation;
 use eea_model::{ResourceId, ResourceKind};
+use eea_sched::TaskSetConfig;
 
 use crate::error::FleetError;
 
@@ -46,6 +48,10 @@ pub struct EcuSessionPlan {
     /// Aggregate payload bandwidth (bytes/s) the transport grants the ECU
     /// — the fail-data upload path; `0` when no path exists.
     pub upload_bandwidth_bytes_per_s: f64,
+    /// The CUT family this session tests: the scan-based logic BIST or
+    /// the March-test memory BIST. Defect seeding draws the fault from
+    /// the matching family's model.
+    pub family: CutFamily,
 }
 
 impl EcuSessionPlan {
@@ -85,6 +91,11 @@ pub struct VehicleBlueprint {
     /// The transport backend the session transfers and fail-data uploads
     /// of this blueprint ride.
     pub transport: TransportKind,
+    /// The in-ECU cyclic task set of this blueprint's ECUs, when the
+    /// campaign derives shut-off windows from the schedule's idle
+    /// intervals instead of the flat budget. `None` keeps the flat-budget
+    /// window source (bit-for-bit the historical path).
+    pub task_set: Option<TaskSetConfig>,
 }
 
 impl VehicleBlueprint {
@@ -157,6 +168,26 @@ pub fn blueprints_from_front_with(
     diag: &DiagSpec,
     front: &[ExploredImplementation],
     transport: &TransportConfig,
+) -> Result<Vec<VehicleBlueprint>, FleetError> {
+    blueprints_from_front_configured(diag, front, transport, CutFamily::Logic, None)
+}
+
+/// Like [`blueprints_from_front_with`], additionally stamping every
+/// session with `family` and every blueprint with `task_set` — the
+/// campaign-wide CUT-family and in-ECU-schedule selectors a
+/// [`DseConfig`](eea_dse::explore::DseConfig) carries. With
+/// `CutFamily::Logic` and `None` this is bit-for-bit
+/// [`blueprints_from_front_with`].
+///
+/// # Errors
+///
+/// The same errors as [`blueprints_from_front_with`].
+pub fn blueprints_from_front_configured(
+    diag: &DiagSpec,
+    front: &[ExploredImplementation],
+    transport: &TransportConfig,
+    family: CutFamily,
+    task_set: Option<&TaskSetConfig>,
 ) -> Result<Vec<VehicleBlueprint>, FleetError> {
     if front.is_empty() {
         return Err(FleetError::NoDiagnosableBlueprint);
@@ -253,6 +284,7 @@ pub fn blueprints_from_front_with(
                 transfer_s: transfer,
                 local_storage: local,
                 upload_bandwidth_bytes_per_s: bandwidth,
+                family,
             });
         }
 
@@ -261,6 +293,7 @@ pub fn blueprints_from_front_with(
             sessions,
             shutoff_budget_s: ei.objectives.shutoff_s,
             transport: transport.kind(),
+            task_set: task_set.cloned(),
         });
     }
     Ok(blueprints)

@@ -25,15 +25,17 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc;
 use std::time::Instant;
 
+use eea_bist::{CutFamily, MarchTest};
 use eea_faultsim::resolve_threads;
 use eea_model::ResourceId;
 use eea_moea::Rng;
+use eea_sched::SchedPlan;
 
 use crate::blueprint::VehicleBlueprint;
 use crate::cut::CutModel;
 use crate::error::FleetError;
 use crate::gateway::{GatewayConfig, GatewayService, VehicleArrival, DEFAULT_QUEUE_CAPACITY};
-use crate::report::{DefectFinding, EcuReport, FleetReport, LatencyStats};
+use crate::report::{DefectFinding, EcuReport, FamilyReport, FleetReport, LatencyStats};
 use crate::shutoff::ShutoffModel;
 use crate::vehicle::{simulate_vehicle, SimContext, Upload};
 
@@ -195,9 +197,28 @@ struct MergedFleet {
     totals: FleetTotals,
 }
 
-/// Cached diagnosis of one fault index against the shared dictionary.
-/// Pure per fault (every vehicle carries the same CUT), which is what
-/// lets the gateway cache entries across snapshots.
+/// The diagnosis key in a heterogeneous fleet: fault indices are only
+/// unique *within* a CUT family's model, so every dictionary lookup is
+/// keyed by `(family, index)`. `Ord` (family first) keeps the sharded
+/// diagnosis merge and the gateway's cache deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct FaultKey {
+    pub family: CutFamily,
+    pub index: u32,
+}
+
+impl FaultKey {
+    pub(crate) fn of(u: &Upload) -> Self {
+        FaultKey {
+            family: u.family,
+            index: u.fault_index,
+        }
+    }
+}
+
+/// Cached diagnosis of one fault key against its family's dictionary.
+/// Pure per fault (every vehicle carries the same CUT models), which is
+/// what lets the gateway cache entries across snapshots.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct DiagEntry {
     pub candidates: usize,
@@ -214,12 +235,18 @@ pub(crate) struct DiagEntry {
 #[derive(Debug)]
 pub struct Campaign<'a> {
     cut: &'a CutModel,
+    sram: Option<&'a MarchTest>,
     blueprints: &'a [VehicleBlueprint],
+    /// Per-blueprint schedule plans, built once at validation; `None`
+    /// entries keep the flat-budget window source.
+    sched_plans: Vec<Option<SchedPlan>>,
     config: CampaignConfig,
 }
 
 impl<'a> Campaign<'a> {
     /// Validates the configuration against the CUT model and blueprints.
+    /// Equivalent to [`with_models`](Self::with_models) without an SRAM
+    /// model — blueprints selecting SRAM sessions are rejected.
     ///
     /// # Errors
     ///
@@ -231,9 +258,32 @@ impl<'a> Campaign<'a> {
     ///   bounds,
     /// * [`FleetError::ZeroBatchSize`] for a zero gateway batch size,
     /// * [`FleetError::NoDiagnosableBlueprint`] when no blueprint could
-    ///   ever deliver fail data.
+    ///   ever deliver fail data,
+    /// * [`FleetError::Sched`] when a blueprint's task set is invalid or
+    ///   misses a deadline,
+    /// * [`FleetError::MissingSramModel`] when a blueprint carries a
+    ///   diagnosable SRAM session.
     pub fn new(
         cut: &'a CutModel,
+        blueprints: &'a [VehicleBlueprint],
+        config: CampaignConfig,
+    ) -> Result<Self, FleetError> {
+        Campaign::with_models(cut, None, blueprints, config)
+    }
+
+    /// Validates a campaign over heterogeneous CUT families: the logic
+    /// model plus an optional March-test SRAM model. Per-blueprint task
+    /// sets are folded into [`SchedPlan`]s here, so every schedulability
+    /// problem ([`eea_sched::SchedError::DeadlineMiss`] included)
+    /// surfaces as a typed error at construction, never mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`new`](Self::new); `MissingSramModel` only
+    /// when `sram` is `None` and a blueprint needs it.
+    pub fn with_models(
+        cut: &'a CutModel,
+        sram: Option<&'a MarchTest>,
         blueprints: &'a [VehicleBlueprint],
         config: CampaignConfig,
     ) -> Result<Self, FleetError> {
@@ -253,9 +303,24 @@ impl<'a> Campaign<'a> {
         if !blueprints.iter().any(VehicleBlueprint::is_campaign_capable) {
             return Err(FleetError::NoDiagnosableBlueprint);
         }
+        if sram.is_none()
+            && blueprints.iter().any(|b| {
+                b.sessions
+                    .iter()
+                    .any(|p| p.is_diagnosable() && p.family == CutFamily::Sram)
+            })
+        {
+            return Err(FleetError::MissingSramModel);
+        }
+        let sched_plans = blueprints
+            .iter()
+            .map(|b| b.task_set.as_ref().map(SchedPlan::build).transpose())
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Campaign {
             cut,
+            sram,
             blueprints,
+            sched_plans,
             config,
         })
     }
@@ -322,8 +387,9 @@ impl<'a> Campaign<'a> {
     /// Propagates [`GatewayService::new`] validation errors (none are
     /// reachable from a validated campaign configuration).
     pub fn gateway(&self) -> Result<GatewayService<'a>, FleetError> {
-        GatewayService::new(
+        GatewayService::with_models(
             self.cut,
+            self.sram,
             GatewayConfig {
                 vehicles: self.config.vehicles,
                 horizon_s: self.config.horizon_s,
@@ -359,6 +425,8 @@ impl<'a> Campaign<'a> {
         let ctx = SimContext::new(
             self.blueprints,
             self.cut,
+            self.sram,
+            &self.sched_plans,
             self.config.shutoff,
             self.config.defect_fraction,
             self.config.horizon_s,
@@ -422,11 +490,15 @@ impl<'a> Campaign<'a> {
     /// index order — the soak bench's and tests' handle for driving a
     /// [`GatewayService`] at a controlled cadence. Each item is the same
     /// pure per-vehicle outcome the parallel paths compute; O(1) memory.
-    pub fn arrivals(&self) -> Arrivals<'a> {
+    /// Borrows the campaign (the per-blueprint schedule plans live in
+    /// it), so the iterator cannot outlive `self`.
+    pub fn arrivals(&self) -> Arrivals<'_> {
         Arrivals {
             ctx: SimContext::new(
                 self.blueprints,
                 self.cut,
+                self.sram,
+                &self.sched_plans,
                 self.config.shutoff,
                 self.config.defect_fraction,
                 self.config.horizon_s,
@@ -451,6 +523,8 @@ impl<'a> Campaign<'a> {
         let ctx = SimContext::new(
             self.blueprints,
             self.cut,
+            self.sram,
+            &self.sched_plans,
             self.config.shutoff,
             self.config.defect_fraction,
             self.config.horizon_s,
@@ -560,19 +634,19 @@ impl<'a> Campaign<'a> {
         acc
     }
 
-    /// Diagnoses every distinct uploaded fault index against the shared
-    /// dictionary, sharded over disjoint contiguous fault-index ranges.
-    /// Sound because the lookup is pure (same CUT fleet-wide: two uploads
-    /// of one fault produce identical fail data), and deterministic
-    /// because the merge is keyed by fault index.
-    fn diagnosis_table(&self, uploads: &[Upload]) -> BTreeMap<u32, DiagEntry> {
-        let distinct: Vec<u32> = uploads
+    /// Diagnoses every distinct uploaded fault key against its family's
+    /// dictionary, sharded over disjoint contiguous key ranges. Sound
+    /// because the lookup is pure (the same CUT models fleet-wide: two
+    /// uploads of one fault produce identical fail data), and
+    /// deterministic because the merge is keyed by `(family, index)`.
+    fn diagnosis_table(&self, uploads: &[Upload]) -> BTreeMap<FaultKey, DiagEntry> {
+        let distinct: Vec<FaultKey> = uploads
             .iter()
-            .map(|u| u.fault_index)
-            .collect::<BTreeSet<u32>>()
+            .map(FaultKey::of)
+            .collect::<BTreeSet<FaultKey>>()
             .into_iter()
             .collect();
-        diagnose_faults(self.cut, &distinct, self.resolve_shards())
+        diagnose_faults(self.cut, self.sram, &distinct, self.resolve_shards())
             .into_iter()
             .collect()
     }
@@ -615,23 +689,28 @@ impl Iterator for Arrivals<'_> {
 
 impl ExactSizeIterator for Arrivals<'_> {}
 
-/// Diagnoses the given distinct fault indices against the shared
+/// Diagnoses the given distinct fault keys against their family's
 /// dictionary, sharded over disjoint contiguous ranges of the input.
-/// Sound because the lookup is pure (same CUT fleet-wide: two uploads of
-/// one fault produce identical fail data), and deterministic because the
-/// output is keyed by fault index — callers merge into a `BTreeMap`.
-/// Shared by [`Campaign::aggregate`] and the gateway's snapshot stage.
+/// Sound because the lookup is pure (the same CUT models fleet-wide: two
+/// uploads of one fault produce identical fail data), and deterministic
+/// because the output is keyed by `(family, index)` — callers merge into
+/// a `BTreeMap`. Shared by [`Campaign::aggregate`] and the gateway's
+/// snapshot stage.
 pub(crate) fn diagnose_faults(
     cut: &CutModel,
-    distinct: &[u32],
+    sram: Option<&MarchTest>,
+    distinct: &[FaultKey],
     shards: usize,
-) -> Vec<(u32, DiagEntry)> {
+) -> Vec<(FaultKey, DiagEntry)> {
     if distinct.is_empty() {
         return Vec::new();
     }
     let shards = shards.max(1).min(distinct.len());
     if shards == 1 {
-        return distinct.iter().map(|&fi| (fi, diagnose_fault(cut, fi))).collect();
+        return distinct
+            .iter()
+            .map(|&key| (key, diagnose_fault(cut, sram, key)))
+            .collect();
     }
     let chunk = distinct.len().div_ceil(shards);
     let mut table = Vec::with_capacity(distinct.len());
@@ -640,7 +719,7 @@ pub(crate) fn diagnose_faults(
         for part in distinct.chunks(chunk) {
             handles.push(scope.spawn(move || {
                 part.iter()
-                    .map(|&fi| (fi, diagnose_fault(cut, fi)))
+                    .map(|&key| (key, diagnose_fault(cut, sram, key)))
                     .collect::<Vec<_>>()
             }));
         }
@@ -654,13 +733,36 @@ pub(crate) fn diagnose_faults(
     table
 }
 
-fn diagnose_fault(cut: &CutModel, fault_index: u32) -> DiagEntry {
-    let fail = cut.fail_data(fault_index);
-    DiagEntry {
-        candidates: cut.diagnose(fail).len(),
-        rank: cut.true_fault_rank(fault_index).unwrap_or(0),
-        localized: cut.localizes(fault_index),
-        truncated: fail.is_truncated(),
+fn diagnose_fault(cut: &CutModel, sram: Option<&MarchTest>, key: FaultKey) -> DiagEntry {
+    match key.family {
+        CutFamily::Logic => {
+            let fail = cut.fail_data(key.index);
+            DiagEntry {
+                candidates: cut.diagnose(fail).len(),
+                rank: cut.true_fault_rank(key.index).unwrap_or(0),
+                localized: cut.localizes(key.index),
+                truncated: fail.is_truncated(),
+            }
+        }
+        CutFamily::Sram => match sram {
+            Some(m) => {
+                let fail = m.fail_data(key.index);
+                DiagEntry {
+                    candidates: m.diagnose(fail).len(),
+                    rank: m.true_fault_rank(key.index).unwrap_or(0),
+                    localized: m.localizes(key.index),
+                    truncated: fail.is_truncated(),
+                }
+            }
+            // Unreachable for a validated campaign (`MissingSramModel`
+            // gates construction); a typed zero entry, never a panic.
+            None => DiagEntry {
+                candidates: 0,
+                rank: 0,
+                localized: false,
+                truncated: false,
+            },
+        },
     }
 }
 
@@ -676,14 +778,27 @@ pub(crate) fn fold_report(
     horizon_s: f64,
     uploads: &[Upload],
     totals: &FleetTotals,
-    table: &BTreeMap<u32, DiagEntry>,
+    table: &BTreeMap<FaultKey, DiagEntry>,
 ) -> FleetReport {
+    // The per-family split only materializes for heterogeneous fleets:
+    // pure-logic campaigns leave `per_family` empty so the report (and
+    // its frozen `Debug` digest) is unchanged from the pre-family engine.
+    let mixed = uploads.iter().any(|u| u.family != CutFamily::Logic);
+    let mut fam_map: BTreeMap<CutFamily, FamilyAcc> = BTreeMap::new();
     let mut findings = Vec::with_capacity(uploads.len());
     for (k, up) in uploads.iter().enumerate() {
-        // The table covers every uploaded fault index by construction.
-        let Some(e) = table.get(&up.fault_index) else {
+        // The table covers every uploaded fault key by construction.
+        let Some(e) = table.get(&FaultKey::of(up)) else {
             continue;
         };
+        if mixed {
+            let acc = fam_map.entry(up.family).or_default();
+            acc.detected += 1;
+            acc.localized += u64::from(e.localized);
+            // Uploads are globally time-sorted, so each family's latency
+            // list collects already sorted.
+            acc.latencies.push(up.time_s);
+        }
         findings.push(DefectFinding {
             vehicle: up.vehicle,
             ecu: up.ecu,
@@ -759,6 +874,16 @@ pub(crate) fn fold_report(
         })
         .collect();
 
+    let per_family = fam_map
+        .into_iter()
+        .map(|(family, acc)| FamilyReport {
+            family,
+            detected: acc.detected,
+            localized: acc.localized,
+            latency: LatencyStats::from_sorted(&acc.latencies),
+        })
+        .collect();
+
     FleetReport {
         vehicles,
         defective: totals.defective,
@@ -772,7 +897,15 @@ pub(crate) fn fold_report(
         coverage_over_time,
         per_ecu,
         findings,
+        per_family,
     }
+}
+
+#[derive(Default)]
+struct FamilyAcc {
+    detected: u64,
+    localized: u64,
+    latencies: Vec<f64>,
 }
 
 /// Merges shard accumulators: a deterministic k-way merge of the
@@ -856,9 +989,11 @@ mod tests {
                 transfer_s: 900.0,
                 local_storage: false,
                 upload_bandwidth_bytes_per_s: 200.0,
+                family: CutFamily::Logic,
             }],
             shutoff_budget_s: 2_000.0,
             transport: eea_can::TransportKind::MirroredCan,
+            task_set: None,
         }
     }
 

@@ -8,6 +8,7 @@ use std::fmt;
 use eea_can::{MirrorError, TransportError};
 use eea_dse::EeaError;
 use eea_netlist::{ScanError, SynthError};
+use eea_sched::SchedError;
 
 /// Error of the fleet campaign engine. Everything a hostile campaign
 /// configuration or a degenerate design-space front can trigger surfaces
@@ -60,6 +61,14 @@ pub enum FleetError {
     /// The campaign's transport configuration is degenerate or a backend
     /// could not be built over a blueprint's message sets.
     Transport(TransportError),
+    /// A blueprint's in-ECU task set is structurally invalid or its
+    /// fixed-priority schedule misses a deadline — surfaced at campaign
+    /// construction, never mid-simulation.
+    Sched(SchedError),
+    /// A blueprint carries a diagnosable SRAM BIST session, but the
+    /// campaign was built without a [`MarchTest`](eea_bist::MarchTest)
+    /// model to seed and diagnose memory faults from.
+    MissingSramModel,
 }
 
 impl fmt::Display for FleetError {
@@ -96,6 +105,11 @@ impl fmt::Display for FleetError {
             FleetError::Scan(e) => write!(f, "substrate scan insertion: {e}"),
             FleetError::Mirror(e) => write!(f, "blueprint mirroring: {e}"),
             FleetError::Transport(e) => write!(f, "blueprint transport: {e}"),
+            FleetError::Sched(e) => write!(f, "blueprint task schedule: {e}"),
+            FleetError::MissingSramModel => write!(
+                f,
+                "blueprint selects SRAM BIST sessions but the campaign has no March-test model"
+            ),
         }
     }
 }
@@ -107,6 +121,7 @@ impl Error for FleetError {
             FleetError::Scan(e) => Some(e),
             FleetError::Mirror(e) => Some(e),
             FleetError::Transport(e) => Some(e),
+            FleetError::Sched(e) => Some(e),
             _ => None,
         }
     }
@@ -133,6 +148,12 @@ impl From<MirrorError> for FleetError {
 impl From<TransportError> for FleetError {
     fn from(e: TransportError) -> Self {
         FleetError::Transport(e)
+    }
+}
+
+impl From<SchedError> for FleetError {
+    fn from(e: SchedError) -> Self {
+        FleetError::Sched(e)
     }
 }
 
@@ -168,6 +189,19 @@ mod tests {
         assert!(e.to_string().contains("vehicle 9"));
         assert!(e.to_string().contains("fleet size 4"));
         assert!(FleetError::ZeroQueueCapacity.to_string().contains("queue capacity"));
+    }
+
+    #[test]
+    fn sched_and_sram_variants_render() {
+        let e = FleetError::Sched(SchedError::InvalidMinSlice);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("task schedule"));
+        let e: FleetError = SchedError::InvalidMinSlice.into();
+        assert!(matches!(e, FleetError::Sched(_)));
+        assert!(FleetError::MissingSramModel
+            .to_string()
+            .contains("March-test"));
+        assert!(FleetError::MissingSramModel.source().is_none());
     }
 
     #[test]

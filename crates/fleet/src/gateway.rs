@@ -54,11 +54,13 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use eea_bist::MarchTest;
 use eea_faultsim::resolve_threads;
 use eea_model::ResourceId;
 
 use crate::campaign::{
-    diagnose_faults, fold_report, upload_order, DiagEntry, FleetTotals, StageTimings, SIM_BLOCK,
+    diagnose_faults, fold_report, upload_order, DiagEntry, FaultKey, FleetTotals, StageTimings,
+    SIM_BLOCK,
 };
 use crate::cut::CutModel;
 use crate::error::FleetError;
@@ -174,6 +176,9 @@ pub struct GatewaySnapshot {
 #[derive(Debug)]
 pub struct GatewayService<'a> {
     cut: &'a CutModel,
+    /// The SRAM CUT model for March-test uploads; `None` for pure-logic
+    /// fleets (an SRAM upload then diagnoses to a typed zero entry).
+    sram: Option<&'a MarchTest>,
     config: GatewayConfig,
     shard_count: usize,
     /// Pending arrivals, bounded by `config.queue_capacity`.
@@ -193,8 +198,10 @@ pub struct GatewayService<'a> {
     block_masks: Vec<u64>,
     /// Slot buffers of blocks still missing vehicles; freed on completion.
     open_blocks: Vec<Option<Box<[f64; SIM_BLOCK]>>>,
-    /// Pure per-fault diagnosis results, cached across snapshots.
-    diag_cache: BTreeMap<u32, DiagEntry>,
+    /// Pure per-fault diagnosis results, cached across snapshots and
+    /// keyed by `(family, index)` — fault indices are only unique within
+    /// their CUT family.
+    diag_cache: BTreeMap<FaultKey, DiagEntry>,
     ingested: u64,
     uploads_ingested: u64,
     shed: u64,
@@ -212,6 +219,21 @@ impl<'a> GatewayService<'a> {
     /// * [`FleetError::ZeroBatchSize`] for a zero batch size,
     /// * [`FleetError::ZeroQueueCapacity`] for a zero queue bound.
     pub fn new(cut: &'a CutModel, config: GatewayConfig) -> Result<Self, FleetError> {
+        GatewayService::with_models(cut, None, config)
+    }
+
+    /// Like [`new`](Self::new), additionally wiring the March-test SRAM
+    /// model so uploads of [`CutFamily::Sram`](eea_bist::CutFamily)
+    /// faults diagnose against the memory dictionary.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`new`](Self::new).
+    pub fn with_models(
+        cut: &'a CutModel,
+        sram: Option<&'a MarchTest>,
+        config: GatewayConfig,
+    ) -> Result<Self, FleetError> {
         if config.vehicles == 0 {
             return Err(FleetError::EmptyFleet);
         }
@@ -233,6 +255,7 @@ impl<'a> GatewayService<'a> {
         let blocks = (config.vehicles as usize).div_ceil(SIM_BLOCK);
         Ok(GatewayService {
             cut,
+            sram,
             shard_count,
             queue: Vec::new(),
             shards: vec![Vec::new(); shard_count],
@@ -443,11 +466,11 @@ impl<'a> GatewayService<'a> {
         let merge_s = t.elapsed().as_secs_f64();
 
         let t = Instant::now();
-        let missing: Vec<u32> = {
-            let mut m: Vec<u32> = uploads
+        let missing: Vec<FaultKey> = {
+            let mut m: Vec<FaultKey> = uploads
                 .iter()
-                .map(|u| u.fault_index)
-                .filter(|fi| !self.diag_cache.contains_key(fi))
+                .map(FaultKey::of)
+                .filter(|key| !self.diag_cache.contains_key(key))
                 .collect();
             m.sort_unstable();
             m.dedup();
@@ -455,7 +478,7 @@ impl<'a> GatewayService<'a> {
         };
         let threads = resolve_threads(self.config.threads).max(1);
         self.diag_cache
-            .extend(diagnose_faults(self.cut, &missing, threads));
+            .extend(diagnose_faults(self.cut, self.sram, &missing, threads));
         let diagnose_s = t.elapsed().as_secs_f64();
 
         let t = Instant::now();
@@ -470,7 +493,7 @@ impl<'a> GatewayService<'a> {
             .iter()
             .filter(|u| {
                 self.diag_cache
-                    .get(&u.fault_index)
+                    .get(&FaultKey::of(u))
                     .is_some_and(|e| e.truncated)
             })
             .count() as u64;
@@ -533,9 +556,11 @@ mod tests {
                 transfer_s: 900.0,
                 local_storage: false,
                 upload_bandwidth_bytes_per_s: 200.0,
+                family: eea_bist::CutFamily::Logic,
             }],
             shutoff_budget_s: 2_000.0,
             transport: eea_can::TransportKind::MirroredCan,
+            task_set: None,
         }
     }
 

@@ -78,7 +78,16 @@ mod shutoff;
 mod vehicle;
 
 pub use blueprint::{
-    blueprints_from_front, blueprints_from_front_with, EcuSessionPlan, VehicleBlueprint,
+    blueprints_from_front, blueprints_from_front_configured, blueprints_from_front_with,
+    EcuSessionPlan, VehicleBlueprint,
+};
+// The CUT-family axis (logic vs SRAM March test) and the in-ECU schedule
+// axis are part of the campaign surface; re-exported so drivers need not
+// name `eea_bist`/`eea_sched`.
+pub use eea_bist::{CutFamily, MarchTest, SramConfig};
+pub use eea_sched::{
+    FlatBudget, PeriodicTask, SchedError, SchedPlan, SporadicTask, TaskSchedule, TaskSetConfig,
+    WindowSource,
 };
 // The transport axis is part of the blueprint surface; re-exported so
 // campaign drivers need not name `eea_can`.
@@ -89,6 +98,6 @@ pub use error::FleetError;
 pub use gateway::{
     GatewayConfig, GatewayService, GatewaySnapshot, VehicleArrival, DEFAULT_QUEUE_CAPACITY,
 };
-pub use report::{DefectFinding, EcuReport, FleetReport, LatencyStats};
+pub use report::{DefectFinding, EcuReport, FamilyReport, FleetReport, LatencyStats};
 pub use shutoff::ShutoffModel;
 pub use vehicle::{DefectSeed, Upload, VehicleOutcome};

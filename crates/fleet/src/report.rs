@@ -6,6 +6,9 @@
 //! or thread-count fields, so a report is comparable bit-for-bit across
 //! thread counts — the determinism contract tests and benches assert.
 
+use std::fmt;
+
+use eea_bist::CutFamily;
 use eea_model::ResourceId;
 
 /// Summary statistics of the detection-latency distribution (seconds from
@@ -115,8 +118,29 @@ pub struct EcuReport {
     pub top_faults: Vec<(u32, u32)>,
 }
 
-/// The complete result of a fleet campaign.
+/// Per-CUT-family aggregation over all findings: how detection and
+/// localization split between the scan-based logic BIST and the
+/// March-test memory BIST in a mixed-family fleet.
 #[derive(Debug, Clone, PartialEq)]
+pub struct FamilyReport {
+    /// The CUT family.
+    pub family: CutFamily,
+    /// Detections whose seeded fault belongs to this family.
+    pub detected: u64,
+    /// Among them, those whose true fault topped the candidate ranking.
+    pub localized: u64,
+    /// Detection-latency distribution of this family's detections.
+    pub latency: LatencyStats,
+}
+
+/// The complete result of a fleet campaign.
+///
+/// `Debug` is implemented manually: it renders exactly like the derived
+/// implementation for every pre-existing field and appends `per_family`
+/// only when it is non-empty. Pure-logic campaigns leave it empty, so
+/// their `Debug` output — and with it the frozen report digests — is
+/// byte-identical to the pre-family engine.
+#[derive(Clone, PartialEq)]
 pub struct FleetReport {
     /// Fleet size.
     pub vehicles: u32,
@@ -150,6 +174,32 @@ pub struct FleetReport {
     pub per_ecu: Vec<EcuReport>,
     /// Every diagnosed defect, in gateway-arrival order.
     pub findings: Vec<DefectFinding>,
+    /// Per-CUT-family split of the findings, sorted by family. Empty for
+    /// pure-logic campaigns (every upload is `CutFamily::Logic`), and
+    /// omitted from `Debug` in that case — the frozen-digest contract.
+    pub per_family: Vec<FamilyReport>,
+}
+
+impl fmt::Debug for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("FleetReport");
+        d.field("vehicles", &self.vehicles)
+            .field("defective", &self.defective)
+            .field("detected", &self.detected)
+            .field("localized", &self.localized)
+            .field("sessions_completed", &self.sessions_completed)
+            .field("windows_used", &self.windows_used)
+            .field("bist_time_s", &self.bist_time_s)
+            .field("batches", &self.batches)
+            .field("latency", &self.latency)
+            .field("coverage_over_time", &self.coverage_over_time)
+            .field("per_ecu", &self.per_ecu)
+            .field("findings", &self.findings);
+        if !self.per_family.is_empty() {
+            d.field("per_family", &self.per_family);
+        }
+        d.finish()
+    }
 }
 
 impl FleetReport {
@@ -226,6 +276,41 @@ mod tests {
         assert_eq!(all_equal.p90_s, 4.25);
         assert_eq!(all_equal.p99_s, 4.25);
         assert_eq!(all_equal.mean_s, 4.25);
+    }
+
+    /// The frozen-digest contract of the manual `Debug`: a report with no
+    /// per-family entries renders byte-identically to the pre-family
+    /// derived output, and a populated split appends after `findings`.
+    #[test]
+    fn debug_omits_empty_per_family() {
+        let mut r = FleetReport {
+            vehicles: 1,
+            defective: 0,
+            detected: 0,
+            localized: 0,
+            sessions_completed: 0,
+            windows_used: 0,
+            bist_time_s: 0.0,
+            batches: 0,
+            latency: LatencyStats::from_sorted(&[]),
+            coverage_over_time: vec![],
+            per_ecu: vec![],
+            findings: vec![],
+            per_family: vec![],
+        };
+        let plain = format!("{r:?}");
+        assert!(!plain.contains("per_family"));
+        assert!(plain.ends_with("findings: [] }"));
+        r.per_family.push(FamilyReport {
+            family: CutFamily::Sram,
+            detected: 1,
+            localized: 1,
+            latency: LatencyStats::from_sorted(&[5.0]),
+        });
+        let split = format!("{r:?}");
+        assert!(split.contains("per_family: [FamilyReport { family: Sram"));
+        let shared = plain.len() - 2;
+        assert_eq!(&split[..shared], &plain[..shared], "prefix is unchanged");
     }
 
     #[test]

@@ -12,24 +12,30 @@
 //! the session result, which is why the precomputed fail data of
 //! [`crate::CutModel`] stays valid here).
 
+use eea_bist::{CutFamily, MarchTest};
 use eea_model::ResourceId;
 use eea_moea::Rng;
+use eea_sched::{FlatBudget, SchedPlan, TaskSchedule, WindowSource};
 
 use crate::blueprint::VehicleBlueprint;
 use crate::cut::CutModel;
 use crate::shutoff::ShutoffModel;
 
-/// A defect seeded into a vehicle: one collapsed stuck-at fault of the
-/// shared CUT, placed on one diagnosable ECU.
+/// A defect seeded into a vehicle: one fault of the seeded family's CUT
+/// model (a collapsed stuck-at of the logic [`CutModel`] or a cell fault
+/// of the SRAM [`MarchTest`]), placed on one diagnosable ECU.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DefectSeed {
-    /// Index into the [`CutModel`] fault list (session-detectable by
+    /// Index into the family's fault list (session-detectable by
     /// construction).
     pub fault_index: u32,
     /// The defective ECU.
     pub ecu: ResourceId,
     /// Index of the affected session plan in the blueprint.
     pub plan: usize,
+    /// The CUT family the fault belongs to — fault indices are only
+    /// meaningful within their family's model.
+    pub family: CutFamily,
 }
 
 /// A fail-data upload arriving at the gateway.
@@ -39,8 +45,10 @@ pub struct Upload {
     pub vehicle: u32,
     /// The defective ECU.
     pub ecu: ResourceId,
-    /// The seeded fault (index into the [`CutModel`]).
+    /// The seeded fault (index into the family's CUT model).
     pub fault_index: u32,
+    /// The CUT family the fault index refers to.
+    pub family: CutFamily,
     /// Absolute campaign time (seconds) the upload completed.
     pub time_s: f64,
     /// Encoded fail-data size in bytes.
@@ -80,6 +88,10 @@ pub(crate) struct BlueprintTemplate {
     runnable: Vec<(usize, f64)>,
     /// Diagnosable plan indices (the defect placement choices).
     diagnosable: Vec<usize>,
+    /// Whether every session tests the logic CUT family. Pure-logic
+    /// blueprints keep the historical defect-seeding draw order
+    /// (fault-then-plan), which is what the frozen digests pin.
+    pure_logic: bool,
 }
 
 impl BlueprintTemplate {
@@ -96,6 +108,10 @@ impl BlueprintTemplate {
         BlueprintTemplate {
             runnable,
             diagnosable: blueprint.diagnosable_plans(),
+            pure_logic: blueprint
+                .sessions
+                .iter()
+                .all(|p| p.family == CutFamily::Logic),
         }
     }
 }
@@ -146,9 +162,20 @@ impl FastMod {
 pub(crate) struct SimContext<'a> {
     pub blueprints: &'a [VehicleBlueprint],
     pub cut: &'a CutModel,
+    /// The SRAM CUT model, when the campaign carries one. `None` for
+    /// pure-logic fleets — a blueprint with a diagnosable SRAM session is
+    /// rejected at campaign validation without it.
+    pub sram: Option<&'a MarchTest>,
+    /// Per-blueprint schedule plans, indexed like `blueprints`; `None`
+    /// entries (and an empty slice) mean the flat-budget window source.
+    pub sched: &'a [Option<SchedPlan>],
     pub defect_fraction: f64,
     pub horizon_s: f64,
-    pub(crate) ranges: ShutoffRanges,
+    /// The flat-budget window source: the identical hoisted
+    /// `min + unit()·range` coefficients the historical `ShutoffRanges`
+    /// carried, now shared with `eea-sched` so schedule-derived sources
+    /// carve the same macro stream.
+    pub(crate) flat: FlatBudget,
     templates: Vec<BlueprintTemplate>,
     blueprint_mod: FastMod,
 }
@@ -157,6 +184,8 @@ impl<'a> SimContext<'a> {
     pub(crate) fn new(
         blueprints: &'a [VehicleBlueprint],
         cut: &'a CutModel,
+        sram: Option<&'a MarchTest>,
+        sched: &'a [Option<SchedPlan>],
         shutoff: ShutoffModel,
         defect_fraction: f64,
         horizon_s: f64,
@@ -164,34 +193,18 @@ impl<'a> SimContext<'a> {
         SimContext {
             blueprints,
             cut,
+            sram,
+            sched,
             defect_fraction,
             horizon_s,
-            ranges: ShutoffRanges::new(&shutoff),
+            flat: FlatBudget::from_bounds(
+                shutoff.min_gap_s,
+                shutoff.max_gap_s,
+                shutoff.min_window_s,
+                shutoff.max_window_s,
+            ),
             templates: blueprints.iter().map(BlueprintTemplate::new).collect(),
             blueprint_mod: FastMod::new(blueprints.len() as u64),
-        }
-    }
-}
-
-/// Hoisted uniform-draw coefficients of the shut-off model: the identical
-/// `min + unit()·(max − min)` expressions [`ShutoffModel::next_event`]
-/// evaluates, with the range subtractions computed once per campaign
-/// instead of once per window.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct ShutoffRanges {
-    min_gap_s: f64,
-    gap_range: f64,
-    min_window_s: f64,
-    window_range: f64,
-}
-
-impl ShutoffRanges {
-    fn new(m: &ShutoffModel) -> Self {
-        ShutoffRanges {
-            min_gap_s: m.min_gap_s,
-            gap_range: m.max_gap_s - m.min_gap_s,
-            min_window_s: m.min_window_s,
-            window_range: m.max_window_s - m.min_window_s,
         }
     }
 }
@@ -208,7 +221,7 @@ pub(crate) fn simulate_vehicle(index: u32, ctx: &SimContext<'_>, seed: u64) -> V
         cut,
         defect_fraction,
         horizon_s,
-        ranges,
+        flat,
         ..
     } = *ctx;
     let mut rng = Rng::new(seed);
@@ -217,24 +230,54 @@ pub(crate) fn simulate_vehicle(index: u32, ctx: &SimContext<'_>, seed: u64) -> V
     let blueprint_idx = ctx.blueprint_mod.rem(rng.next_u64()) as usize;
     let blueprint = &blueprints[blueprint_idx];
     let template = &ctx.templates[blueprint_idx];
+    let plan_sched = ctx.sched.get(blueprint_idx).and_then(Option::as_ref);
 
     // Defect seeding: the fraction draw happens for every vehicle (so the
     // stream of draws is schedule-independent); the seed only lands when
-    // the blueprint offers a diagnosable plan to place it on.
+    // the blueprint offers a diagnosable plan to place it on. Pure-logic
+    // blueprints keep the historical fault-then-plan draw order (the
+    // frozen digests pin it); mixed-family blueprints must draw the plan
+    // first — which family's fault pool applies depends on it.
     let wants_defect = rng.chance(defect_fraction);
     let defect = if wants_defect {
-        let detectable = cut.detectable_faults();
-        let fault_index = detectable[rng.below(detectable.len())];
-        let plans = &template.diagnosable;
-        if plans.is_empty() {
-            None
+        if template.pure_logic {
+            let detectable = cut.detectable_faults();
+            let fault_index = detectable[rng.below(detectable.len())];
+            let plans = &template.diagnosable;
+            if plans.is_empty() {
+                None
+            } else {
+                let plan = plans[rng.below(plans.len())];
+                Some(DefectSeed {
+                    fault_index,
+                    ecu: blueprint.sessions[plan].ecu,
+                    plan,
+                    family: CutFamily::Logic,
+                })
+            }
         } else {
-            let plan = plans[rng.below(plans.len())];
-            Some(DefectSeed {
-                fault_index,
-                ecu: blueprint.sessions[plan].ecu,
-                plan,
-            })
+            let plans = &template.diagnosable;
+            if plans.is_empty() {
+                None
+            } else {
+                let plan = plans[rng.below(plans.len())];
+                let family = blueprint.sessions[plan].family;
+                let pool = match family {
+                    CutFamily::Logic => cut.detectable_faults(),
+                    CutFamily::Sram => ctx.sram.map_or(&[][..], MarchTest::detectable_faults),
+                };
+                if pool.is_empty() {
+                    None
+                } else {
+                    let fault_index = pool[rng.below(pool.len())];
+                    Some(DefectSeed {
+                        fault_index,
+                        ecu: blueprint.sessions[plan].ecu,
+                        plan,
+                        family,
+                    })
+                }
+            }
         }
     } else {
         None
@@ -243,22 +286,37 @@ pub(crate) fn simulate_vehicle(index: u32, ctx: &SimContext<'_>, seed: u64) -> V
     // A defective plan's work ends with the fail-data upload; passing
     // sessions upload nothing. Diagnosable plans are runnable by
     // definition, so the defective plan is always on the work list.
+    let mut fail_bytes = 0u64;
     let mut upload_due: Option<(usize, f64)> = None; // (plan, upload seconds)
     if let Some(d) = defect {
-        let up = blueprint.sessions[d.plan].upload_s(cut.fail_bytes(d.fault_index));
+        fail_bytes = match d.family {
+            CutFamily::Logic => cut.fail_bytes(d.fault_index),
+            CutFamily::Sram => ctx.sram.map_or(0, |s| s.fail_bytes(d.fault_index)),
+        };
+        let up = blueprint.sessions[d.plan].upload_s(fail_bytes);
         upload_due = Some((d.plan, up));
     }
 
     let work = &template.runnable[..];
     let budget_cap = blueprint.shutoff_budget_s;
 
-    // Monomorphize the window loop on defect presence: ~98 % of vehicles
-    // carry no defect and run the tight instantiation with no upload
-    // checks at all.
-    let out = if upload_due.is_none() {
-        run_windows::<false>(work, None, budget_cap, rng, ranges, horizon_s)
-    } else {
-        run_windows::<true>(work, upload_due, budget_cap, rng, ranges, horizon_s)
+    // Monomorphize the window loop on defect presence × window source:
+    // ~98 % of vehicles carry no defect and run a tight instantiation
+    // with no upload checks at all, and flat-budget fleets never touch
+    // the schedule-carving state.
+    let out = match (upload_due, plan_sched) {
+        (None, None) => run_windows::<false, _>(work, None, budget_cap, rng, flat, horizon_s),
+        (Some(_), None) => {
+            run_windows::<true, _>(work, upload_due, budget_cap, rng, flat, horizon_s)
+        }
+        (None, Some(plan)) => {
+            let source = TaskSchedule::new(flat, plan, horizon_s);
+            run_windows::<false, _>(work, None, budget_cap, rng, source, horizon_s)
+        }
+        (Some(_), Some(plan)) => {
+            let source = TaskSchedule::new(flat, plan, horizon_s);
+            run_windows::<true, _>(work, upload_due, budget_cap, rng, source, horizon_s)
+        }
     };
 
     let upload = match (defect, out.upload_time_s) {
@@ -266,8 +324,9 @@ pub(crate) fn simulate_vehicle(index: u32, ctx: &SimContext<'_>, seed: u64) -> V
             vehicle: index,
             ecu: d.ecu,
             fault_index: d.fault_index,
+            family: d.family,
             time_s,
-            fail_bytes: cut.fail_bytes(d.fault_index),
+            fail_bytes,
         }),
         _ => None,
     };
@@ -309,19 +368,24 @@ fn session_work(work: &[(usize, f64)], upload_due: Option<(usize, f64)>, i: usiz
     }
 }
 
-/// The shut-off window loop: draws (gap, window) pairs and consumes the
-/// work list until the horizon cuts the schedule off or the work runs
-/// dry. All loop state lives in locals — the float expressions and their
-/// evaluation order are the frozen-report contract, and `DEFECTIVE` only
-/// strips the upload bookkeeping from the defect-free instantiation; it
-/// never changes an arithmetic op.
+/// The shut-off window loop: pulls (gap, window) pairs from the window
+/// source and consumes the work list until the horizon cuts the schedule
+/// off or the work runs dry. All loop state lives in locals — the float
+/// expressions and their evaluation order are the frozen-report
+/// contract, and `DEFECTIVE` only strips the upload bookkeeping from the
+/// defect-free instantiation; it never changes an arithmetic op. With
+/// [`FlatBudget`] as the source the per-iteration draw sequence is
+/// exactly the historical one (gap then window, two `unit()` draws); the
+/// final iteration draws the window the historical loop skipped after
+/// its horizon check, but the vehicle RNG is private and dies here, so
+/// the extra draw cannot change any output bit.
 #[inline(always)]
-fn run_windows<const DEFECTIVE: bool>(
+fn run_windows<const DEFECTIVE: bool, W: WindowSource>(
     work: &[(usize, f64)],
     upload_due: Option<(usize, f64)>,
     budget_cap: f64,
     mut rng: Rng,
-    ranges: ShutoffRanges,
+    mut source: W,
     horizon_s: f64,
 ) -> WindowOutcome {
     let mut out = WindowOutcome {
@@ -337,16 +401,11 @@ fn run_windows<const DEFECTIVE: bool>(
     let mut rem = session_work(work, upload_due, 0);
     let mut t = 0.0f64;
     loop {
-        let gap = ranges.min_gap_s + rng.unit() * ranges.gap_range;
+        let (gap, window) = source.next_window(&mut rng);
         let start = t + gap;
         if start >= horizon_s {
-            // The historical loop drew the window length before this
-            // check and threw it away on exit; the vehicle RNG is
-            // private and dies here, so skipping that draw cannot
-            // change any output bit.
             break;
         }
-        let window = ranges.min_window_s + rng.unit() * ranges.window_range;
         t = start + window;
         let budget = window.min(budget_cap);
         let mut avail = budget;
@@ -413,7 +472,7 @@ mod tests {
         horizon_s: f64,
         seed: u64,
     ) -> VehicleOutcome {
-        let ctx = SimContext::new(blueprints, cut, *shutoff, defect_fraction, horizon_s);
+        let ctx = SimContext::new(blueprints, cut, None, &[], *shutoff, defect_fraction, horizon_s);
         simulate_vehicle(index, &ctx, seed)
     }
 
@@ -428,9 +487,11 @@ mod tests {
                 transfer_s: 1200.0,
                 local_storage: false,
                 upload_bandwidth_bytes_per_s: 100.0,
+                family: CutFamily::Logic,
             }],
             shutoff_budget_s: 2_000.0,
             transport: eea_can::TransportKind::MirroredCan,
+            task_set: None,
         }
     }
 

@@ -15,8 +15,9 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 
 use eea_fleet::{
-    Campaign, CampaignConfig, CutConfig, CutModel, EcuSessionPlan, GatewayConfig,
-    GatewayService, ShutoffModel, TransportKind, VehicleArrival, VehicleBlueprint,
+    Campaign, CampaignConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan, GatewayConfig,
+    GatewayService, MarchTest, PeriodicTask, ShutoffModel, SporadicTask, SramConfig,
+    TaskSetConfig, TransportKind, VehicleArrival, VehicleBlueprint,
 };
 use eea_model::ResourceId;
 use eea_moea::Rng;
@@ -51,6 +52,7 @@ fn blueprints(transport: TransportKind) -> Vec<VehicleBlueprint> {
         transfer_s,
         local_storage: transfer_s == 0.0,
         upload_bandwidth_bytes_per_s: upload_bw,
+        family: CutFamily::Logic,
     };
     vec![
         VehicleBlueprint {
@@ -58,24 +60,171 @@ fn blueprints(transport: TransportKind) -> Vec<VehicleBlueprint> {
             sessions: vec![plan(0, 0.0, 400.0), plan(1, 0.0, 150.0)],
             shutoff_budget_s: 900.0,
             transport,
+            task_set: None,
         },
         VehicleBlueprint {
             implementation_index: 1,
             sessions: vec![plan(2, 1_500.0, 80.0)],
             shutoff_budget_s: 4_000.0,
             transport,
+            task_set: None,
         },
         VehicleBlueprint {
             implementation_index: 2,
             sessions: vec![plan(3, f64::INFINITY, 0.0), plan(4, 300.0, 60.0)],
             shutoff_budget_s: 2_000.0,
             transport,
+            task_set: None,
         },
     ]
 }
 
+/// One shared March-test model for the mixed-family properties, same
+/// rationale as [`cut`].
+fn sram() -> &'static MarchTest {
+    static SRAM: OnceLock<MarchTest> = OnceLock::new();
+    SRAM.get_or_init(|| {
+        MarchTest::build(SramConfig::default()).unwrap_or_else(|e| panic!("SRAM builds: {e}"))
+    })
+}
+
+/// The mixed-family sibling of [`blueprints`]: the SRAM March test
+/// replaces the logic CUT on the streaming blueprint and on the second
+/// session of the heterogeneous one, and every blueprint carries
+/// `task_set` (so `Some` exercises schedule-derived windows fleet-wide).
+fn mixed_blueprints(
+    transport: TransportKind,
+    task_set: Option<&TaskSetConfig>,
+) -> Vec<VehicleBlueprint> {
+    let mut bp = blueprints(transport);
+    bp[1].sessions[0].family = CutFamily::Sram;
+    bp[2].sessions[1].family = CutFamily::Sram;
+    for b in &mut bp {
+        b.task_set = task_set.cloned();
+    }
+    bp
+}
+
+/// A busy-but-schedulable task set: two periodic tasks (hyperperiod
+/// 60 s, utilization 0.35), one sporadic task, a 5 s minimum slice.
+fn busy_task_set() -> TaskSetConfig {
+    TaskSetConfig {
+        periodic: vec![
+            PeriodicTask {
+                period_us: 20_000_000,
+                offset_us: 0,
+                wcet_us: 4_000_000,
+                priority: 0,
+            },
+            PeriodicTask {
+                period_us: 60_000_000,
+                offset_us: 5_000_000,
+                wcet_us: 9_000_000,
+                priority: 1,
+            },
+        ],
+        sporadic: vec![SporadicTask {
+            min_interarrival_us: 45_000_000,
+            wcet_us: 2_000_000,
+            priority: 2,
+        }],
+        min_slice_s: 5.0,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Equivalence oracle for the schedule-derived window source: a
+    /// *degenerate* task set — a single registered-but-idle task, zero
+    /// utilization, zero minimum slice — must reproduce the flat-budget
+    /// campaign **bit-for-bit**, for any period, fleet and thread count.
+    /// This pins the `TaskSchedule` pass-through path against the same
+    /// frozen contract `FlatBudget` carries.
+    #[test]
+    fn degenerate_task_set_reproduces_flat_budget(
+        vehicles in 1u32..200,
+        defect_pct in 0usize..=100,
+        seed in 0u64..u64::MAX,
+        threads in 1usize..5,
+        idle_period_s in 1u64..=120,
+        transport_idx in 0usize..3,
+    ) {
+        let transport = TransportKind::ALL[transport_idx];
+        let degenerate = TaskSetConfig {
+            periodic: vec![PeriodicTask {
+                period_us: idle_period_s * 1_000_000,
+                offset_us: 0,
+                wcet_us: 0,
+                priority: 0,
+            }],
+            ..TaskSetConfig::default()
+        };
+        let flat_bp = blueprints(transport);
+        let mut sched_bp = blueprints(transport);
+        for b in &mut sched_bp {
+            b.task_set = Some(degenerate.clone());
+        }
+        let cfg = CampaignConfig {
+            vehicles,
+            defect_fraction: defect_pct as f64 / 100.0,
+            seed,
+            threads,
+            ..CampaignConfig::default()
+        };
+        let flat = Campaign::new(cut(), &flat_bp, cfg.clone())
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        let sched = Campaign::new(cut(), &sched_bp, cfg)
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        prop_assert_eq!(sched, flat);
+    }
+
+    /// The determinism contract over heterogeneous CUT families *and*
+    /// schedule-derived windows: a mixed logic/SRAM fleet whose
+    /// blueprints carry a busy task set reports bit-identically at 1
+    /// thread / 1 shard and at N threads / M shards.
+    #[test]
+    fn mixed_family_campaign_is_thread_and_shard_independent(
+        vehicles in 1u32..200,
+        defect_pct in 0usize..=100,
+        seed in 0u64..u64::MAX,
+        threads in 2usize..9,
+        shards in 2usize..9,
+        scheduled in 0usize..2,
+        transport_idx in 0usize..3,
+    ) {
+        let ts = busy_task_set();
+        let bp = mixed_blueprints(
+            TransportKind::ALL[transport_idx],
+            (scheduled == 1).then_some(&ts),
+        );
+        let mut cfg = CampaignConfig {
+            vehicles,
+            defect_fraction: defect_pct as f64 / 100.0,
+            seed,
+            threads: 1,
+            shards: 1,
+            ..CampaignConfig::default()
+        };
+        let serial = Campaign::with_models(cut(), Some(sram()), &bp, cfg.clone())
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        // When the campaign is genuinely mixed (some detection came from
+        // a non-logic family), the per-family split must account every
+        // detection exactly once.
+        if !serial.per_family.is_empty() {
+            let split: u64 = serial.per_family.iter().map(|f| f.detected).sum();
+            prop_assert_eq!(split, serial.detected);
+        }
+        cfg.threads = threads;
+        cfg.shards = shards;
+        let parallel = Campaign::with_models(cut(), Some(sram()), &bp, cfg)
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        prop_assert_eq!(parallel, serial);
+    }
 
     #[test]
     fn fleet_report_is_thread_and_shard_count_independent(

@@ -12,7 +12,7 @@
 use std::sync::OnceLock;
 
 use eea_fleet::{
-    Campaign, CampaignConfig, CutConfig, CutModel, EcuSessionPlan, FleetReport,
+    Campaign, CampaignConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan, FleetReport,
     GatewaySnapshot, TransportKind, VehicleBlueprint,
 };
 use eea_model::ResourceId;
@@ -58,6 +58,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
         transfer_s,
         local_storage: transfer_s == 0.0,
         upload_bandwidth_bytes_per_s: upload_bw,
+        family: CutFamily::Logic,
     };
     vec![
         VehicleBlueprint {
@@ -65,18 +66,21 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(0, 0.0, 400.0), plan(1, 0.0, 150.0)],
             shutoff_budget_s: 900.0,
             transport: TransportKind::MirroredCan,
+            task_set: None,
         },
         VehicleBlueprint {
             implementation_index: 1,
             sessions: vec![plan(2, 1_500.0, 80.0)],
             shutoff_budget_s: 4_000.0,
             transport: TransportKind::MirroredCan,
+            task_set: None,
         },
         VehicleBlueprint {
             implementation_index: 2,
             sessions: vec![plan(3, f64::INFINITY, 0.0), plan(4, 300.0, 60.0)],
             shutoff_budget_s: 2_000.0,
             transport: TransportKind::MirroredCan,
+            task_set: None,
         },
     ]
 }
