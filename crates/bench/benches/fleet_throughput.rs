@@ -11,8 +11,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eea_fleet::{
-    Campaign, CampaignConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan, TransportKind,
-    VehicleBlueprint,
+    Campaign, CampaignConfig, ChannelConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan,
+    TransportKind, VehicleBlueprint,
 };
 use eea_model::ResourceId;
 
@@ -35,6 +35,7 @@ fn blueprints(transport: TransportKind) -> Vec<VehicleBlueprint> {
             sessions: vec![plan(0, 0.0, 400.0), plan(1, 0.0, 150.0)],
             shutoff_budget_s: 900.0,
             transport,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
         VehicleBlueprint {
@@ -42,6 +43,7 @@ fn blueprints(transport: TransportKind) -> Vec<VehicleBlueprint> {
             sessions: vec![plan(2, 1_500.0, 80.0)],
             shutoff_budget_s: 4_000.0,
             transport,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
         VehicleBlueprint {
@@ -49,6 +51,7 @@ fn blueprints(transport: TransportKind) -> Vec<VehicleBlueprint> {
             sessions: vec![plan(3, f64::INFINITY, 0.0), plan(4, 300.0, 60.0)],
             shutoff_budget_s: 2_000.0,
             transport,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
     ]

@@ -38,8 +38,9 @@ use std::time::Instant;
 use eea_bench::{env_u64, env_u64_list, env_usize, out_path, peak_rss_kb};
 use eea_dse::EeaError;
 use eea_fleet::{
-    Campaign, CampaignConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan, GatewayConfig,
-    GatewayService, GatewaySnapshot, TransportKind, VehicleBlueprint, DEFAULT_QUEUE_CAPACITY,
+    Campaign, CampaignConfig, ChannelConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan,
+    GatewayConfig, GatewayService, GatewaySnapshot, TransportKind, VehicleBlueprint,
+    DEFAULT_QUEUE_CAPACITY,
 };
 use eea_model::ResourceId;
 
@@ -77,6 +78,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(0, 0.0, 400.0), plan(1, 0.0, 150.0)],
             shutoff_budget_s: 900.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
         VehicleBlueprint {
@@ -84,6 +86,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(2, 1_500.0, 80.0)],
             shutoff_budget_s: 4_000.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
         VehicleBlueprint {
@@ -91,6 +94,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(3, f64::INFINITY, 0.0), plan(4, 300.0, 60.0)],
             shutoff_budget_s: 2_000.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
     ]
@@ -275,7 +279,10 @@ scales {scales:?}"
         // pass, cheap at 100k, pointless at 10M.
         let bit_identical = if fleet == scales[0] {
             let ok = replay_bit_identical(&cut, &campaign, &fin)?;
-            assert!(ok, "final snapshot diverged across shard/thread/queue settings");
+            assert!(
+                ok,
+                "final snapshot diverged across shard/thread/queue settings"
+            );
             Some(ok)
         } else {
             None
@@ -388,7 +395,9 @@ mod tests {
             remerged,
             "{\n  \"transports\": [\n    {}\n  ],\n  \"gateway_soak\": {\"x\": 2}\n}\n"
         );
-        assert_eq!(merge_section(Some("garbage"), "\"gateway_soak\": {}"),
-            "{\n  \"gateway_soak\": {}\n}\n");
+        assert_eq!(
+            merge_section(Some("garbage"), "\"gateway_soak\": {}"),
+            "{\n  \"gateway_soak\": {}\n}\n"
+        );
     }
 }

@@ -26,9 +26,9 @@ use std::time::Instant;
 use eea_bench::{env_u64, env_usize, out_path};
 use eea_dse::EeaError;
 use eea_fleet::{
-    Campaign, CampaignConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan, FamilyReport,
-    FleetReport, MarchTest, PeriodicTask, SporadicTask, SramConfig, TaskSetConfig, TransportKind,
-    VehicleBlueprint,
+    Campaign, CampaignConfig, ChannelConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan,
+    FamilyReport, FleetReport, MarchTest, PeriodicTask, SporadicTask, SramConfig, TaskSetConfig,
+    TransportKind, VehicleBlueprint,
 };
 use eea_model::ResourceId;
 
@@ -88,6 +88,7 @@ fn blueprints(task_set: Option<&TaskSetConfig>) -> Vec<VehicleBlueprint> {
             ],
             shutoff_budget_s: 900.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: task_set.cloned(),
         },
         VehicleBlueprint {
@@ -95,6 +96,7 @@ fn blueprints(task_set: Option<&TaskSetConfig>) -> Vec<VehicleBlueprint> {
             sessions: vec![plan(2, CutFamily::Sram, 1_500.0, 80.0)],
             shutoff_budget_s: 4_000.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: task_set.cloned(),
         },
         VehicleBlueprint {
@@ -105,6 +107,7 @@ fn blueprints(task_set: Option<&TaskSetConfig>) -> Vec<VehicleBlueprint> {
             ],
             shutoff_budget_s: 2_000.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: task_set.cloned(),
         },
     ]
@@ -227,7 +230,8 @@ fn main() -> Result<(), EeaError> {
         window: 16,
         ..CutConfig::default()
     })?;
-    let sram = MarchTest::build(SramConfig::default()).map_err(|e| EeaError::Fleet(e.to_string()))?;
+    let sram =
+        MarchTest::build(SramConfig::default()).map_err(|e| EeaError::Fleet(e.to_string()))?;
     eprintln!(
         "SRAM March C-: {} faults, {} detectable ({:.1} % coverage)",
         sram.num_faults(),

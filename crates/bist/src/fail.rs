@@ -12,6 +12,32 @@ use std::fmt;
 /// in Section IV-A of the paper (638 bytes for the industrial CUT).
 pub const FAIL_DATA_BYTES: u64 = 638;
 
+/// Serialized size of one [`FailEntry`] (4-byte window index + 8-byte
+/// signature) — the granularity every byte cap on fail data rounds down
+/// to, here and in the transfer layer's channel truncation.
+pub const FAIL_ENTRY_BYTES: u64 = 12;
+
+/// Integrity classification of a fail-data payload as it reaches
+/// diagnosis — the widening of the old boolean
+/// [`FailData::is_truncated`] into the four ways a payload can be
+/// incomplete or wrong. `Complete` and `TruncatedAtCap` are
+/// self-detectable from the payload ([`FailData::integrity`]);
+/// `WindowLost` and `CorruptedSyndrome` are channel facts the transfer
+/// layer records alongside the payload (a lost or flipped entry is
+/// indistinguishable from genuine fail data by inspection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailDataIntegrity {
+    /// Every recorded window survived to diagnosis.
+    Complete,
+    /// The bounded fail memory (or a channel truncation cap) dropped a
+    /// suffix of the recorded windows.
+    TruncatedAtCap,
+    /// One failing window was lost in transit (interrupted upload).
+    WindowLost,
+    /// One entry arrived with a corrupted window index/syndrome.
+    CorruptedSyndrome,
+}
+
 /// One failing signature window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FailEntry {
@@ -70,7 +96,67 @@ impl FailData {
 
     /// Serialized size with no fail-memory bound applied.
     fn unclamped_byte_size(&self) -> u64 {
-        (self.entries.len() as u64) * 12
+        (self.entries.len() as u64) * FAIL_ENTRY_BYTES
+    }
+
+    /// Self-detectable integrity of this payload: [`FailDataIntegrity::TruncatedAtCap`]
+    /// when the bounded fail memory clamped (the enum form of
+    /// [`is_truncated`](Self::is_truncated)), [`FailDataIntegrity::Complete`]
+    /// otherwise. Channel-inflicted window loss and syndrome corruption
+    /// cannot be detected from the payload alone — the transfer layer
+    /// records those variants out of band.
+    pub fn integrity(&self) -> FailDataIntegrity {
+        if self.is_truncated() {
+            FailDataIntegrity::TruncatedAtCap
+        } else {
+            FailDataIntegrity::Complete
+        }
+    }
+
+    /// The payload after a transfer capped at `cap_bytes`: the longest
+    /// whole-entry prefix that fits. A cap at or above the serialized size
+    /// is the identity.
+    pub fn truncated_to(&self, cap_bytes: u64) -> FailData {
+        let keep = usize::try_from(cap_bytes / FAIL_ENTRY_BYTES)
+            .unwrap_or(usize::MAX)
+            .min(self.entries.len());
+        FailData {
+            entries: self.entries[..keep].to_vec(),
+        }
+    }
+
+    /// The payload after losing one failing window in transit: entry
+    /// `slot % len` is dropped. The identity on a passing (empty) payload —
+    /// there is nothing to lose.
+    pub fn without_window_slot(&self, slot: usize) -> FailData {
+        if self.entries.is_empty() {
+            return self.clone();
+        }
+        let drop = slot % self.entries.len();
+        let mut entries = self.entries.clone();
+        entries.remove(drop);
+        FailData { entries }
+    }
+
+    /// The payload after one entry arrives corrupted: entry `salt % len`
+    /// gets its window index flipped by a low bit pattern (diagnosis keys
+    /// on window indices, so a syndrome-only flip would be invisible to
+    /// the logic path) and its signature perturbed. Entries are re-sorted
+    /// by window and window-deduplicated afterwards — diagnosis requires
+    /// the observed window set sorted and duplicate-free. The identity on
+    /// a passing (empty) payload.
+    pub fn with_corrupted_window(&self, salt: u8) -> FailData {
+        if self.entries.is_empty() {
+            return self.clone();
+        }
+        let mut entries = self.entries.clone();
+        let hit = usize::from(salt) % entries.len();
+        let flip = 1 + u32::from(salt & 7);
+        entries[hit].window ^= flip;
+        entries[hit].signature ^= 0x5A5A_5A5A_5A5A_5A5A_u64.rotate_left(u32::from(salt));
+        entries.sort_by_key(|e| e.window);
+        entries.dedup_by_key(|e| e.window);
+        FailData { entries }
     }
 }
 
@@ -130,5 +216,89 @@ mod tests {
         assert_eq!(fd.byte_size(), FAIL_DATA_BYTES); // clamped, not 648
 
         assert!(!FailData::new().is_truncated());
+    }
+
+    #[test]
+    fn integrity_widens_is_truncated() {
+        let mut fd = FailData::new();
+        assert_eq!(fd.integrity(), FailDataIntegrity::Complete);
+        for i in 0..54 {
+            fd.push(i, u64::from(i));
+        }
+        assert!(fd.is_truncated());
+        assert_eq!(fd.integrity(), FailDataIntegrity::TruncatedAtCap);
+    }
+
+    #[test]
+    fn truncated_to_keeps_whole_entry_prefix() {
+        let mut fd = FailData::new();
+        for i in 0..10 {
+            fd.push(i, u64::from(i) * 3);
+        }
+        let capped = fd.truncated_to(40); // 3 whole 12-byte entries fit
+        assert_eq!(capped.entries().len(), 3);
+        assert_eq!(capped.entries(), &fd.entries()[..3]);
+        // A cap at or above the payload is the identity.
+        assert_eq!(fd.truncated_to(120), fd);
+        assert_eq!(fd.truncated_to(u64::MAX), fd);
+        // Sub-entry caps yield an empty (pass-looking) payload.
+        assert!(fd.truncated_to(11).is_pass());
+    }
+
+    #[test]
+    fn window_loss_drops_exactly_one_entry() {
+        let mut fd = FailData::new();
+        for i in 0..5 {
+            fd.push(i * 2, u64::from(i));
+        }
+        let lost = fd.without_window_slot(7); // 7 % 5 = 2 → window 4 gone
+        assert_eq!(lost.entries().len(), 4);
+        assert!(lost.entries().iter().all(|e| e.window != 4));
+        // Zero-entry fail memory: nothing to lose, identity.
+        assert_eq!(FailData::new().without_window_slot(3), FailData::new());
+    }
+
+    #[test]
+    fn corruption_flips_a_window_and_keeps_the_set_sorted() {
+        let mut fd = FailData::new();
+        for i in 0..6 {
+            fd.push(i * 4, u64::from(i));
+        }
+        for salt in 0..32 {
+            let corrupted = fd.with_corrupted_window(salt);
+            assert_ne!(corrupted, fd, "salt {salt} must alter the payload");
+            let windows: Vec<u32> = corrupted.entries().iter().map(|e| e.window).collect();
+            let mut sorted = windows.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(windows, sorted, "salt {salt}: observed set unsorted");
+        }
+        // Zero-entry fail memory: identity.
+        assert_eq!(FailData::new().with_corrupted_window(9), FailData::new());
+    }
+
+    /// Corruption at exactly the [`FAIL_DATA_BYTES`] cap: a payload
+    /// clamped to the 53-entry boundary stays sorted/deduplicated after a
+    /// window flip, and the cap transform composes with corruption.
+    #[test]
+    fn corruption_at_exact_truncation_cap() {
+        let mut fd = FailData::new();
+        for i in 0..60 {
+            fd.push(i, u64::from(i));
+        }
+        let capped = fd.truncated_to(FAIL_DATA_BYTES);
+        assert_eq!(capped.entries().len(), 53); // 636 of 638 bytes
+        assert!(
+            !capped.is_truncated(),
+            "post-cap payload self-reports whole"
+        );
+        let corrupted = capped.with_corrupted_window(11);
+        assert!(corrupted.entries().len() <= 53);
+        assert!(corrupted.byte_size() <= FAIL_DATA_BYTES);
+        let windows: Vec<u32> = corrupted.entries().iter().map(|e| e.window).collect();
+        let mut sorted = windows.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(windows, sorted);
     }
 }

@@ -46,12 +46,12 @@ mod profile;
 mod stumps;
 
 pub use diagnosis::{Candidate, Diagnoser};
-pub use fail::{FailData, FailEntry, FAIL_DATA_BYTES};
-pub use march::{
-    march_fail_data, CutFamily, MarchCandidate, MarchError, MarchFault, MarchFaultKind,
-    MarchTest, SramConfig,
-};
+pub use fail::{FailData, FailDataIntegrity, FailEntry, FAIL_DATA_BYTES, FAIL_ENTRY_BYTES};
 pub use lfsr::{Lfsr, UnsupportedLfsrWidthError};
+pub use march::{
+    march_fail_data, CutFamily, MarchCandidate, MarchError, MarchFault, MarchFaultKind, MarchTest,
+    SramConfig,
+};
 pub use misr::Misr;
 pub use paper_data::{paper_table1, PAPER_CUT};
 pub use profile::{

@@ -55,7 +55,10 @@ pub struct SramConfig {
 impl Default for SramConfig {
     /// A small distributed embedded SRAM: 64 words × 16 bits.
     fn default() -> Self {
-        SramConfig { words: 64, bits: 16 }
+        SramConfig {
+            words: 64,
+            bits: 16,
+        }
     }
 }
 
@@ -124,10 +127,16 @@ impl std::fmt::Display for MarchError {
             MarchError::ZeroWords => write!(f, "SRAM must have at least one word"),
             MarchError::ZeroBits => write!(f, "SRAM words must have at least one bit"),
             MarchError::WordTooWide { bits } => {
-                write!(f, "SRAM words wider than 64 bits are unsupported (got {bits})")
+                write!(
+                    f,
+                    "SRAM words wider than 64 bits are unsupported (got {bits})"
+                )
             }
             MarchError::TooManyCells { cells } => {
-                write!(f, "SRAM too large for the march fault dictionary ({cells} cells)")
+                write!(
+                    f,
+                    "SRAM too large for the march fault dictionary ({cells} cells)"
+                )
             }
         }
     }
@@ -150,12 +159,36 @@ struct MarchElement {
 
 /// March C-: ⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0).
 const MARCH_C_MINUS: [MarchElement; 6] = [
-    MarchElement { read_ones: None, write_ones: Some(false), descending: false },
-    MarchElement { read_ones: Some(false), write_ones: Some(true), descending: false },
-    MarchElement { read_ones: Some(true), write_ones: Some(false), descending: false },
-    MarchElement { read_ones: Some(false), write_ones: Some(true), descending: true },
-    MarchElement { read_ones: Some(true), write_ones: Some(false), descending: true },
-    MarchElement { read_ones: Some(false), write_ones: None, descending: false },
+    MarchElement {
+        read_ones: None,
+        write_ones: Some(false),
+        descending: false,
+    },
+    MarchElement {
+        read_ones: Some(false),
+        write_ones: Some(true),
+        descending: false,
+    },
+    MarchElement {
+        read_ones: Some(true),
+        write_ones: Some(false),
+        descending: false,
+    },
+    MarchElement {
+        read_ones: Some(false),
+        write_ones: Some(true),
+        descending: true,
+    },
+    MarchElement {
+        read_ones: Some(true),
+        write_ones: Some(false),
+        descending: true,
+    },
+    MarchElement {
+        read_ones: Some(false),
+        write_ones: None,
+        descending: false,
+    },
 ];
 
 /// FNV-1a 64 constants for the per-element syndrome fold.
@@ -203,7 +236,10 @@ impl FaultySram {
         let old = self.words[addr as usize];
         let mut new = value & self.mask;
         match self.fault {
-            Some(MarchFault { kind: MarchFaultKind::CouplingInv, cell }) => {
+            Some(MarchFault {
+                kind: MarchFaultKind::CouplingInv,
+                cell,
+            }) => {
                 let aggressor = cell + 1;
                 if aggressor / self.bits == addr {
                     let abit = 1u64 << (aggressor % self.bits);
@@ -408,7 +444,20 @@ impl MarchTest {
     ///
     /// Panics if `i` is out of range (caller bug, not data-reachable).
     pub fn localizes(&self, i: u32) -> bool {
-        let candidates = self.diagnose(&self.fail_table[i as usize]);
+        self.localizes_observed(i, &self.fail_table[i as usize])
+    }
+
+    /// [`localizes`](Self::localizes) against an explicit observed
+    /// payload — the partial-fail-memory hook: the payload may be a
+    /// truncated, window-lost or corrupted variant of fault `i`'s fail
+    /// data, and diagnosis ranks from whatever survived instead of
+    /// erroring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn localizes_observed(&self, i: u32, observed: &FailData) -> bool {
+        let candidates = self.diagnose(observed);
         let Some(top) = candidates.first() else {
             return false;
         };
@@ -425,7 +474,18 @@ impl MarchTest {
     ///
     /// Panics if `i` is out of range (caller bug, not data-reachable).
     pub fn true_fault_rank(&self, i: u32) -> Option<usize> {
-        let candidates = self.diagnose(&self.fail_table[i as usize]);
+        self.true_fault_rank_observed(i, &self.fail_table[i as usize])
+    }
+
+    /// [`true_fault_rank`](Self::true_fault_rank) against an explicit
+    /// observed payload — how far localization degrades when diagnosis
+    /// sees a partial or corrupted fail memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn true_fault_rank_observed(&self, i: u32, observed: &FailData) -> Option<usize> {
+        let candidates = self.diagnose(observed);
         let pos = candidates.iter().position(|c| c.fault_index == i)?;
         let score = candidates[pos].score;
         let mut rank = 1usize;

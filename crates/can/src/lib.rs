@@ -45,6 +45,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 mod bus;
+pub mod channel;
 pub mod fd;
 pub mod flexray;
 mod frame;
@@ -54,6 +55,10 @@ mod rta;
 pub mod transport;
 
 pub use bus::{BusSim, BusSimError, MessageStats, SimResult};
+pub use channel::{
+    ChannelConfig, ChannelError, ChannelModel, ChannelRng, Clean, Impairment, ImpairmentKind,
+    NoisyChannel,
+};
 pub use frame::{frame_bits, CanId, InvalidCanIdError, InvalidPayloadError, BUS_BITRATE_BPS};
 pub use message::{InvalidMessageError, Message};
 pub use mirror::{mirror_messages, mirror_messages_auto, transfer_time_s, MirrorError};
@@ -87,6 +92,8 @@ pub enum CanError {
     FlexRay(flexray::FlexRayError),
     /// Transport backend construction or validation failed.
     Transport(TransportError),
+    /// Channel-impairment configuration rejected.
+    Channel(ChannelError),
 }
 
 impl fmt::Display for CanError {
@@ -101,6 +108,7 @@ impl fmt::Display for CanError {
             CanError::Fd(e) => e.fmt(f),
             CanError::FlexRay(e) => e.fmt(f),
             CanError::Transport(e) => e.fmt(f),
+            CanError::Channel(e) => e.fmt(f),
         }
     }
 }
@@ -158,5 +166,11 @@ impl From<flexray::FlexRayError> for CanError {
 impl From<TransportError> for CanError {
     fn from(e: TransportError) -> Self {
         CanError::Transport(e)
+    }
+}
+
+impl From<ChannelError> for CanError {
+    fn from(e: ChannelError) -> Self {
+        CanError::Channel(e)
     }
 }

@@ -16,7 +16,7 @@ use eea_moea::{run, Nsga2Config, ParetoArchive, Problem};
 use eea_sat::SolveResult;
 
 use eea_bist::CutFamily;
-use eea_can::TransportConfig;
+use eea_can::{ChannelConfig, TransportConfig};
 use eea_sched::TaskSetConfig;
 
 use crate::augment::DiagSpec;
@@ -53,6 +53,15 @@ pub struct DseConfig {
     /// driving/parked budget. `None` (the default) keeps the historical
     /// flat-budget path bit-for-bit.
     pub task_set: Option<TaskSetConfig>,
+    /// Channel-impairment model the downstream fleet campaign stamps on
+    /// every blueprint built from this front: `Clean` (the default — the
+    /// historical ideal-channel path, bit-for-bit) or a `NoisyChannel`
+    /// injecting deterministic bus error frames, payload truncation and
+    /// fail-data corruption. Like `cut_family`/`task_set`, the
+    /// exploration itself ignores it; the field rides along so
+    /// `blueprints_from_front_configured` sees one coherent campaign
+    /// description.
+    pub channel: ChannelConfig,
 }
 
 impl Default for DseConfig {
@@ -67,6 +76,7 @@ impl Default for DseConfig {
             transport: TransportConfig::MirroredCan,
             cut_family: CutFamily::Logic,
             task_set: None,
+            channel: ChannelConfig::Clean,
         }
     }
 }
@@ -171,11 +181,8 @@ impl<'d> DseProblem<'d> {
     pub fn with_threads(diag: &'d DiagSpec, threads: usize) -> Self {
         let encoding = encode(diag);
         let mvars = encoding.mapping_vars();
-        let bist_tasks: std::collections::BTreeSet<eea_model::TaskId> = diag
-            .options
-            .iter()
-            .flat_map(|o| [o.test, o.data])
-            .collect();
+        let bist_tasks: std::collections::BTreeSet<eea_model::TaskId> =
+            diag.options.iter().flat_map(|o| [o.test, o.data]).collect();
         let num_functional_vars = mvars
             .iter()
             .take_while(|(t, _, _)| !bist_tasks.contains(t))
@@ -289,8 +296,7 @@ impl<'d> DseProblem<'d> {
     fn greedy_functional_prefix(&self) -> Vec<f64> {
         let nf = self.num_functional_vars;
         let functional = &self.mvars[..nf];
-        let resource_cost =
-            |r: eea_model::ResourceId| self.diag.spec.architecture.resource(r).cost;
+        let resource_cost = |r: eea_model::ResourceId| self.diag.spec.architecture.resource(r).cost;
         let max_cost = functional
             .iter()
             .map(|&(_, r, _)| resource_cost(r))
@@ -359,7 +365,11 @@ impl<'d> DseProblem<'d> {
                 } else if let Some(o) = data_of {
                     g[i] = 0.015;
                     let wants_local = resource == o.ecu;
-                    g[n + i] = if wants_local == prefer_local { 1.0 } else { 0.0 };
+                    g[n + i] = if wants_local == prefer_local {
+                        1.0
+                    } else {
+                        0.0
+                    };
                 }
             }
             seeds.push(g);
@@ -502,8 +512,7 @@ pub fn explore(
 ) -> DseResult {
     let start = Instant::now();
     let threads = resolve_threads(cfg.threads);
-    let mut problem =
-        DseProblem::with_threads(diag, threads).with_transport(cfg.transport.clone());
+    let mut problem = DseProblem::with_threads(diag, threads).with_transport(cfg.transport.clone());
     let mut nsga2 = cfg.nsga2.clone();
     let user_seeded = !nsga2.seeds.is_empty();
     if !user_seeded {
@@ -521,8 +530,8 @@ pub fn explore(
     // seeds, when there is nothing to warm up (no BIST options), or when
     // the budget slice would be too small to evolve anything.
     let total_evaluations = nsga2.evaluations;
-    let mut warm_evaluations = (total_evaluations / 5)
-        .min(total_evaluations.saturating_sub(nsga2.population));
+    let mut warm_evaluations =
+        (total_evaluations / 5).min(total_evaluations.saturating_sub(nsga2.population));
     if user_seeded || problem.num_functional_vars == problem.num_decision_vars {
         warm_evaluations = 0;
     }

@@ -18,7 +18,9 @@
 use std::collections::BTreeMap;
 
 use eea_bist::CutFamily;
-use eea_can::{mirror_messages_auto, CanId, Message, TransportConfig, TransportKind};
+use eea_can::{
+    mirror_messages_auto, CanId, ChannelConfig, Message, TransportConfig, TransportKind,
+};
 use eea_dse::augment::DiagSpec;
 use eea_dse::explore::ExploredImplementation;
 use eea_model::{ResourceId, ResourceKind};
@@ -96,6 +98,12 @@ pub struct VehicleBlueprint {
     /// intervals instead of the flat budget. `None` keeps the flat-budget
     /// window source (bit-for-bit the historical path).
     pub task_set: Option<TaskSetConfig>,
+    /// The channel-impairment model the blueprint's transfers and
+    /// fail-data uploads ride: [`ChannelConfig::Clean`] is the
+    /// pass-through identity (bit-for-bit the historical path), a noisy
+    /// channel injects deterministic retransmissions and payload
+    /// impairment (DESIGN.md §14).
+    pub channel: ChannelConfig,
 }
 
 impl VehicleBlueprint {
@@ -169,30 +177,41 @@ pub fn blueprints_from_front_with(
     front: &[ExploredImplementation],
     transport: &TransportConfig,
 ) -> Result<Vec<VehicleBlueprint>, FleetError> {
-    blueprints_from_front_configured(diag, front, transport, CutFamily::Logic, None)
+    blueprints_from_front_configured(
+        diag,
+        front,
+        transport,
+        CutFamily::Logic,
+        None,
+        ChannelConfig::Clean,
+    )
 }
 
 /// Like [`blueprints_from_front_with`], additionally stamping every
-/// session with `family` and every blueprint with `task_set` — the
-/// campaign-wide CUT-family and in-ECU-schedule selectors a
+/// session with `family`, every blueprint with `task_set` and the
+/// channel-impairment model `channel` — the campaign-wide CUT-family,
+/// in-ECU-schedule and channel selectors a
 /// [`DseConfig`](eea_dse::explore::DseConfig) carries. With
-/// `CutFamily::Logic` and `None` this is bit-for-bit
-/// [`blueprints_from_front_with`].
+/// `CutFamily::Logic`, `None` and [`ChannelConfig::Clean`] this is
+/// bit-for-bit [`blueprints_from_front_with`].
 ///
 /// # Errors
 ///
-/// The same errors as [`blueprints_from_front_with`].
+/// The same errors as [`blueprints_from_front_with`], plus
+/// [`FleetError::Channel`] when the channel configuration is degenerate.
 pub fn blueprints_from_front_configured(
     diag: &DiagSpec,
     front: &[ExploredImplementation],
     transport: &TransportConfig,
     family: CutFamily,
     task_set: Option<&TaskSetConfig>,
+    channel: ChannelConfig,
 ) -> Result<Vec<VehicleBlueprint>, FleetError> {
     if front.is_empty() {
         return Err(FleetError::NoDiagnosableBlueprint);
     }
     transport.validate()?;
+    channel.validate()?;
     let spec = &diag.spec;
     let arch = &spec.architecture;
     let app = &spec.application;
@@ -294,6 +313,7 @@ pub fn blueprints_from_front_configured(
             shutoff_budget_s: ei.objectives.shutoff_s,
             transport: transport.kind(),
             task_set: task_set.cloned(),
+            channel,
         });
     }
     Ok(blueprints)
@@ -325,6 +345,38 @@ mod tests {
         let result = eea_dse::explore::explore(&diag, &cfg, |_, _| {});
         let blueprints = blueprints_from_front(&diag, &result.front).expect("front flattens");
         assert_eq!(blueprints.len(), result.front.len());
+        assert!(blueprints.iter().all(|b| b.channel.is_clean()));
+        // The configured variant threads a channel through and rejects a
+        // degenerate one at construction.
+        let noisy = ChannelConfig::Noisy(eea_can::NoisyChannel {
+            frame_error_rate: 0.01,
+            ..eea_can::NoisyChannel::default()
+        });
+        let noisy_bps = blueprints_from_front_configured(
+            &diag,
+            &result.front,
+            &TransportConfig::MirroredCan,
+            CutFamily::Logic,
+            None,
+            noisy,
+        )
+        .expect("noisy front flattens");
+        assert!(noisy_bps.iter().all(|b| b.channel == noisy));
+        let bad = ChannelConfig::Noisy(eea_can::NoisyChannel {
+            frame_error_rate: 2.0,
+            ..eea_can::NoisyChannel::default()
+        });
+        assert!(matches!(
+            blueprints_from_front_configured(
+                &diag,
+                &result.front,
+                &TransportConfig::MirroredCan,
+                CutFamily::Logic,
+                None,
+                bad,
+            ),
+            Err(FleetError::Channel(_))
+        ));
         // At least one implementation of any non-trivial front selects a
         // session whose fail data can reach the gateway.
         assert!(blueprints.iter().any(VehicleBlueprint::is_campaign_capable));

@@ -25,7 +25,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc;
 use std::time::Instant;
 
-use eea_bist::{CutFamily, MarchTest};
+use eea_bist::{CutFamily, FailData, MarchTest, FAIL_ENTRY_BYTES};
+use eea_can::{Impairment, ImpairmentKind};
 use eea_faultsim::resolve_threads;
 use eea_model::ResourceId;
 use eea_moea::Rng;
@@ -35,7 +36,10 @@ use crate::blueprint::VehicleBlueprint;
 use crate::cut::CutModel;
 use crate::error::FleetError;
 use crate::gateway::{GatewayConfig, GatewayService, VehicleArrival, DEFAULT_QUEUE_CAPACITY};
-use crate::report::{DefectFinding, EcuReport, FamilyReport, FleetReport, LatencyStats};
+use crate::report::{
+    DefectFinding, EcuReport, FamilyReport, FleetReport, LatencyStats, RankCdfPoint,
+    RobustnessReport,
+};
 use crate::shutoff::ShutoffModel;
 use crate::vehicle::{simulate_vehicle, SimContext, Upload};
 
@@ -188,6 +192,11 @@ pub(crate) struct FleetTotals {
     pub windows_used: u64,
     pub bist_time_s: f64,
     pub seeded: BTreeMap<ResourceId, u32>,
+    /// Malformed upload frames the ingest boundary rejected (typed
+    /// [`FleetError::MalformedUpload`], counted never folded). Always `0`
+    /// on the one-shot pipeline — only a gateway fed untrusted arrivals
+    /// can see rejects.
+    pub rejected_uploads: u64,
 }
 
 /// Everything the k-way merge produces: the globally ordered upload
@@ -197,10 +206,11 @@ struct MergedFleet {
     totals: FleetTotals,
 }
 
-/// The diagnosis key in a heterogeneous fleet: fault indices are only
-/// unique *within* a CUT family's model, so every dictionary lookup is
-/// keyed by `(family, index)`. `Ord` (family first) keeps the sharded
-/// diagnosis merge and the gateway's cache deterministic.
+/// The fault half of a diagnosis key in a heterogeneous fleet: fault
+/// indices are only unique *within* a CUT family's model, so every
+/// dictionary lookup is keyed by `(family, index)`. `Ord` (family first)
+/// keeps the sharded diagnosis merge and the gateway's cache
+/// deterministic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) struct FaultKey {
     pub family: CutFamily,
@@ -216,18 +226,52 @@ impl FaultKey {
     }
 }
 
-/// Cached diagnosis of one fault key against its family's dictionary.
-/// Pure per fault (every vehicle carries the same CUT models), which is
-/// what lets the gateway cache entries across snapshots.
+/// The full diagnosis key: which fault, and what the channel did to its
+/// payload in transit. Two uploads of the same fault over the same
+/// impairment see the identical observed payload (the fleet shares one
+/// CUT), so diagnosis stays pure per key — the caching argument of the
+/// old fault-only key, extended by the small discrete impairment space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct DiagKey {
+    pub fault: FaultKey,
+    pub impairment: Impairment,
+}
+
+impl DiagKey {
+    pub(crate) fn of(u: &Upload) -> Self {
+        DiagKey {
+            fault: FaultKey::of(u),
+            impairment: u.impairment,
+        }
+    }
+
+    /// The same fault seen over a clean channel — the baseline the
+    /// robustness axis measures localization degradation against.
+    pub(crate) fn clean_twin(self) -> Self {
+        DiagKey {
+            fault: self.fault,
+            impairment: Impairment::NONE,
+        }
+    }
+}
+
+/// Cached diagnosis of one `(fault, impairment)` key against its family's
+/// dictionary. Pure per key (every vehicle carries the same CUT models
+/// and the impairment transform is deterministic), which is what lets the
+/// gateway cache entries across snapshots.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct DiagEntry {
     pub candidates: usize,
     pub rank: usize,
     pub localized: bool,
     /// Whether this fault's fail data overflowed the bounded fail memory
-    /// ([`eea_bist::FailData::is_truncated`]) — diagnosis ran on a
-    /// clamped prefix of the failing windows.
+    /// ([`eea_bist::FailData::is_truncated`]) — an on-chip fact of the
+    /// *original* payload, independent of any channel impairment, so the
+    /// snapshot's `truncated_uploads` counter is channel-invariant.
     pub truncated: bool,
+    /// Whether the key's channel byte cap actually clipped entries off
+    /// this fault's payload (always `false` for an unimpaired key).
+    pub cap_truncated: bool,
 }
 
 /// A validated, ready-to-run campaign over a CUT model and a blueprint
@@ -302,6 +346,11 @@ impl<'a> Campaign<'a> {
         }
         if !blueprints.iter().any(VehicleBlueprint::is_campaign_capable) {
             return Err(FleetError::NoDiagnosableBlueprint);
+        }
+        // Degenerate channel knobs surface at construction, never
+        // mid-simulation — the same policy as schedules and transports.
+        for b in blueprints {
+            b.channel.validate()?;
         }
         if sram.is_none()
             && blueprints.iter().any(|b| {
@@ -430,6 +479,7 @@ impl<'a> Campaign<'a> {
             self.config.shutoff,
             self.config.defect_fraction,
             self.config.horizon_s,
+            self.config.seed,
         );
         if threads == 1 {
             for i in 0..self.config.vehicles {
@@ -460,7 +510,8 @@ impl<'a> Campaign<'a> {
                             // saturate rather than wrap if that invariant
                             // is ever broken.
                             let vlo = u32::try_from(b * SIM_BLOCK).unwrap_or(u32::MAX);
-                            let vhi = u32::try_from(((b + 1) * SIM_BLOCK).min(n)).unwrap_or(u32::MAX);
+                            let vhi =
+                                u32::try_from(((b + 1) * SIM_BLOCK).min(n)).unwrap_or(u32::MAX);
                             for i in vlo..vhi {
                                 let o = simulate_vehicle(i, ctx, vehicle_seed(this.config.seed, i));
                                 batch.push(VehicleArrival::from_outcome(&o));
@@ -502,6 +553,7 @@ impl<'a> Campaign<'a> {
                 self.config.shutoff,
                 self.config.defect_fraction,
                 self.config.horizon_s,
+                self.config.seed,
             ),
             seed: self.config.seed,
             next: 0,
@@ -528,6 +580,7 @@ impl<'a> Campaign<'a> {
             self.config.shutoff,
             self.config.defect_fraction,
             self.config.horizon_s,
+            self.config.seed,
         );
         if threads == 1 {
             return FleetShards {
@@ -601,7 +654,12 @@ impl<'a> Campaign<'a> {
     /// accumulator. BIST time is folded per block so the floating-point
     /// reduction tree does not depend on how blocks are distributed over
     /// workers.
-    fn fold_blocks(&self, ctx: &SimContext<'_>, block_lo: usize, block_hi: usize) -> ShardAccumulator {
+    fn fold_blocks(
+        &self,
+        ctx: &SimContext<'_>,
+        block_lo: usize,
+        block_hi: usize,
+    ) -> ShardAccumulator {
         let n = self.config.vehicles as usize;
         let mut acc = ShardAccumulator::default();
         acc.block_bist_s.reserve(block_hi - block_lo);
@@ -634,18 +692,21 @@ impl<'a> Campaign<'a> {
         acc
     }
 
-    /// Diagnoses every distinct uploaded fault key against its family's
-    /// dictionary, sharded over disjoint contiguous key ranges. Sound
-    /// because the lookup is pure (the same CUT models fleet-wide: two
-    /// uploads of one fault produce identical fail data), and
-    /// deterministic because the merge is keyed by `(family, index)`.
-    fn diagnosis_table(&self, uploads: &[Upload]) -> BTreeMap<FaultKey, DiagEntry> {
-        let distinct: Vec<FaultKey> = uploads
-            .iter()
-            .map(FaultKey::of)
-            .collect::<BTreeSet<FaultKey>>()
-            .into_iter()
-            .collect();
+    /// Diagnoses every distinct uploaded diagnosis key against its
+    /// family's dictionary, sharded over disjoint contiguous key ranges.
+    /// Sound because the lookup is pure (the same CUT models fleet-wide:
+    /// two uploads of one key see identical observed payloads), and
+    /// deterministic because the merge is keyed by `(fault, impairment)`.
+    /// Every impaired key also diagnoses its clean twin, so the fold can
+    /// price localization degradation against the clean-channel baseline.
+    fn diagnosis_table(&self, uploads: &[Upload]) -> BTreeMap<DiagKey, DiagEntry> {
+        let mut set = BTreeSet::new();
+        for u in uploads {
+            let key = DiagKey::of(u);
+            set.insert(key);
+            set.insert(key.clean_twin());
+        }
+        let distinct: Vec<DiagKey> = set.into_iter().collect();
         diagnose_faults(self.cut, self.sram, &distinct, self.resolve_shards())
             .into_iter()
             .collect()
@@ -682,26 +743,28 @@ impl Iterator for Arrivals<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let left = (self.vehicles - self.next) as usize;
+        // Checked, not `as`: u32 → usize only narrows on exotic 16-bit
+        // targets, but the cast sweep leaves no silent truncation behind.
+        let left = usize::try_from(self.vehicles - self.next).unwrap_or(usize::MAX);
         (left, Some(left))
     }
 }
 
 impl ExactSizeIterator for Arrivals<'_> {}
 
-/// Diagnoses the given distinct fault keys against their family's
+/// Diagnoses the given distinct diagnosis keys against their family's
 /// dictionary, sharded over disjoint contiguous ranges of the input.
 /// Sound because the lookup is pure (the same CUT models fleet-wide: two
-/// uploads of one fault produce identical fail data), and deterministic
-/// because the output is keyed by `(family, index)` — callers merge into
-/// a `BTreeMap`. Shared by [`Campaign::aggregate`] and the gateway's
+/// uploads of one key see identical observed payloads), and deterministic
+/// because the output is keyed by `(fault, impairment)` — callers merge
+/// into a `BTreeMap`. Shared by [`Campaign::aggregate`] and the gateway's
 /// snapshot stage.
 pub(crate) fn diagnose_faults(
     cut: &CutModel,
     sram: Option<&MarchTest>,
-    distinct: &[FaultKey],
+    distinct: &[DiagKey],
     shards: usize,
-) -> Vec<(FaultKey, DiagEntry)> {
+) -> Vec<(DiagKey, DiagEntry)> {
     if distinct.is_empty() {
         return Vec::new();
     }
@@ -733,25 +796,50 @@ pub(crate) fn diagnose_faults(
     table
 }
 
-fn diagnose_fault(cut: &CutModel, sram: Option<&MarchTest>, key: FaultKey) -> DiagEntry {
-    match key.family {
+/// The payload diagnosis actually sees for `fail` under `imp`: the
+/// original fail memory for an unimpaired key (zero-copy — the clean
+/// path is byte-for-byte the historical one), else the channel cap and
+/// content transform applied in transfer order (truncate what did not
+/// fit, then lose/corrupt one entry of what arrived).
+fn observed_payload(fail: &FailData, imp: Impairment) -> Option<FailData> {
+    if imp.is_none() {
+        return None;
+    }
+    let capped = fail.truncated_to(u64::from(imp.cap_entries) * FAIL_ENTRY_BYTES);
+    Some(match imp.kind {
+        ImpairmentKind::Intact => capped,
+        ImpairmentKind::WindowLost { slot } => capped.without_window_slot(usize::from(slot)),
+        ImpairmentKind::CorruptedSyndrome { salt } => capped.with_corrupted_window(salt),
+    })
+}
+
+fn diagnose_fault(cut: &CutModel, sram: Option<&MarchTest>, key: DiagKey) -> DiagEntry {
+    let imp = key.impairment;
+    let index = key.fault.index;
+    match key.fault.family {
         CutFamily::Logic => {
-            let fail = cut.fail_data(key.index);
+            let fail = cut.fail_data(index);
+            let observed = observed_payload(fail, imp);
+            let seen = observed.as_ref().unwrap_or(fail);
             DiagEntry {
-                candidates: cut.diagnose(fail).len(),
-                rank: cut.true_fault_rank(key.index).unwrap_or(0),
-                localized: cut.localizes(key.index),
+                candidates: cut.diagnose(seen).len(),
+                rank: cut.true_fault_rank_observed(index, seen).unwrap_or(0),
+                localized: cut.localizes_observed(index, seen),
                 truncated: fail.is_truncated(),
+                cap_truncated: usize::from(imp.cap_entries) < fail.entries().len(),
             }
         }
         CutFamily::Sram => match sram {
             Some(m) => {
-                let fail = m.fail_data(key.index);
+                let fail = m.fail_data(index);
+                let observed = observed_payload(fail, imp);
+                let seen = observed.as_ref().unwrap_or(fail);
                 DiagEntry {
-                    candidates: m.diagnose(fail).len(),
-                    rank: m.true_fault_rank(key.index).unwrap_or(0),
-                    localized: m.localizes(key.index),
+                    candidates: m.diagnose(seen).len(),
+                    rank: m.true_fault_rank_observed(index, seen).unwrap_or(0),
+                    localized: m.localizes_observed(index, seen),
                     truncated: fail.is_truncated(),
+                    cap_truncated: usize::from(imp.cap_entries) < fail.entries().len(),
                 }
             }
             // Unreachable for a validated campaign (`MissingSramModel`
@@ -761,6 +849,7 @@ fn diagnose_fault(cut: &CutModel, sram: Option<&MarchTest>, key: FaultKey) -> Di
                 rank: 0,
                 localized: false,
                 truncated: false,
+                cap_truncated: false,
             },
         },
     }
@@ -778,7 +867,7 @@ pub(crate) fn fold_report(
     horizon_s: f64,
     uploads: &[Upload],
     totals: &FleetTotals,
-    table: &BTreeMap<FaultKey, DiagEntry>,
+    table: &BTreeMap<DiagKey, DiagEntry>,
 ) -> FleetReport {
     // The per-family split only materializes for heterogeneous fleets:
     // pure-logic campaigns leave `per_family` empty so the report (and
@@ -786,11 +875,22 @@ pub(crate) fn fold_report(
     let mixed = uploads.iter().any(|u| u.family != CutFamily::Logic);
     let mut fam_map: BTreeMap<CutFamily, FamilyAcc> = BTreeMap::new();
     let mut findings = Vec::with_capacity(uploads.len());
+    // Robustness-axis accumulators: only impaired uploads (plus ingest
+    // rejects) populate them, so a clean campaign reports `None` and its
+    // frozen `Debug` digest is untouched.
+    let mut rob = RobustnessAcc::default();
     for (k, up) in uploads.iter().enumerate() {
-        // The table covers every uploaded fault key by construction.
-        let Some(e) = table.get(&FaultKey::of(up)) else {
+        // The table covers every uploaded diagnosis key by construction.
+        let Some(e) = table.get(&DiagKey::of(up)) else {
             continue;
         };
+        rob.retransmitted_frames += u64::from(up.retransmitted_frames);
+        // Uploads are globally time-sorted, so this f64 left-fold has a
+        // fixed order at any thread/shard count.
+        rob.retransmit_overhead_s += up.retransmit_s;
+        if !up.impairment.is_none() {
+            rob.fold_impaired(up, e, table.get(&DiagKey::of(up).clean_twin()));
+        }
         if mixed {
             let acc = fam_map.entry(up.family).or_default();
             acc.detected += 1;
@@ -804,19 +904,21 @@ pub(crate) fn fold_report(
             ecu: up.ecu,
             fault_index: up.fault_index,
             detected_at_s: up.time_s,
-            // usize → u64 is lossless on every supported target; the
-            // widened field means no batch ordinal can wrap (the old
-            // `as u32` wrapped silently past ~4.29G ordinals).
-            batch: (k / batch_size) as u64,
+            // Checked, not `as`: the widened u64 field means no batch
+            // ordinal can wrap (the old `as u32` wrapped silently past
+            // ~4.29G ordinals), and `try_from` keeps even a hypothetical
+            // 128-bit-usize target honest by saturating.
+            batch: u64::try_from(k / batch_size).unwrap_or(u64::MAX),
             candidates: e.candidates,
             true_fault_rank: e.rank,
             localized: e.localized,
         });
     }
-    let batches = uploads.len().div_ceil(batch_size) as u64;
+    let batches = u64::try_from(uploads.len().div_ceil(batch_size)).unwrap_or(u64::MAX);
 
-    let detected = findings.len() as u64;
-    let localized = findings.iter().filter(|f| f.localized).count() as u64;
+    let detected = u64::try_from(findings.len()).unwrap_or(u64::MAX);
+    let localized =
+        u64::try_from(findings.iter().filter(|f| f.localized).count()).unwrap_or(u64::MAX);
 
     let latencies: Vec<f64> = findings.iter().map(|f| f.detected_at_s).collect();
     let latency = LatencyStats::from_sorted(&latencies);
@@ -884,6 +986,8 @@ pub(crate) fn fold_report(
         })
         .collect();
 
+    let robustness = rob.into_report(totals.rejected_uploads);
+
     FleetReport {
         vehicles,
         defective: totals.defective,
@@ -898,6 +1002,7 @@ pub(crate) fn fold_report(
         per_ecu,
         findings,
         per_family,
+        robustness,
     }
 }
 
@@ -906,6 +1011,91 @@ struct FamilyAcc {
     detected: u64,
     localized: u64,
     latencies: Vec<f64>,
+}
+
+/// Candidate-rank bounds of the robustness block's localization CDF —
+/// powers of two up to the "diagnosis is hopeless past here" tail.
+const RANK_CDF_BOUNDS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Accumulator behind [`RobustnessReport`]. Folded in global upload
+/// order (the one f64 sum included), so every field is bit-identical at
+/// any thread and shard count.
+#[derive(Default)]
+struct RobustnessAcc {
+    retransmitted_frames: u64,
+    retransmit_overhead_s: f64,
+    impaired_uploads: u64,
+    window_lost_uploads: u64,
+    corrupted_uploads: u64,
+    cap_truncated_uploads: u64,
+    rank_degraded: u64,
+    rank_improved: u64,
+    delocalized: u64,
+    impaired_le: [u64; RANK_CDF_BOUNDS.len()],
+    clean_le: [u64; RANK_CDF_BOUNDS.len()],
+}
+
+impl RobustnessAcc {
+    /// Folds one impaired upload, pricing its localization against the
+    /// clean-twin baseline entry.
+    fn fold_impaired(&mut self, up: &Upload, e: &DiagEntry, clean: Option<&DiagEntry>) {
+        self.impaired_uploads += 1;
+        match up.impairment.kind {
+            ImpairmentKind::Intact => {}
+            ImpairmentKind::WindowLost { .. } => self.window_lost_uploads += 1,
+            ImpairmentKind::CorruptedSyndrome { .. } => self.corrupted_uploads += 1,
+        }
+        self.cap_truncated_uploads += u64::from(e.cap_truncated);
+        // The clean twin is always in the table (`diagnosis_table`
+        // inserts it alongside every key); degrade to zeros if that
+        // invariant is ever broken, never panic.
+        let Some(c) = clean else { return };
+        // Rank 0 encodes "true fault not even a candidate" — strictly
+        // worse than any positive rank.
+        if c.rank > 0 && (e.rank == 0 || e.rank > c.rank) {
+            self.rank_degraded += 1;
+        }
+        if e.rank > 0 && (c.rank == 0 || e.rank < c.rank) {
+            self.rank_improved += 1;
+        }
+        if c.localized && !e.localized {
+            self.delocalized += 1;
+        }
+        for (slot, &bound) in RANK_CDF_BOUNDS.iter().enumerate() {
+            self.impaired_le[slot] += u64::from(e.rank > 0 && e.rank <= bound);
+            self.clean_le[slot] += u64::from(c.rank > 0 && c.rank <= bound);
+        }
+    }
+
+    /// The report block, or `None` when the campaign saw no channel
+    /// effects at all — a clean campaign's report (and frozen `Debug`
+    /// digest) carries no robustness axis.
+    fn into_report(self, rejected_uploads: u64) -> Option<RobustnessReport> {
+        if self.impaired_uploads == 0 && self.retransmitted_frames == 0 && rejected_uploads == 0 {
+            return None;
+        }
+        Some(RobustnessReport {
+            impaired_uploads: self.impaired_uploads,
+            retransmitted_frames: self.retransmitted_frames,
+            retransmit_overhead_s: self.retransmit_overhead_s,
+            window_lost_uploads: self.window_lost_uploads,
+            corrupted_uploads: self.corrupted_uploads,
+            cap_truncated_uploads: self.cap_truncated_uploads,
+            rejected_uploads,
+            rank_degraded: self.rank_degraded,
+            rank_improved: self.rank_improved,
+            delocalized: self.delocalized,
+            rank_cdf: RANK_CDF_BOUNDS
+                .iter()
+                .zip(self.impaired_le.iter().zip(self.clean_le.iter()))
+                .map(|(&bound, (&impaired_le, &clean_le))| RankCdfPoint {
+                    bound,
+                    impaired_le,
+                    clean_le,
+                })
+                .collect(),
+        })
+    }
 }
 
 /// Merges shard accumulators: a deterministic k-way merge of the
@@ -993,6 +1183,7 @@ mod tests {
             }],
             shutoff_budget_s: 2_000.0,
             transport: eea_can::TransportKind::MirroredCan,
+            channel: eea_can::ChannelConfig::Clean,
             task_set: None,
         }
     }
@@ -1050,6 +1241,80 @@ mod tests {
         assert!((last.1 - 1.0).abs() < 1e-12);
         assert_eq!(report.per_ecu.len(), 1);
         assert_eq!(report.per_ecu[0].seeded, report.defective);
+        assert!(
+            report.robustness.is_none(),
+            "clean-channel campaign reports no robustness axis"
+        );
+    }
+
+    #[test]
+    fn window_lost_then_retransmitted_sessions_diagnose() {
+        // Sessions whose upload both lost a fail-memory window in transit
+        // *and* had frames retransmitted — the satellite boundary case —
+        // must flow through the diagnosis path as degraded entries, never
+        // as errors or drops.
+        let cut = small_cut();
+        let mut noisy = capable_blueprint();
+        noisy.channel = eea_can::ChannelConfig::Noisy(eea_can::NoisyChannel {
+            frame_error_rate: 0.3,
+            corruption_rate: 0.0,
+            window_loss_rate: 0.5,
+            truncation_cap_bytes: u64::MAX,
+            seed: 3,
+        });
+        let bp = [noisy];
+        let cfg = CampaignConfig {
+            vehicles: 200,
+            defect_fraction: 1.0,
+            horizon_s: 14.0 * 86_400.0,
+            seed: 11,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::new(&cut, &bp, cfg.clone()).expect("valid");
+        let uploads: Vec<Upload> = campaign.arrivals().filter_map(|a| a.upload).collect();
+        let lost_and_resent = uploads
+            .iter()
+            .filter(|u| {
+                matches!(u.impairment.kind, ImpairmentKind::WindowLost { .. })
+                    && u.retransmitted_frames > 0
+            })
+            .count();
+        assert!(
+            lost_and_resent > 0,
+            "aggressive rates must produce window-lost uploads on retransmitting sessions"
+        );
+        let window_lost = uploads
+            .iter()
+            .filter(|u| matches!(u.impairment.kind, ImpairmentKind::WindowLost { .. }))
+            .count();
+
+        let report = Campaign::new(&cut, &bp, cfg).expect("valid").run();
+        assert_eq!(
+            report.detected,
+            u64::from(report.defective),
+            "partial fail memories degrade ranks, they never drop detections"
+        );
+        let rob = report
+            .robustness
+            .expect("impaired campaign reports the robustness axis");
+        assert_eq!(
+            rob.window_lost_uploads,
+            u64::try_from(window_lost).expect("fits"),
+            "every window-lost upload is accounted"
+        );
+        assert!(rob.retransmitted_frames > 0, "30 % frame errors retransmit");
+        assert!(rob.retransmit_overhead_s > 0.0, "retransmissions cost time");
+        assert_eq!(rob.corrupted_uploads, 0, "corruption disabled");
+        assert_eq!(rob.rejected_uploads, 0, "simulated frames are well-formed");
+        for point in &rob.rank_cdf {
+            assert!(point.impaired_le <= rob.impaired_uploads);
+            assert!(
+                point.impaired_le <= point.clean_le,
+                "losing a window never sharpens rank at bound {}",
+                point.bound
+            );
+        }
     }
 
     #[test]
@@ -1169,7 +1434,8 @@ mod tests {
 
         let mut svc = campaign.gateway().expect("provision");
         for arrival in campaign.arrivals() {
-            svc.accept(arrival).expect("trusted path drains, never sheds");
+            svc.accept(arrival)
+                .expect("trusted path drains, never sheds");
         }
         let snap = svc.snapshot_at(campaign.config().horizon_s);
         assert_eq!(snap.report, run, "manual ingest == run()");

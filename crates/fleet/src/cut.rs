@@ -99,7 +99,9 @@ impl CutModel {
         let golden = run.into_golden();
 
         let universe = FaultUniverse::collapsed(&circuit);
-        let faults: Vec<Fault> = (0..universe.num_faults()).map(|i| universe.fault(i)).collect();
+        let faults: Vec<Fault> = (0..universe.num_faults())
+            .map(|i| universe.fault(i))
+            .collect();
         let mut fail_table = Vec::with_capacity(faults.len());
         let mut detectable = Vec::new();
         for (i, &fault) in faults.iter().enumerate() {
@@ -209,7 +211,19 @@ impl CutModel {
     ///
     /// Panics if `i` is out of range (caller bug, not data-reachable).
     pub fn localizes(&self, i: u32) -> bool {
-        let observed = &self.fail_table[i as usize];
+        self.localizes_observed(i, &self.fail_table[i as usize])
+    }
+
+    /// [`localizes`](Self::localizes) against an explicit observed
+    /// payload — the partial-fail-memory hook: the payload may be a
+    /// truncated, window-lost or corrupted variant of fault `i`'s fail
+    /// data, and diagnosis ranks from whatever survived instead of
+    /// erroring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn localizes_observed(&self, i: u32, observed: &FailData) -> bool {
         let candidates = self.diagnoser.diagnose(observed);
         let Some(top) = candidates.first() else {
             return false;
@@ -228,7 +242,18 @@ impl CutModel {
     ///
     /// Panics if `i` is out of range (caller bug, not data-reachable).
     pub fn true_fault_rank(&self, i: u32) -> Option<usize> {
-        let candidates = self.diagnoser.diagnose(&self.fail_table[i as usize]);
+        self.true_fault_rank_observed(i, &self.fail_table[i as usize])
+    }
+
+    /// [`true_fault_rank`](Self::true_fault_rank) against an explicit
+    /// observed payload — how far localization degrades when diagnosis
+    /// sees a partial or corrupted fail memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn true_fault_rank_observed(&self, i: u32, observed: &FailData) -> Option<usize> {
+        let candidates = self.diagnoser.diagnose(observed);
         let fault = self.faults[i as usize];
         let pos = candidates.iter().position(|c| c.fault == fault)?;
         let score = candidates[pos].score;

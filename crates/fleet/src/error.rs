@@ -5,7 +5,7 @@
 use std::error::Error;
 use std::fmt;
 
-use eea_can::{MirrorError, TransportError};
+use eea_can::{ChannelError, MirrorError, TransportError};
 use eea_dse::EeaError;
 use eea_netlist::{ScanError, SynthError};
 use eea_sched::SchedError;
@@ -45,6 +45,20 @@ pub enum FleetError {
         /// The provisioned fleet size (valid indices are `0..fleet`).
         fleet: u32,
     },
+    /// An arrival carried a structurally malformed upload frame (the
+    /// field-level taxonomy is in [`MalformedKind`]). Rejected with this
+    /// typed error and counted in the gateway's `malformed` counter —
+    /// never folded, never panicking, never silently shed.
+    MalformedUpload {
+        /// The vehicle index the arrival claimed.
+        vehicle: u32,
+        /// Which structural check the frame failed.
+        kind: MalformedKind,
+    },
+    /// A blueprint's channel-impairment configuration is degenerate
+    /// (rate outside `[0, 1)` or a zero truncation cap) — surfaced at
+    /// campaign construction, never mid-simulation.
+    Channel(ChannelError),
     /// No blueprint of the exploration front carries a diagnosable BIST
     /// session (finite transfer time and non-zero upload bandwidth), so no
     /// vehicle could ever produce fail data.
@@ -94,6 +108,10 @@ impl fmt::Display for FleetError {
             FleetError::UnknownVehicle { vehicle, fleet } => {
                 write!(f, "arrival from unknown vehicle {vehicle} (fleet size {fleet})")
             }
+            FleetError::MalformedUpload { vehicle, kind } => {
+                write!(f, "malformed upload frame from vehicle {vehicle}: {kind}")
+            }
+            FleetError::Channel(e) => write!(f, "blueprint channel: {e}"),
             FleetError::NoDiagnosableBlueprint => write!(
                 f,
                 "no blueprint carries a diagnosable BIST session (finite transfer, non-zero upload bandwidth)"
@@ -122,6 +140,7 @@ impl Error for FleetError {
             FleetError::Mirror(e) => Some(e),
             FleetError::Transport(e) => Some(e),
             FleetError::Sched(e) => Some(e),
+            FleetError::Channel(e) => Some(e),
             _ => None,
         }
     }
@@ -157,6 +176,59 @@ impl From<SchedError> for FleetError {
     }
 }
 
+impl From<ChannelError> for FleetError {
+    fn from(e: ChannelError) -> Self {
+        FleetError::Channel(e)
+    }
+}
+
+/// The ways an upload frame can be structurally malformed — the typed
+/// taxonomy behind [`FleetError::MalformedUpload`]. Each variant names
+/// one field-level invariant the gateway checks before folding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MalformedKind {
+    /// The accumulated BIST time is not a finite non-negative duration.
+    NonFiniteBistTime,
+    /// The embedded upload names a different vehicle than the arrival —
+    /// a spliced or replayed frame.
+    VehicleMismatch,
+    /// The upload timestamp is not a finite non-negative instant.
+    NonFiniteUploadTime,
+    /// The claimed fail-data payload exceeds the on-chip fail-memory
+    /// bound ([`eea_bist::FAIL_DATA_BYTES`]) — no real session produces
+    /// it.
+    OversizedFailData,
+    /// The retransmission accounting is inconsistent (negative or
+    /// non-finite overhead).
+    NegativeRetransmit,
+    /// The claimed fault index is outside the diagnosis dictionary of the
+    /// upload's CUT family — diagnosing it would index past the model.
+    UnknownFault,
+}
+
+impl fmt::Display for MalformedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MalformedKind::NonFiniteBistTime => write!(f, "non-finite or negative BIST time"),
+            MalformedKind::VehicleMismatch => {
+                write!(f, "embedded upload names a different vehicle")
+            }
+            MalformedKind::NonFiniteUploadTime => {
+                write!(f, "non-finite or negative upload timestamp")
+            }
+            MalformedKind::OversizedFailData => {
+                write!(f, "fail-data payload exceeds the fail-memory bound")
+            }
+            MalformedKind::NegativeRetransmit => {
+                write!(f, "negative or non-finite retransmission overhead")
+            }
+            MalformedKind::UnknownFault => {
+                write!(f, "fault index outside the family's diagnosis dictionary")
+            }
+        }
+    }
+}
+
 /// Convergence into the workspace-wide taxonomy: the dependency direction
 /// (`eea-fleet` builds *on* `eea-dse`) keeps the concrete type out of
 /// [`EeaError`], so the conversion renders the message into the dedicated
@@ -185,10 +257,15 @@ mod tests {
         let e = FleetError::Overloaded { capacity: 64 };
         assert!(e.to_string().contains("64 pending"));
         assert!(e.source().is_none());
-        let e = FleetError::UnknownVehicle { vehicle: 9, fleet: 4 };
+        let e = FleetError::UnknownVehicle {
+            vehicle: 9,
+            fleet: 4,
+        };
         assert!(e.to_string().contains("vehicle 9"));
         assert!(e.to_string().contains("fleet size 4"));
-        assert!(FleetError::ZeroQueueCapacity.to_string().contains("queue capacity"));
+        assert!(FleetError::ZeroQueueCapacity
+            .to_string()
+            .contains("queue capacity"));
     }
 
     #[test]
@@ -202,6 +279,32 @@ mod tests {
             .to_string()
             .contains("March-test"));
         assert!(FleetError::MissingSramModel.source().is_none());
+    }
+
+    #[test]
+    fn malformed_and_channel_variants_render() {
+        let e = FleetError::MalformedUpload {
+            vehicle: 17,
+            kind: MalformedKind::VehicleMismatch,
+        };
+        assert!(e.to_string().contains("vehicle 17"));
+        assert!(e.to_string().contains("different vehicle"));
+        assert!(e.source().is_none());
+        for kind in [
+            MalformedKind::NonFiniteBistTime,
+            MalformedKind::VehicleMismatch,
+            MalformedKind::NonFiniteUploadTime,
+            MalformedKind::OversizedFailData,
+            MalformedKind::NegativeRetransmit,
+            MalformedKind::UnknownFault,
+        ] {
+            assert!(!kind.to_string().is_empty());
+        }
+        let e = FleetError::Channel(ChannelError::ZeroTruncationCap);
+        assert!(e.to_string().contains("channel"));
+        assert!(e.source().is_some());
+        let e: FleetError = ChannelError::ZeroTruncationCap.into();
+        assert!(matches!(e, FleetError::Channel(_)));
     }
 
     #[test]

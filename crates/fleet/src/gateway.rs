@@ -54,16 +54,16 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use eea_bist::MarchTest;
+use eea_bist::{CutFamily, MarchTest, FAIL_DATA_BYTES};
 use eea_faultsim::resolve_threads;
 use eea_model::ResourceId;
 
 use crate::campaign::{
-    diagnose_faults, fold_report, upload_order, DiagEntry, FaultKey, FleetTotals, StageTimings,
+    diagnose_faults, fold_report, upload_order, DiagEntry, DiagKey, FleetTotals, StageTimings,
     SIM_BLOCK,
 };
 use crate::cut::CutModel;
-use crate::error::FleetError;
+use crate::error::{FleetError, MalformedKind};
 use crate::report::FleetReport;
 use crate::vehicle::{Upload, VehicleOutcome};
 
@@ -161,6 +161,10 @@ pub struct GatewaySnapshot {
     pub shed: u64,
     /// Duplicate arrivals dropped by the ledger (a vehicle reported twice).
     pub duplicates: u64,
+    /// Structurally malformed upload frames rejected at ingest
+    /// ([`FleetError::MalformedUpload`]) — also surfaced as
+    /// `rejected_uploads` in the report's robustness block.
+    pub malformed: u64,
     /// Uploads in this snapshot's report whose fail data overflowed the
     /// bounded fail memory ([`eea_bist::FAIL_DATA_BYTES`]) — their
     /// diagnosis ran on a clamped window prefix.
@@ -198,14 +202,18 @@ pub struct GatewayService<'a> {
     block_masks: Vec<u64>,
     /// Slot buffers of blocks still missing vehicles; freed on completion.
     open_blocks: Vec<Option<Box<[f64; SIM_BLOCK]>>>,
-    /// Pure per-fault diagnosis results, cached across snapshots and
-    /// keyed by `(family, index)` — fault indices are only unique within
-    /// their CUT family.
-    diag_cache: BTreeMap<FaultKey, DiagEntry>,
+    /// Pure per-key diagnosis results, cached across snapshots and keyed
+    /// by `(fault, impairment)` — fault indices are only unique within
+    /// their CUT family, and the channel impairment changes the observed
+    /// payload (every impaired key is cached alongside its clean twin).
+    diag_cache: BTreeMap<DiagKey, DiagEntry>,
     ingested: u64,
     uploads_ingested: u64,
     shed: u64,
     duplicates: u64,
+    /// Structurally malformed upload frames rejected at the ingest
+    /// boundary ([`FleetError::MalformedUpload`]).
+    malformed: u64,
 }
 
 impl<'a> GatewayService<'a> {
@@ -271,6 +279,7 @@ impl<'a> GatewayService<'a> {
             uploads_ingested: 0,
             shed: 0,
             duplicates: 0,
+            malformed: 0,
             config,
         })
     }
@@ -300,15 +309,24 @@ impl<'a> GatewayService<'a> {
         self.ingested
     }
 
+    /// Malformed upload frames rejected at the ingest boundary so far.
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
     /// Enqueues one arrival. The queue is the abuse-tolerant service
     /// boundary: full queue → typed shed, out-of-range vehicle → typed
-    /// rejection. Folding happens at the next [`drain`](Self::drain) (or
-    /// snapshot, which drains first).
+    /// rejection, structurally malformed frame → typed rejection, counted
+    /// in [`malformed`](Self::malformed). Folding happens at the next
+    /// [`drain`](Self::drain) (or snapshot, which drains first).
     ///
     /// # Errors
     ///
     /// * [`FleetError::UnknownVehicle`] — `arrival.vehicle` is outside
     ///   the provisioned fleet; not counted as shed.
+    /// * [`FleetError::MalformedUpload`] — the frame fails a structural
+    ///   check ([`MalformedKind`]); counted in the snapshot's `malformed`
+    ///   field and the report's robustness block, never folded.
     /// * [`FleetError::Overloaded`] — the queue is at capacity; counted
     ///   in [`shed`](Self::shed) and the snapshot's `shed` field.
     pub fn ingest(&mut self, arrival: VehicleArrival) -> Result<(), FleetError> {
@@ -316,6 +334,13 @@ impl<'a> GatewayService<'a> {
             return Err(FleetError::UnknownVehicle {
                 vehicle: arrival.vehicle,
                 fleet: self.config.vehicles,
+            });
+        }
+        if let Some(kind) = self.malformed_kind(&arrival) {
+            self.malformed += 1;
+            return Err(FleetError::MalformedUpload {
+                vehicle: arrival.vehicle,
+                kind,
             });
         }
         if self.queue.len() >= self.config.queue_capacity {
@@ -326,6 +351,46 @@ impl<'a> GatewayService<'a> {
         }
         self.queue.push(arrival);
         Ok(())
+    }
+
+    /// Structural validation of one in-range arrival: which
+    /// [`MalformedKind`] it exhibits, if any. Pure — counting and the
+    /// typed rejection happen in [`ingest`](Self::ingest). Simulated
+    /// arrivals always pass; only hand-built (or corrupted) frames can
+    /// fail.
+    fn malformed_kind(&self, a: &VehicleArrival) -> Option<MalformedKind> {
+        if !a.bist_time_s.is_finite() || a.bist_time_s < 0.0 {
+            return Some(MalformedKind::NonFiniteBistTime);
+        }
+        let Some(up) = &a.upload else {
+            return None;
+        };
+        if up.vehicle != a.vehicle {
+            return Some(MalformedKind::VehicleMismatch);
+        }
+        if !up.time_s.is_finite() || up.time_s < 0.0 {
+            return Some(MalformedKind::NonFiniteUploadTime);
+        }
+        if up.fail_bytes > FAIL_DATA_BYTES {
+            return Some(MalformedKind::OversizedFailData);
+        }
+        if !up.retransmit_s.is_finite() || up.retransmit_s < 0.0 {
+            return Some(MalformedKind::NegativeRetransmit);
+        }
+        // The diagnosis dictionaries index by fault number; an index past
+        // the family's model would panic in the snapshot stage, so it is
+        // an ingest-boundary rejection. An SRAM upload without a wired
+        // March model diagnoses to a typed zero entry and needs no bound.
+        let faults = match up.family {
+            CutFamily::Logic => Some(self.cut.num_faults()),
+            CutFamily::Sram => self.sram.map(MarchTest::num_faults),
+        };
+        if let Some(n) = faults {
+            if usize::try_from(up.fault_index).map_or(true, |i| i >= n) {
+                return Some(MalformedKind::UnknownFault);
+            }
+        }
+        None
     }
 
     /// The trusted-producer path: like [`ingest`](Self::ingest), but a
@@ -466,10 +531,15 @@ impl<'a> GatewayService<'a> {
         let merge_s = t.elapsed().as_secs_f64();
 
         let t = Instant::now();
-        let missing: Vec<FaultKey> = {
-            let mut m: Vec<FaultKey> = uploads
+        let missing: Vec<DiagKey> = {
+            // Every impaired key drags its clean twin into the cache, so
+            // the fold can price localization against the clean baseline.
+            let mut m: Vec<DiagKey> = uploads
                 .iter()
-                .map(FaultKey::of)
+                .flat_map(|u| {
+                    let key = DiagKey::of(u);
+                    [key, key.clean_twin()]
+                })
                 .filter(|key| !self.diag_cache.contains_key(key))
                 .collect();
             m.sort_unstable();
@@ -488,15 +558,19 @@ impl<'a> GatewayService<'a> {
             windows_used: self.totals_windows,
             bist_time_s: self.bist_time_total(),
             seeded: self.seeded.clone(),
+            rejected_uploads: self.malformed,
         };
-        let truncated_uploads = uploads
-            .iter()
-            .filter(|u| {
-                self.diag_cache
-                    .get(&FaultKey::of(u))
-                    .is_some_and(|e| e.truncated)
-            })
-            .count() as u64;
+        let truncated_uploads = u64::try_from(
+            uploads
+                .iter()
+                .filter(|u| {
+                    self.diag_cache
+                        .get(&DiagKey::of(u))
+                        .is_some_and(|e| e.truncated)
+                })
+                .count(),
+        )
+        .unwrap_or(u64::MAX);
         let report = fold_report(
             self.config.vehicles,
             self.config.batch_size,
@@ -514,6 +588,7 @@ impl<'a> GatewayService<'a> {
                 uploads_ingested: self.uploads_ingested,
                 shed: self.shed,
                 duplicates: self.duplicates,
+                malformed: self.malformed,
                 truncated_uploads,
                 report,
             },
@@ -560,6 +635,7 @@ mod tests {
             }],
             shutoff_budget_s: 2_000.0,
             transport: eea_can::TransportKind::MirroredCan,
+            channel: eea_can::ChannelConfig::Clean,
             task_set: None,
         }
     }
@@ -672,6 +748,87 @@ mod tests {
         let snap = svc.snapshot_at(campaign.config().horizon_s);
         assert_eq!(snap.shed, 4);
         assert_eq!(snap.ingested, 8);
+    }
+
+    /// The ingest boundary rejects structurally malformed frames with a
+    /// typed error per field check, counts them, and surfaces the count
+    /// in both the snapshot and the report's robustness block.
+    #[test]
+    fn malformed_frames_are_rejected_typed_and_counted() {
+        let cut = small_cut();
+        let bp = [capable_blueprint()];
+        let campaign = small_campaign(&cut, &bp, 64, 17);
+        let mut svc = campaign.gateway().expect("provision");
+        let good = campaign
+            .arrivals()
+            .find(|a| a.upload.is_some())
+            .expect("defect fraction 0.3 of 64 produces uploads");
+        let mutate = |f: fn(&mut VehicleArrival)| {
+            let mut a = good;
+            f(&mut a);
+            a
+        };
+        let cases = [
+            (
+                mutate(|a| a.bist_time_s = f64::NAN),
+                MalformedKind::NonFiniteBistTime,
+            ),
+            (
+                mutate(|a| {
+                    if let Some(up) = &mut a.upload {
+                        up.vehicle = a.vehicle + 1;
+                    }
+                }),
+                MalformedKind::VehicleMismatch,
+            ),
+            (
+                mutate(|a| {
+                    if let Some(up) = &mut a.upload {
+                        up.time_s = -1.0;
+                    }
+                }),
+                MalformedKind::NonFiniteUploadTime,
+            ),
+            (
+                mutate(|a| {
+                    if let Some(up) = &mut a.upload {
+                        up.fail_bytes = FAIL_DATA_BYTES + 1;
+                    }
+                }),
+                MalformedKind::OversizedFailData,
+            ),
+            (
+                mutate(|a| {
+                    if let Some(up) = &mut a.upload {
+                        up.retransmit_s = -0.5;
+                    }
+                }),
+                MalformedKind::NegativeRetransmit,
+            ),
+        ];
+        for (frame, want) in cases {
+            assert_eq!(
+                svc.ingest(frame),
+                Err(FleetError::MalformedUpload {
+                    vehicle: frame.vehicle,
+                    kind: want,
+                })
+            );
+        }
+        assert_eq!(svc.malformed(), 5);
+        assert_eq!(svc.queue_len(), 0, "rejected frames are never queued");
+        assert_eq!(svc.shed(), 0, "rejection is not shedding");
+        svc.accept(good).expect("the pristine frame folds");
+        let snap = svc.snapshot_at(campaign.config().horizon_s);
+        assert_eq!(snap.malformed, 5);
+        assert_eq!(snap.ingested, 1);
+        let rob = snap
+            .report
+            .robustness
+            .expect("ingest rejects populate the robustness block");
+        assert_eq!(rob.rejected_uploads, 5);
+        assert_eq!(rob.impaired_uploads, 0);
+        assert_eq!(rob.retransmitted_frames, 0);
     }
 
     #[test]

@@ -89,15 +89,21 @@ pub use eea_sched::{
     FlatBudget, PeriodicTask, SchedError, SchedPlan, SporadicTask, TaskSchedule, TaskSetConfig,
     WindowSource,
 };
-// The transport axis is part of the blueprint surface; re-exported so
-// campaign drivers need not name `eea_can`.
-pub use eea_can::{TransportConfig, TransportError, TransportKind};
+// The transport and channel-impairment axes are part of the blueprint
+// surface; re-exported so campaign drivers need not name `eea_can`.
 pub use campaign::{Arrivals, Campaign, CampaignConfig, FleetShards, StageTimings};
 pub use cut::{CutConfig, CutModel};
-pub use error::FleetError;
+pub use eea_can::{
+    ChannelConfig, ChannelError, ChannelModel, Impairment, ImpairmentKind, NoisyChannel,
+    TransportConfig, TransportError, TransportKind,
+};
+pub use error::{FleetError, MalformedKind};
 pub use gateway::{
     GatewayConfig, GatewayService, GatewaySnapshot, VehicleArrival, DEFAULT_QUEUE_CAPACITY,
 };
-pub use report::{DefectFinding, EcuReport, FamilyReport, FleetReport, LatencyStats};
+pub use report::{
+    DefectFinding, EcuReport, FamilyReport, FleetReport, LatencyStats, RankCdfPoint,
+    RobustnessReport,
+};
 pub use shutoff::ShutoffModel;
 pub use vehicle::{DefectSeed, Upload, VehicleOutcome};

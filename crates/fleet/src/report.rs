@@ -64,7 +64,10 @@ impl LatencyStats {
         }
         let pick = |q: f64| sorted[(((n - 1) as f64) * q).round() as usize];
         LatencyStats {
-            count: n as u64,
+            // Checked, not `as`: usize → u64 is lossless on every
+            // supported target, and the cast sweep leaves no silent
+            // narrowing behind for hypothetical wider-usize ones.
+            count: u64::try_from(n).unwrap_or(u64::MAX),
             min_s: sorted[0],
             max_s: sorted[n - 1],
             mean_s: sorted.iter().sum::<f64>() / n as f64,
@@ -133,13 +136,64 @@ pub struct FamilyReport {
     pub latency: LatencyStats,
 }
 
+/// One point of the robustness block's localization-rank CDF: how many
+/// impaired uploads diagnosed their true fault within `bound` score
+/// classes, against the same uploads' clean-channel baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankCdfPoint {
+    /// Inclusive rank bound (1 = top score class).
+    pub bound: usize,
+    /// Impaired uploads whose observed-payload diagnosis ranked the true
+    /// fault within `bound` (rank 0 — true fault missing — never counts).
+    pub impaired_le: u64,
+    /// The same uploads' count under their clean-channel twin diagnosis.
+    pub clean_le: u64,
+}
+
+/// The robustness axis of a [`FleetReport`]: what the channel impairment
+/// layer did to the campaign's uploads and how much diagnosis quality it
+/// cost, priced against each impaired fault's clean-channel twin. Only
+/// present when the campaign actually saw channel effects (impairments,
+/// retransmissions, or ingest rejects) — a clean campaign's report is
+/// bit-identical to the pre-channel engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessReport {
+    /// Uploads whose fail data was impaired in transit (capped, window
+    /// lost, or corrupted).
+    pub impaired_uploads: u64,
+    /// Bus frames retransmitted after error frames, fleet-wide.
+    pub retransmitted_frames: u64,
+    /// Extra upload seconds those retransmissions cost, fleet-wide
+    /// (folded in global upload order — deterministic).
+    pub retransmit_overhead_s: f64,
+    /// Impaired uploads that lost one failing window in transit.
+    pub window_lost_uploads: u64,
+    /// Impaired uploads with one corrupted window/syndrome entry.
+    pub corrupted_uploads: u64,
+    /// Impaired uploads whose channel byte cap actually clipped entries.
+    pub cap_truncated_uploads: u64,
+    /// Malformed upload frames the gateway ingest boundary rejected.
+    pub rejected_uploads: u64,
+    /// Impaired uploads whose true-fault rank got strictly worse than
+    /// the clean baseline (a vanished true fault counts as worse).
+    pub rank_degraded: u64,
+    /// Impaired uploads whose rank got strictly better — possible when a
+    /// lost/corrupted window prunes a look-alike candidate.
+    pub rank_improved: u64,
+    /// Impaired uploads localized on the clean channel but not anymore.
+    pub delocalized: u64,
+    /// Localization-rank CDF at fixed bounds, impaired vs clean baseline.
+    pub rank_cdf: Vec<RankCdfPoint>,
+}
+
 /// The complete result of a fleet campaign.
 ///
 /// `Debug` is implemented manually: it renders exactly like the derived
 /// implementation for every pre-existing field and appends `per_family`
-/// only when it is non-empty. Pure-logic campaigns leave it empty, so
-/// their `Debug` output — and with it the frozen report digests — is
-/// byte-identical to the pre-family engine.
+/// (and then `robustness`) only when populated. Pure-logic, clean-channel
+/// campaigns leave both empty, so their `Debug` output — and with it the
+/// frozen report digests — is byte-identical to the pre-family,
+/// pre-channel engine.
 #[derive(Clone, PartialEq)]
 pub struct FleetReport {
     /// Fleet size.
@@ -178,6 +232,10 @@ pub struct FleetReport {
     /// pure-logic campaigns (every upload is `CutFamily::Logic`), and
     /// omitted from `Debug` in that case — the frozen-digest contract.
     pub per_family: Vec<FamilyReport>,
+    /// The channel-robustness axis; `None` (and omitted from `Debug` —
+    /// the same frozen-digest contract as `per_family`) when the
+    /// campaign saw no impairments, retransmissions or ingest rejects.
+    pub robustness: Option<RobustnessReport>,
 }
 
 impl fmt::Debug for FleetReport {
@@ -197,6 +255,9 @@ impl fmt::Debug for FleetReport {
             .field("findings", &self.findings);
         if !self.per_family.is_empty() {
             d.field("per_family", &self.per_family);
+        }
+        if let Some(rob) = &self.robustness {
+            d.field("robustness", rob);
         }
         d.finish()
     }
@@ -279,10 +340,11 @@ mod tests {
     }
 
     /// The frozen-digest contract of the manual `Debug`: a report with no
-    /// per-family entries renders byte-identically to the pre-family
-    /// derived output, and a populated split appends after `findings`.
+    /// per-family entries and no robustness block renders byte-identically
+    /// to the pre-family derived output; populated optional sections
+    /// append after `findings` in a fixed order.
     #[test]
-    fn debug_omits_empty_per_family() {
+    fn debug_omits_empty_per_family_and_robustness() {
         let mut r = FleetReport {
             vehicles: 1,
             defective: 0,
@@ -297,9 +359,11 @@ mod tests {
             per_ecu: vec![],
             findings: vec![],
             per_family: vec![],
+            robustness: None,
         };
         let plain = format!("{r:?}");
         assert!(!plain.contains("per_family"));
+        assert!(!plain.contains("robustness"));
         assert!(plain.ends_with("findings: [] }"));
         r.per_family.push(FamilyReport {
             family: CutFamily::Sram,
@@ -311,6 +375,30 @@ mod tests {
         assert!(split.contains("per_family: [FamilyReport { family: Sram"));
         let shared = plain.len() - 2;
         assert_eq!(&split[..shared], &plain[..shared], "prefix is unchanged");
+        r.robustness = Some(RobustnessReport {
+            impaired_uploads: 2,
+            retransmitted_frames: 7,
+            retransmit_overhead_s: 0.25,
+            window_lost_uploads: 1,
+            corrupted_uploads: 1,
+            cap_truncated_uploads: 0,
+            rejected_uploads: 3,
+            rank_degraded: 1,
+            rank_improved: 0,
+            delocalized: 1,
+            rank_cdf: vec![RankCdfPoint {
+                bound: 1,
+                impaired_le: 1,
+                clean_le: 2,
+            }],
+        });
+        let full = format!("{r:?}");
+        assert!(
+            full.contains("robustness: RobustnessReport { impaired_uploads: 2"),
+            "robustness block renders after per_family"
+        );
+        assert_eq!(&full[..shared], &plain[..shared], "prefix is unchanged");
+        assert!(full.find("per_family").unwrap() < full.find("robustness").unwrap());
     }
 
     #[test]

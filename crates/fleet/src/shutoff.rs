@@ -216,6 +216,7 @@ mod tests {
             }],
             shutoff_budget_s: 2_000.0,
             transport: eea_can::TransportKind::MirroredCan,
+            channel: eea_can::ChannelConfig::Clean,
             task_set: None,
         }];
         let horizon_s = 1_000.0;

@@ -12,7 +12,8 @@
 //! the session result, which is why the precomputed fail data of
 //! [`crate::CutModel`] stays valid here).
 
-use eea_bist::{CutFamily, MarchTest};
+use eea_bist::{CutFamily, MarchTest, FAIL_ENTRY_BYTES};
+use eea_can::{ChannelConfig, ChannelModel, Impairment};
 use eea_model::ResourceId;
 use eea_moea::Rng;
 use eea_sched::{FlatBudget, SchedPlan, TaskSchedule, WindowSource};
@@ -20,6 +21,18 @@ use eea_sched::{FlatBudget, SchedPlan, TaskSchedule, WindowSource};
 use crate::blueprint::VehicleBlueprint;
 use crate::cut::CutModel;
 use crate::shutoff::ShutoffModel;
+
+/// Payload bytes per classic CAN data frame — the granularity fail-data
+/// uploads are framed at on the mirrored schedule, and hence the unit the
+/// channel's per-frame error events apply to.
+pub(crate) const CAN_FRAME_PAYLOAD_BYTES: u64 = 8;
+
+/// Converts a channel byte cap into the fail-entry granularity of
+/// [`Impairment::cap_entries`]; an uncapped channel (`u64::MAX` bytes)
+/// saturates to the uncapped sentinel `u16::MAX`.
+pub(crate) fn cap_entries(cap_bytes: u64) -> u16 {
+    u16::try_from(cap_bytes / FAIL_ENTRY_BYTES).unwrap_or(u16::MAX)
+}
 
 /// A defect seeded into a vehicle: one fault of the seeded family's CUT
 /// model (a collapsed stuck-at of the logic [`CutModel`] or a cell fault
@@ -53,6 +66,15 @@ pub struct Upload {
     pub time_s: f64,
     /// Encoded fail-data size in bytes.
     pub fail_bytes: u64,
+    /// Frames the channel forced to be re-sent during this upload — `0`
+    /// on a clean channel.
+    pub retransmitted_frames: u32,
+    /// Extra upload seconds the retransmissions cost (already included in
+    /// [`time_s`](Self::time_s)) — exactly `0.0` on a clean channel.
+    pub retransmit_s: f64,
+    /// What the channel did to the fail-data payload in transit;
+    /// [`Impairment::NONE`] on a clean channel.
+    pub impairment: Impairment,
 }
 
 /// What one vehicle did over the campaign horizon.
@@ -101,9 +123,21 @@ impl BlueprintTemplate {
             .iter()
             .enumerate()
             .filter(|(_, p)| p.is_runnable())
-            // The exact same float expression the per-vehicle loop used to
-            // evaluate — precomputing it cannot change any outcome bit.
-            .map(|(i, p)| (i, p.transfer_s + p.session_s))
+            .map(|(i, p)| {
+                let work = match &blueprint.channel {
+                    // The exact same float expression the per-vehicle loop
+                    // used to evaluate — precomputing it cannot change any
+                    // outcome bit.
+                    ChannelConfig::Clean => p.transfer_s + p.session_s,
+                    // Eq. (1) re-pricing over a noisy bus: each streamed
+                    // pattern frame is sent 1/(1 - p_err) times in
+                    // expectation. A zero error rate inflates by exactly
+                    // 1.0, and `x * 1.0` is bit-identical to `x` — the
+                    // equivalence-oracle contract with `Clean`.
+                    noisy => p.transfer_s * noisy.transfer_inflation() + p.session_s,
+                };
+                (i, work)
+            })
             .collect();
         BlueprintTemplate {
             runnable,
@@ -171,6 +205,10 @@ pub(crate) struct SimContext<'a> {
     pub sched: &'a [Option<SchedPlan>],
     pub defect_fraction: f64,
     pub horizon_s: f64,
+    /// The campaign seed — the channel layer derives its per-vehicle
+    /// sub-streams from it (domain-separated from the simulation streams,
+    /// see [`eea_can::NoisyChannel::vehicle_rng`]).
+    pub campaign_seed: u64,
     /// The flat-budget window source: the identical hoisted
     /// `min + unit()·range` coefficients the historical `ShutoffRanges`
     /// carried, now shared with `eea-sched` so schedule-derived sources
@@ -181,6 +219,7 @@ pub(crate) struct SimContext<'a> {
 }
 
 impl<'a> SimContext<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         blueprints: &'a [VehicleBlueprint],
         cut: &'a CutModel,
@@ -189,6 +228,7 @@ impl<'a> SimContext<'a> {
         shutoff: ShutoffModel,
         defect_fraction: f64,
         horizon_s: f64,
+        campaign_seed: u64,
     ) -> Self {
         SimContext {
             blueprints,
@@ -197,6 +237,7 @@ impl<'a> SimContext<'a> {
             sched,
             defect_fraction,
             horizon_s,
+            campaign_seed,
             flat: FlatBudget::from_bounds(
                 shutoff.min_gap_s,
                 shutoff.max_gap_s,
@@ -288,12 +329,35 @@ pub(crate) fn simulate_vehicle(index: u32, ctx: &SimContext<'_>, seed: u64) -> V
     // definition, so the defective plan is always on the work list.
     let mut fail_bytes = 0u64;
     let mut upload_due: Option<(usize, f64)> = None; // (plan, upload seconds)
+    let mut retransmitted_frames = 0u32;
+    let mut retransmit_s = 0.0f64;
+    let mut impairment = Impairment::NONE;
     if let Some(d) = defect {
         fail_bytes = match d.family {
             CutFamily::Logic => cut.fail_bytes(d.fault_index),
             CutFamily::Sram => ctx.sram.map_or(0, |s| s.fail_bytes(d.fault_index)),
         };
-        let up = blueprint.sessions[d.plan].upload_s(fail_bytes);
+        let mut up = blueprint.sessions[d.plan].upload_s(fail_bytes);
+        if let ChannelConfig::Noisy(noisy) = &blueprint.channel {
+            // Channel draws come from a dedicated per-vehicle sub-stream
+            // (domain-separated from the simulation stream), so threading
+            // a noisy channel cannot shift any simulation draw. Pinned
+            // order: the per-frame retransmission Bernoullis first, then
+            // the payload impairment.
+            let mut crng = noisy.vehicle_rng(ctx.campaign_seed, index);
+            let frames = fail_bytes.div_ceil(CAN_FRAME_PAYLOAD_BYTES);
+            let retx = noisy.retransmitted_frames(&mut crng, frames);
+            impairment = noisy.impair(&mut crng, cap_entries(noisy.truncation_cap_bytes));
+            if retx > 0 {
+                // Each re-sent frame costs one frame payload of upload
+                // time over the same mirrored schedule. The zero-
+                // retransmission arm adds *nothing*, keeping zero-rate
+                // channels bit-identical to `Clean`.
+                retransmit_s = blueprint.sessions[d.plan].upload_s(retx * CAN_FRAME_PAYLOAD_BYTES);
+                up += retransmit_s;
+                retransmitted_frames = u32::try_from(retx).unwrap_or(u32::MAX);
+            }
+        }
         upload_due = Some((d.plan, up));
     }
 
@@ -327,6 +391,9 @@ pub(crate) fn simulate_vehicle(index: u32, ctx: &SimContext<'_>, seed: u64) -> V
             family: d.family,
             time_s,
             fail_bytes,
+            retransmitted_frames,
+            retransmit_s,
+            impairment,
         }),
         _ => None,
     };
@@ -472,7 +539,16 @@ mod tests {
         horizon_s: f64,
         seed: u64,
     ) -> VehicleOutcome {
-        let ctx = SimContext::new(blueprints, cut, None, &[], *shutoff, defect_fraction, horizon_s);
+        let ctx = SimContext::new(
+            blueprints,
+            cut,
+            None,
+            &[],
+            *shutoff,
+            defect_fraction,
+            horizon_s,
+            seed,
+        );
         simulate_vehicle(index, &ctx, seed)
     }
 
@@ -492,6 +568,7 @@ mod tests {
             shutoff_budget_s: 2_000.0,
             transport: eea_can::TransportKind::MirroredCan,
             task_set: None,
+            channel: ChannelConfig::Clean,
         }
     }
 
@@ -581,5 +658,81 @@ mod tests {
         let o = run(0, &[b], &cut, &ShutoffModel::default(), 0.0, 1e6, 1);
         assert_eq!(o.windows_used, 0);
         assert_eq!(o.sessions_completed, 0);
+    }
+
+    /// The equivalence oracle at the single-vehicle level: a zero-rate,
+    /// uncapped noisy channel produces the bit-identical outcome of the
+    /// structurally clean blueprint — upload time, retransmission fields
+    /// and impairment descriptor included.
+    #[test]
+    fn zero_rate_noisy_channel_is_bit_identical_to_clean() {
+        let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
+        let clean = [test_blueprint()];
+        let mut noisy_bp = test_blueprint();
+        noisy_bp.channel = ChannelConfig::Noisy(eea_can::NoisyChannel::default());
+        let noisy = [noisy_bp];
+        let shutoff = ShutoffModel::default();
+        for seed in [1u64, 42, 99, 0xF1EE7] {
+            let a = run(7, &clean, &cut, &shutoff, 1.0, 1e7, seed);
+            let b = run(7, &noisy, &cut, &shutoff, 1.0, 1e7, seed);
+            assert_eq!(a, b, "seed {seed}");
+            if let Some(up) = a.upload {
+                assert_eq!(up.retransmitted_frames, 0);
+                assert_eq!(up.retransmit_s, 0.0);
+                assert!(up.impairment.is_none());
+            }
+        }
+    }
+
+    /// A lossy channel delays the upload by exactly the retransmission
+    /// overhead it reports, and the impairment draw is deterministic per
+    /// `(campaign seed, vehicle)`.
+    #[test]
+    fn retransmissions_delay_the_upload_and_are_priced_exactly() {
+        let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
+        let mut noisy_bp = test_blueprint();
+        noisy_bp.channel = ChannelConfig::Noisy(eea_can::NoisyChannel {
+            frame_error_rate: 0.45,
+            ..eea_can::NoisyChannel::default()
+        });
+        let shutoff = ShutoffModel {
+            min_gap_s: 100.0,
+            max_gap_s: 100.0,
+            min_window_s: 400.0,
+            max_window_s: 400.0,
+        };
+        // Generous horizon so both variants finish their upload; seed 42
+        // seeds a defect (see `work_resumes_across_windows`).
+        let clean = run(0, &[test_blueprint()], &cut, &shutoff, 1.0, 1e7, 42);
+        let lossy = run(0, &[noisy_bp.clone()], &cut, &shutoff, 1.0, 1e7, 42);
+        let cup = clean.upload.expect("clean upload lands");
+        let lup = lossy.upload.expect("lossy upload lands");
+        assert!(
+            lup.retransmitted_frames > 0,
+            "45 % frame error rate over {} frames must hit",
+            cup.fail_bytes.div_ceil(CAN_FRAME_PAYLOAD_BYTES)
+        );
+        assert!(lup.retransmit_s > 0.0);
+        assert!(
+            lup.time_s > cup.time_s,
+            "retransmissions push the upload later: {} vs {}",
+            lup.time_s,
+            cup.time_s
+        );
+        // Deterministic: the same (campaign seed, vehicle) reproduces the
+        // channel outcome bit for bit.
+        let again = run(0, &[noisy_bp], &cut, &shutoff, 1.0, 1e7, 42);
+        assert_eq!(again, lossy);
+    }
+
+    /// The channel byte cap converts to whole fail entries; `u64::MAX`
+    /// means uncapped.
+    #[test]
+    fn cap_entries_rounds_down_and_saturates() {
+        assert_eq!(cap_entries(u64::MAX), u16::MAX);
+        assert_eq!(cap_entries(96), 8);
+        assert_eq!(cap_entries(95), 7);
+        assert_eq!(cap_entries(11), 0);
+        assert_eq!(cap_entries(eea_bist::FAIL_DATA_BYTES), 53);
     }
 }

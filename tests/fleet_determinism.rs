@@ -15,9 +15,9 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 
 use eea_fleet::{
-    Campaign, CampaignConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan, GatewayConfig,
-    GatewayService, MarchTest, PeriodicTask, ShutoffModel, SporadicTask, SramConfig,
-    TaskSetConfig, TransportKind, VehicleArrival, VehicleBlueprint,
+    Campaign, CampaignConfig, ChannelConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan,
+    GatewayConfig, GatewayService, MarchTest, NoisyChannel, PeriodicTask, ShutoffModel,
+    SporadicTask, SramConfig, TaskSetConfig, TransportKind, VehicleArrival, VehicleBlueprint,
 };
 use eea_model::ResourceId;
 use eea_moea::Rng;
@@ -60,6 +60,7 @@ fn blueprints(transport: TransportKind) -> Vec<VehicleBlueprint> {
             sessions: vec![plan(0, 0.0, 400.0), plan(1, 0.0, 150.0)],
             shutoff_budget_s: 900.0,
             transport,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
         VehicleBlueprint {
@@ -67,6 +68,7 @@ fn blueprints(transport: TransportKind) -> Vec<VehicleBlueprint> {
             sessions: vec![plan(2, 1_500.0, 80.0)],
             shutoff_budget_s: 4_000.0,
             transport,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
         VehicleBlueprint {
@@ -74,6 +76,7 @@ fn blueprints(transport: TransportKind) -> Vec<VehicleBlueprint> {
             sessions: vec![plan(3, f64::INFINITY, 0.0), plan(4, 300.0, 60.0)],
             shutoff_budget_s: 2_000.0,
             transport,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
     ]
@@ -101,6 +104,17 @@ fn mixed_blueprints(
     bp[2].sessions[1].family = CutFamily::Sram;
     for b in &mut bp {
         b.task_set = task_set.cloned();
+    }
+    bp
+}
+
+/// [`blueprints`] with every vehicle's upload path re-routed over the
+/// given channel — the timeline quantities are unchanged, only the bus
+/// between ECU and gateway differs.
+fn channel_blueprints(transport: TransportKind, channel: ChannelConfig) -> Vec<VehicleBlueprint> {
+    let mut bp = blueprints(transport);
+    for b in &mut bp {
+        b.channel = channel;
     }
     bp
 }
@@ -394,6 +408,120 @@ proptest! {
         prop_assert_eq!(snap.ingested, u64::from(vehicles));
         prop_assert_eq!(snap.shed, 0, "the trusted feed path never sheds");
         prop_assert_eq!(snap.duplicates, 0);
+    }
+
+    /// Equivalence oracle for the channel layer: a zero-rate, uncapped
+    /// `NoisyChannel` — which still owns and advances its dedicated
+    /// per-vehicle RNG streams — must reproduce the `Clean` campaign
+    /// **bit-for-bit**, for any campaign seed, channel seed, fleet size,
+    /// transport and thread count. This pins the noisy path against the
+    /// same frozen contract `Clean` carries (the channel sibling of
+    /// `degenerate_task_set_reproduces_flat_budget`).
+    #[test]
+    fn zero_rate_noisy_channel_reproduces_clean(
+        vehicles in 1u32..200,
+        defect_pct in 0usize..=100,
+        seed in 0u64..u64::MAX,
+        channel_seed in 0u64..u64::MAX,
+        threads in 1usize..5,
+        transport_idx in 0usize..3,
+    ) {
+        let transport = TransportKind::ALL[transport_idx];
+        let clean_bp = blueprints(transport);
+        let noisy_bp = channel_blueprints(
+            transport,
+            ChannelConfig::Noisy(NoisyChannel {
+                seed: channel_seed,
+                ..NoisyChannel::default()
+            }),
+        );
+        let cfg = CampaignConfig {
+            vehicles,
+            defect_fraction: defect_pct as f64 / 100.0,
+            seed,
+            threads,
+            ..CampaignConfig::default()
+        };
+        let clean = Campaign::new(cut(), &clean_bp, cfg.clone())
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        let noisy = Campaign::new(cut(), &noisy_bp, cfg)
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        prop_assert!(noisy.robustness.is_none(), "zero rates inflict nothing");
+        prop_assert_eq!(noisy, clean);
+    }
+
+    /// The determinism contract under *active* impairment: a fleet on an
+    /// aggressively noisy channel (frame errors, corruption, window loss,
+    /// a tight truncation cap) reports bit-identically at 1 thread /
+    /// 1 shard versus N threads / M shards — including the f64
+    /// retransmit-overhead accumulator and the robustness rank CDF — and
+    /// the identical report falls out of the gateway when the same
+    /// arrivals are fed in a random interleaving through a small bounded
+    /// queue.
+    #[test]
+    fn impaired_campaign_is_thread_shard_and_interleaving_independent(
+        vehicles in 1u32..200,
+        defect_pct in 0usize..=100,
+        seed in 0u64..u64::MAX,
+        threads in 2usize..9,
+        shards in 2usize..9,
+        shuffle_seed in 0u64..u64::MAX,
+        capacity in 1usize..257,
+        transport_idx in 0usize..3,
+    ) {
+        let channel = ChannelConfig::Noisy(NoisyChannel {
+            frame_error_rate: 0.05,
+            corruption_rate: 0.2,
+            window_loss_rate: 0.15,
+            truncation_cap_bytes: 96,
+            seed: seed.rotate_left(17),
+        });
+        let bp = channel_blueprints(TransportKind::ALL[transport_idx], channel);
+        let mut cfg = CampaignConfig {
+            vehicles,
+            defect_fraction: defect_pct as f64 / 100.0,
+            seed,
+            threads: 1,
+            shards: 1,
+            ..CampaignConfig::default()
+        };
+        let serial = Campaign::new(cut(), &bp, cfg.clone())
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        cfg.threads = threads;
+        cfg.shards = shards;
+        let parallel = Campaign::new(cut(), &bp, cfg.clone())
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"))
+            .run();
+        prop_assert_eq!(&parallel, &serial);
+
+        // The same fleet through the gateway service: shuffled arrival
+        // order, bounded queue, snapshot at the horizon.
+        let campaign = Campaign::new(cut(), &bp, cfg)
+            .unwrap_or_else(|e| panic!("valid campaign: {e}"));
+        let mut arrivals: Vec<VehicleArrival> = campaign.arrivals().collect();
+        let mut rng = Rng::new(shuffle_seed);
+        for i in (1..arrivals.len()).rev() {
+            let j = rng.below(i + 1);
+            arrivals.swap(i, j);
+        }
+        let horizon_s = campaign.config().horizon_s;
+        let mut svc = GatewayService::new(cut(), GatewayConfig {
+            vehicles,
+            horizon_s,
+            queue_capacity: capacity,
+            shards,
+            threads,
+            ..GatewayConfig::default()
+        }).unwrap_or_else(|e| panic!("provisions: {e}"));
+        for &a in &arrivals {
+            svc.accept(a).unwrap_or_else(|e| panic!("accept: {e}"));
+        }
+        let snap = svc.snapshot_at(horizon_s);
+        prop_assert_eq!(snap.report, serial);
+        prop_assert_eq!(snap.malformed, 0, "well-formed fleets are never rejected");
     }
 
     #[test]

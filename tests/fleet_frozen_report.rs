@@ -10,8 +10,8 @@
 use std::sync::OnceLock;
 
 use eea_fleet::{
-    Campaign, CampaignConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan, FleetReport,
-    TransportKind, VehicleBlueprint,
+    Campaign, CampaignConfig, ChannelConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan,
+    FleetReport, TransportKind, VehicleBlueprint,
 };
 use eea_model::ResourceId;
 
@@ -49,6 +49,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(0, 0.0, 400.0), plan(1, 0.0, 150.0)],
             shutoff_budget_s: 900.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
         VehicleBlueprint {
@@ -56,6 +57,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(2, 1_500.0, 80.0)],
             shutoff_budget_s: 4_000.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
         VehicleBlueprint {
@@ -63,6 +65,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(3, f64::INFINITY, 0.0), plan(4, 300.0, 60.0)],
             shutoff_budget_s: 2_000.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
     ]

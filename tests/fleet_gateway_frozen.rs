@@ -12,8 +12,8 @@
 use std::sync::OnceLock;
 
 use eea_fleet::{
-    Campaign, CampaignConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan, FleetReport,
-    GatewaySnapshot, TransportKind, VehicleBlueprint,
+    Campaign, CampaignConfig, ChannelConfig, CutConfig, CutFamily, CutModel, EcuSessionPlan,
+    FleetReport, GatewaySnapshot, TransportKind, VehicleBlueprint,
 };
 use eea_model::ResourceId;
 
@@ -66,6 +66,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(0, 0.0, 400.0), plan(1, 0.0, 150.0)],
             shutoff_budget_s: 900.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
         VehicleBlueprint {
@@ -73,6 +74,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(2, 1_500.0, 80.0)],
             shutoff_budget_s: 4_000.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
         VehicleBlueprint {
@@ -80,6 +82,7 @@ fn blueprints() -> Vec<VehicleBlueprint> {
             sessions: vec![plan(3, f64::INFINITY, 0.0), plan(4, 300.0, 60.0)],
             shutoff_budget_s: 2_000.0,
             transport: TransportKind::MirroredCan,
+            channel: ChannelConfig::Clean,
             task_set: None,
         },
     ]
@@ -115,9 +118,12 @@ fn snapshots() -> &'static (GatewaySnapshot, GatewaySnapshot) {
         let bp = blueprints();
         let campaign = Campaign::new(&cut, &bp, campaign_config())
             .unwrap_or_else(|e| panic!("valid campaign: {e}"));
-        let mut svc = campaign.gateway().unwrap_or_else(|e| panic!("provisions: {e}"));
+        let mut svc = campaign
+            .gateway()
+            .unwrap_or_else(|e| panic!("provisions: {e}"));
         for arrival in campaign.arrivals() {
-            svc.accept(arrival).unwrap_or_else(|e| panic!("accept: {e}"));
+            svc.accept(arrival)
+                .unwrap_or_else(|e| panic!("accept: {e}"));
         }
         let mid = svc.snapshot_at(MID_AT_S);
         let fin = svc.snapshot_at(HORIZON_S);
@@ -177,10 +183,13 @@ fn mid_digest_survives_parallel_feed() {
         shards: 5,
         ..campaign_config()
     };
-    let campaign =
-        Campaign::new(&cut, &bp, cfg).unwrap_or_else(|e| panic!("valid campaign: {e}"));
-    let mut svc = campaign.gateway().unwrap_or_else(|e| panic!("provisions: {e}"));
-    campaign.feed(&mut svc).unwrap_or_else(|e| panic!("feeds: {e}"));
+    let campaign = Campaign::new(&cut, &bp, cfg).unwrap_or_else(|e| panic!("valid campaign: {e}"));
+    let mut svc = campaign
+        .gateway()
+        .unwrap_or_else(|e| panic!("provisions: {e}"));
+    campaign
+        .feed(&mut svc)
+        .unwrap_or_else(|e| panic!("feeds: {e}"));
     let mid = svc.snapshot_at(MID_AT_S);
     assert_eq!(digest(&mid.report), FROZEN_MID_DIGEST);
     let fin = svc.snapshot_at(HORIZON_S);
