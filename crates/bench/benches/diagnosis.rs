@@ -1,0 +1,75 @@
+//! Diagnosis engine: one-pass dictionary build vs serial per-fault
+//! replay, and inverted-index lookup vs the linear Jaccard scan.
+//!
+//! Mirrors the `dict_speedup_vs_serial` / `diagnose_lookup_s` numbers
+//! that `fleet_campaign` records in `BENCH_fleet.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eea_bist::{Diagnoser, SessionTable, StumpsSession};
+use eea_faultsim::FaultUniverse;
+use eea_netlist::{synthesize, ScanChains, SynthConfig};
+
+const LFSR_SEED: u64 = 0xACE1;
+const WINDOW: u64 = 16;
+const PATTERNS: u64 = 128;
+
+fn substrate() -> (eea_netlist::Circuit, ScanChains) {
+    let cut = synthesize(&SynthConfig {
+        gates: 100,
+        inputs: 16,
+        dffs: 32,
+        seed: 0xC07,
+        ..SynthConfig::default()
+    })
+    .expect("synthesizes");
+    let chains = ScanChains::balanced(&cut, 4).expect("at least one chain");
+    (cut, chains)
+}
+
+fn bench_dict_build(c: &mut Criterion) {
+    let (cut, chains) = substrate();
+    let mut group = c.benchmark_group("diagnosis");
+    group.sample_size(10);
+
+    group.bench_function("dict_build_serial_replay", |b| {
+        b.iter(|| SessionTable::build_serial_replay(&cut, &chains, LFSR_SEED, WINDOW, PATTERNS))
+    });
+    group.bench_function("dict_build_one_pass_1_thread", |b| {
+        b.iter(|| SessionTable::build(&cut, &chains, LFSR_SEED, WINDOW, PATTERNS, 1))
+    });
+    group.bench_function("dict_build_one_pass_all_threads", |b| {
+        b.iter(|| SessionTable::build(&cut, &chains, LFSR_SEED, WINDOW, PATTERNS, 0))
+    });
+
+    // Lookup: rank every session fail payload against the dictionary.
+    let table = SessionTable::build(&cut, &chains, LFSR_SEED, WINDOW, PATTERNS, 0);
+    let diagnoser = Diagnoser::from_table(&table);
+    let session = StumpsSession::new(&cut, &chains, LFSR_SEED, WINDOW);
+    let golden = session.run_golden(PATTERNS);
+    let universe = FaultUniverse::collapsed(&cut);
+    let payloads: Vec<_> = (0..universe.num_faults())
+        .map(|i| session.run_with_fault(universe.fault(i), &golden))
+        .collect();
+
+    group.bench_function("lookup_linear", |b| {
+        b.iter(|| {
+            payloads
+                .iter()
+                .map(|p| diagnoser.diagnose_linear(p).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("lookup_indexed", |b| {
+        b.iter(|| {
+            payloads
+                .iter()
+                .map(|p| diagnoser.diagnose(p).len())
+                .sum::<usize>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dict_build);
+criterion_main!(benches);

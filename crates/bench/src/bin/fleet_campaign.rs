@@ -102,6 +102,48 @@ fn main() -> Result<(), EeaError> {
         cut.coverage() * 100.0
     );
 
+    // Dictionary-build microbenchmark on the same substrate: the one-pass
+    // wide-word sweep vs the historical per-fault session replay, with
+    // the tables asserted equal before the ratio is trusted.
+    let (dict_serial_s, dict_one_pass_s) = {
+        let cfg = cut.config();
+        let chains = eea_netlist::ScanChains::balanced(cut.circuit(), cfg.chains)
+            .map_err(eea_fleet::FleetError::from)?;
+        let t = Instant::now();
+        let serial = eea_bist::SessionTable::build_serial_replay(
+            cut.circuit(),
+            &chains,
+            cfg.lfsr_seed,
+            cfg.window,
+            cfg.patterns,
+        );
+        let serial_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let one_pass = eea_bist::SessionTable::build(
+            cut.circuit(),
+            &chains,
+            cfg.lfsr_seed,
+            cfg.window,
+            cfg.patterns,
+            cfg.threads,
+        );
+        let one_pass_s = t.elapsed().as_secs_f64();
+        for i in 0..serial.num_faults() {
+            assert_eq!(
+                serial.fail_data(i),
+                one_pass.fail_data(i),
+                "one-pass dictionary diverged from serial replay at fault {i}"
+            );
+            assert_eq!(serial.detect_windows(i), one_pass.detect_windows(i));
+        }
+        (serial_s, one_pass_s)
+    };
+    let dict_speedup = dict_serial_s / dict_one_pass_s.max(f64::MIN_POSITIVE);
+    eprintln!(
+        "  dictionary build: serial replay {dict_serial_s:.3} s, one-pass \
+{dict_one_pass_s:.3} s ({dict_speedup:.1}x)"
+    );
+
     // One exploration front; each backend re-prices the same
     // implementations, which is exactly the comparison the JSON reports.
     eprintln!("exploring a {evaluations}-evaluation front for the blueprint decode...");
@@ -253,12 +295,13 @@ p50 latency {:.1} h\n",
             let rss = peak_rss_kb();
             eprintln!(
                 "[scale {fleet}] {seconds:.3} s total ({:.0} vehicles/s) — \
-simulate {:.3} s, merge {:.3} s, diagnose {:.3} s, fold {:.3} s, \
-peak RSS {} KiB",
+simulate {:.3} s, merge {:.3} s, diagnose {:.3} s (lookup {:.3} s), \
+fold {:.3} s, peak RSS {} KiB",
                 fleet as f64 / seconds,
                 stages.simulate_s,
                 stages.merge_s,
                 stages.diagnose_s,
+                stages.diagnose_lookup_s,
                 stages.fold_s,
                 rss.map_or_else(|| "?".into(), |kb| kb.to_string()),
             );
@@ -267,7 +310,8 @@ peak RSS {} KiB",
 \"machine_cores\": {cores}, \"word_bits\": {word_bits}, \"lanes\": {lanes}, \
 \"seconds\": {seconds:.6}, \"vehicles_per_s\": {:.2}, \
 \"peak_rss_kb\": {}, \"detected\": {}, \"stages\": {{\"simulate_s\": {:.6}, \
-\"merge_s\": {:.6}, \"diagnose_s\": {:.6}, \"fold_s\": {:.6}}}}}",
+\"merge_s\": {:.6}, \"diagnose_s\": {:.6}, \"fold_s\": {:.6}, \
+\"dict_build_s\": {:.6}, \"diagnose_lookup_s\": {:.6}}}}}",
                 kind.label(),
                 fleet as f64 / seconds,
                 rss.map_or_else(|| "null".into(), |kb| kb.to_string()),
@@ -276,12 +320,18 @@ peak RSS {} KiB",
                 stages.merge_s,
                 stages.diagnose_s,
                 stages.fold_s,
+                stages.dict_build_s,
+                stages.diagnose_lookup_s,
             ));
         }
     }
 
     let json = format!(
-        "{{\n  \"machine_cores\": {cores},\n  \"word_bits\": {word_bits},\n  \"lanes\": {lanes},\n  \"transports\": [\n{}\n  ],\n  \"scale_sweep\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"machine_cores\": {cores},\n  \"word_bits\": {word_bits},\n  \"lanes\": {lanes},\n  \
+\"dict_build_serial_s\": {dict_serial_s:.6},\n  \
+\"dict_build_one_pass_s\": {dict_one_pass_s:.6},\n  \
+\"dict_speedup_vs_serial\": {dict_speedup:.3},\n  \
+\"transports\": [\n{}\n  ],\n  \"scale_sweep\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
         scale_entries.join(",\n")
     );

@@ -15,13 +15,31 @@
 //! a fault. Candidate stuck-at faults are ranked by the Jaccard similarity
 //! between their *predicted* failing-window set (from fault simulation of
 //! the session's pattern stream) and the *observed* one.
+//!
+//! Dictionary construction and lookup are both structured rather than
+//! brute-forced (see DESIGN.md §15):
+//!
+//! * the dictionary comes from the shared one-pass
+//!   [`SessionTable`](crate::SessionTable) sweep instead of a per-fault
+//!   session replay, and
+//! * [`diagnose`](Diagnoser::diagnose) walks an inverted
+//!   failing-window → candidate posting-list index (scoring only
+//!   candidates that share ≥ 1 observed window — every other candidate
+//!   scores exactly `0.0`), with an exact-syndrome-fingerprint fast path
+//!   that memoizes the full ranking of unimpaired uploads. Both paths are
+//!   provably identical — same scores, same `total_cmp` tie order — to
+//!   the retained [`diagnose_linear`](Diagnoser::diagnose_linear) scan,
+//!   which a proptest oracle holds bit-equal.
 
-use eea_faultsim::{Fault, FaultSim, FaultUniverse, PatternBlock};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use eea_faultsim::Fault;
 use eea_netlist::Circuit;
 
 use crate::fail::FailData;
-use crate::lfsr::Lfsr;
-use crate::stumps::lfsr_pattern_block;
+use crate::index::InvertedIndex;
+use crate::session_table::SessionTable;
 
 /// A ranked diagnosis candidate.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +49,20 @@ pub struct Candidate {
     /// Match score in `[0, 1]` (1 = the candidate explains the observed
     /// fail data perfectly).
     pub score: f64,
+}
+
+/// Condensed outcome of one diagnosis, for consumers that need placement
+/// statistics rather than the full ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagnosisSummary {
+    /// Total number of ranked candidates.
+    pub candidates: usize,
+    /// 1-based rank class of the queried fault: `1 +` the number of
+    /// *distinct* scores strictly above its own. `None` if the fault is
+    /// not a dictionary candidate.
+    pub rank: Option<usize>,
+    /// Whether the queried fault sits in the top equivalence class.
+    pub localized: bool,
 }
 
 /// Window-based logic diagnosis for one BIST session configuration.
@@ -65,15 +97,24 @@ pub struct Candidate {
 /// ```
 #[derive(Debug)]
 pub struct Diagnoser {
-    /// Candidate faults with their predicted failing-window set (sorted;
-    /// empty for faults the session does not detect at all).
+    /// Candidate faults with their predicted failing-window set (strictly
+    /// increasing; empty for faults the session does not detect at all).
+    /// Sorted by fault, so slot order equals the `total_cmp` tie order.
     dictionary: Vec<(Fault, Vec<u32>)>,
     windows: u32,
+    /// Failing-window → candidate-slot posting lists.
+    index: InvertedIndex<u32>,
+    /// FNV-1a fingerprint of each distinct non-empty predicted window set
+    /// → representative slot (first in slot order).
+    fingerprints: HashMap<u64, u32>,
+    /// Memoized full ranking per fingerprint representative, filled on
+    /// first exact-syndrome hit.
+    memo: Vec<OnceLock<Vec<Candidate>>>,
 }
 
 impl Diagnoser {
-    /// Builds the fault dictionary by simulating the session's pattern
-    /// stream once per fault (window granularity).
+    /// Builds the fault dictionary via a one-pass [`SessionTable`] sweep
+    /// of the session's pattern stream.
     ///
     /// Parameters mirror [`StumpsSession::new`](crate::StumpsSession::new)
     /// plus the session length in `patterns`.
@@ -88,38 +129,35 @@ impl Diagnoser {
         window: u64,
         patterns: u64,
     ) -> Self {
-        assert!(window > 0, "window must be positive");
-        assert!(patterns > 0, "session must apply patterns");
-        let universe = FaultUniverse::collapsed(circuit);
-        let mut failing: Vec<std::collections::BTreeSet<u32>> =
-            vec![std::collections::BTreeSet::new(); universe.num_faults()];
-        let mut sim = FaultSim::new(circuit);
-        let mut lfsr = Lfsr::new32(lfsr_seed);
-        let mut done = 0u64;
-        while done < patterns {
-            let count = ((patterns - done).min(PatternBlock::CAPACITY as u64)) as usize;
-            let block = lfsr_pattern_block(circuit, chains, &mut lfsr, count);
-            sim.run_good(&block);
-            for (fi, fail_windows) in failing.iter_mut().enumerate() {
-                let mask = sim.detect_mask(universe.fault(fi), &block, false);
-                for j in mask.iter_ones() {
-                    let pattern_idx = done + u64::from(j);
-                    fail_windows.insert((pattern_idx / window) as u32);
-                }
-            }
-            done += count as u64;
-        }
-        let dictionary = (0..universe.num_faults())
-            .map(|fi| {
-                (
-                    universe.fault(fi),
-                    failing[fi].iter().copied().collect::<Vec<u32>>(),
-                )
-            })
+        Self::from_table(&SessionTable::build(
+            circuit, chains, lfsr_seed, window, patterns, 1,
+        ))
+    }
+
+    /// Builds the diagnoser from an already-computed session table — the
+    /// shared-dictionary path: the fleet's `CutModel` builds the table
+    /// once and derives both its fail table and this dictionary from it.
+    pub fn from_table(table: &SessionTable) -> Self {
+        let mut dictionary: Vec<(Fault, Vec<u32>)> = (0..table.num_faults())
+            .map(|i| (table.fault(i), table.detect_windows(i).to_vec()))
             .collect();
+        // Slot order = fault order: the zero-score tail of an indexed
+        // ranking then comes out in `total_cmp` tie order by construction.
+        dictionary.sort_by_key(|a| a.0);
+        let index = InvertedIndex::build(dictionary.iter().map(|(_, set)| set));
+        let mut fingerprints = HashMap::new();
+        for (slot, (_, set)) in dictionary.iter().enumerate() {
+            if !set.is_empty() {
+                fingerprints.entry(fnv1a_windows(set)).or_insert(slot as u32);
+            }
+        }
+        let memo = (0..dictionary.len()).map(|_| OnceLock::new()).collect();
         Diagnoser {
             dictionary,
-            windows: (patterns / window) as u32,
+            windows: table.windows(),
+            index,
+            fingerprints,
+            memo,
         }
     }
 
@@ -134,7 +172,100 @@ impl Diagnoser {
     /// failing-window sets (1.0 = the candidate explains exactly the
     /// observed windows). For a PASS observation, session-undetectable
     /// candidates score 1.0 and everything else 0.
+    ///
+    /// Output is bit-identical to
+    /// [`diagnose_linear`](Self::diagnose_linear); only candidates sharing
+    /// an observed window are scored (everything else is a provable
+    /// `0.0`), and an upload whose window set exactly matches a
+    /// dictionary entry — the unimpaired common case — returns a
+    /// memoized ranking.
     pub fn diagnose(&self, observed: &FailData) -> Vec<Candidate> {
+        let raw: Vec<u32> = observed.entries().iter().map(|e| e.window).collect();
+        if !raw.windows(2).all(|p| p[0] <= p[1]) {
+            // The linear scan's binary search assumes sorted observations;
+            // reproduce its behaviour on out-of-order input verbatim.
+            return self.diagnose_linear(observed);
+        }
+        if !raw.is_empty() && raw.windows(2).all(|p| p[0] < p[1]) {
+            // Exact-syndrome fast path: dictionary sets are strictly
+            // increasing, so only duplicate-free observations can match.
+            if let Some(&slot) = self.fingerprints.get(&fnv1a_windows(&raw)) {
+                if self.dictionary[slot as usize].1 == raw {
+                    return self.memo[slot as usize]
+                        .get_or_init(|| self.rank_indexed(&raw, raw.len()))
+                        .clone();
+                }
+            }
+        }
+        let mut dedup = raw.clone();
+        dedup.dedup();
+        self.rank_indexed(&dedup, raw.len())
+    }
+
+    /// Index-backed ranking. `observed` is deduplicated and sorted;
+    /// `raw_len` is the undeduplicated observation length (the `|observed|`
+    /// term of the Jaccard denominator, matching the linear scan).
+    fn rank_indexed(&self, observed: &[u32], raw_len: usize) -> Vec<Candidate> {
+        let mut out = Vec::with_capacity(self.dictionary.len());
+        if raw_len == 0 {
+            // PASS: undetectable candidates score 1.0, everything else
+            // 0.0; within each class the tie order is fault order = slot
+            // order.
+            for (fault, predicted) in &self.dictionary {
+                if predicted.is_empty() {
+                    out.push(Candidate {
+                        fault: *fault,
+                        score: 1.0,
+                    });
+                }
+            }
+            for (fault, predicted) in &self.dictionary {
+                if !predicted.is_empty() {
+                    out.push(Candidate {
+                        fault: *fault,
+                        score: 0.0,
+                    });
+                }
+            }
+            return out;
+        }
+        let hits = self.index.intersect(observed);
+        // Candidates sharing ≥1 window score strictly above 0; everything
+        // untouched scores exactly 0.0 (`0 / union` in the linear scan).
+        let mut touched: Vec<(u32, f64)> = hits
+            .iter()
+            .map(|&(slot, inter)| {
+                let union = self.index.predicted_len(slot) as usize + raw_len - inter as usize;
+                (slot, inter as f64 / union as f64)
+            })
+            .collect();
+        touched.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for &(slot, score) in &touched {
+            out.push(Candidate {
+                fault: self.dictionary[slot as usize].0,
+                score,
+            });
+        }
+        // Zero tail in slot order; `hits` is ascending by slot.
+        let mut next_hit = hits.iter().map(|&(slot, _)| slot).peekable();
+        for (slot, (fault, _)) in self.dictionary.iter().enumerate() {
+            if next_hit.peek() == Some(&(slot as u32)) {
+                next_hit.next();
+            } else {
+                out.push(Candidate {
+                    fault: *fault,
+                    score: 0.0,
+                });
+            }
+        }
+        out
+    }
+
+    /// The historical linear Jaccard scan over every candidate, kept as
+    /// the reference implementation: [`diagnose`](Self::diagnose) must
+    /// stay `PartialEq`-identical to it (proptest-enforced), and
+    /// out-of-order observations fall back to it.
+    pub fn diagnose_linear(&self, observed: &FailData) -> Vec<Candidate> {
         let observed_set: Vec<u32> = observed.entries().iter().map(|e| e.window).collect();
         let mut out: Vec<Candidate> = self
             .dictionary
@@ -168,6 +299,15 @@ impl Diagnoser {
         out
     }
 
+    /// Ranks the observation and condenses the placement of `fault` into
+    /// a [`DiagnosisSummary`] — one lookup serving consumers that would
+    /// otherwise diagnose the same upload repeatedly (candidate count,
+    /// rank class and localization in one pass).
+    pub fn diagnose_summary(&self, fault: Fault, observed: &FailData) -> DiagnosisSummary {
+        let ranked = self.diagnose(observed);
+        summarize(&ranked, |c| c.fault == fault, |c| c.score)
+    }
+
     /// Diagnostic resolution for a given observation: the number of
     /// candidates sharing the top score (1 = perfect resolution).
     pub fn resolution(&self, observed: &FailData) -> usize {
@@ -187,10 +327,58 @@ impl Diagnoser {
     }
 }
 
+/// Condenses a best-first ranking into a [`DiagnosisSummary`] for the
+/// candidate selected by `is_target`. Shared by the logic and SRAM
+/// diagnosis paths (their candidate types differ).
+pub(crate) fn summarize<C>(
+    ranked: &[C],
+    is_target: impl Fn(&C) -> bool,
+    score_of: impl Fn(&C) -> f64,
+) -> DiagnosisSummary {
+    let pos = ranked.iter().position(is_target);
+    let rank = pos.map(|p| {
+        let score = score_of(&ranked[p]);
+        let mut distinct_above = 0usize;
+        let mut prev: Option<f64> = None;
+        for c in &ranked[..p] {
+            let s = score_of(c);
+            if s > score && prev != Some(s) {
+                distinct_above += 1;
+                prev = Some(s);
+            }
+        }
+        1 + distinct_above
+    });
+    let localized = match pos {
+        Some(p) => score_of(&ranked[p]) == score_of(&ranked[0]),
+        None => false,
+    };
+    DiagnosisSummary {
+        candidates: ranked.len(),
+        rank,
+        localized,
+    }
+}
+
+/// FNV-1a over a window set (little-endian byte order per window).
+fn fnv1a_windows(windows: &[u32]) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for &w in windows {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::stumps::StumpsSession;
+    use eea_faultsim::FaultUniverse;
     use eea_netlist::{synthesize, ScanChains, SynthConfig};
 
     fn setup() -> (Circuit, ScanChains) {
@@ -294,5 +482,75 @@ mod tests {
         let universe = FaultUniverse::collapsed(&c);
         assert_eq!(diagnoser.num_candidates(), universe.num_faults());
         assert_eq!(diagnoser.windows(), 4);
+    }
+
+    #[test]
+    fn indexed_matches_linear_on_session_observations() {
+        let (c, chains) = setup();
+        let session = StumpsSession::new(&c, &chains, 0xACE1, 8);
+        let golden = session.run_golden(192);
+        let diagnoser = Diagnoser::new(&c, &chains, 0xACE1, 8, 192);
+        let universe = FaultUniverse::collapsed(&c);
+        for fi in (0..universe.num_faults()).step_by(5) {
+            let observed = session.run_with_fault(universe.fault(fi), &golden);
+            assert_eq!(
+                diagnoser.diagnose(&observed),
+                diagnoser.diagnose_linear(&observed),
+                "fault {fi}"
+            );
+            // Repeat to exercise the memoized fingerprint path.
+            assert_eq!(
+                diagnoser.diagnose(&observed),
+                diagnoser.diagnose_linear(&observed),
+                "fault {fi} (memoized)"
+            );
+        }
+        // PASS observation.
+        let pass = FailData::new();
+        assert_eq!(diagnoser.diagnose(&pass), diagnoser.diagnose_linear(&pass));
+    }
+
+    #[test]
+    fn out_of_order_observation_falls_back_to_linear() {
+        let (c, chains) = setup();
+        let diagnoser = Diagnoser::new(&c, &chains, 0xACE1, 8, 192);
+        let mut observed = FailData::new();
+        observed.push(9, 0xDEAD);
+        observed.push(2, 0xBEEF);
+        assert_eq!(
+            diagnoser.diagnose(&observed),
+            diagnoser.diagnose_linear(&observed)
+        );
+    }
+
+    #[test]
+    fn summary_matches_manual_ranking_walk() {
+        let (c, chains) = setup();
+        let session = StumpsSession::new(&c, &chains, 0xACE1, 8);
+        let golden = session.run_golden(192);
+        let diagnoser = Diagnoser::new(&c, &chains, 0xACE1, 8, 192);
+        let universe = FaultUniverse::collapsed(&c);
+        let mut checked = 0;
+        for fi in (0..universe.num_faults()).step_by(13) {
+            let defect = universe.fault(fi);
+            let observed = session.run_with_fault(defect, &golden);
+            let ranked = diagnoser.diagnose(&observed);
+            let s = diagnoser.diagnose_summary(defect, &observed);
+            assert_eq!(s.candidates, ranked.len());
+            let pos = ranked
+                .iter()
+                .position(|cand| cand.fault == defect)
+                .expect("defect is a dictionary candidate");
+            let mut above: Vec<f64> = ranked[..pos]
+                .iter()
+                .map(|cand| cand.score)
+                .filter(|&x| x > ranked[pos].score)
+                .collect();
+            above.dedup();
+            assert_eq!(s.rank, Some(1 + above.len()));
+            assert_eq!(s.localized, ranked[pos].score == ranked[0].score);
+            checked += 1;
+        }
+        assert!(checked > 5);
     }
 }

@@ -1,0 +1,107 @@
+//! Inverted posting-list index over per-candidate key sets.
+//!
+//! Shared by the logic [`Diagnoser`](crate::Diagnoser) (keys are failing
+//! *window* indices) and the SRAM [`MarchTest`](crate::MarchTest) (keys
+//! are full [`FailEntry`](crate::FailEntry) syndromes). An observed
+//! upload touches only the candidates that share at least one key with
+//! it; every untouched candidate has an empty intersection, so a ranking
+//! built from the touched set plus a zero-score tail is provably
+//! identical to the historical linear scan over all candidates.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Posting-list index mapping each key to the candidate slots whose
+/// predicted set contains it.
+#[derive(Debug)]
+pub(crate) struct InvertedIndex<K> {
+    postings: HashMap<K, Vec<u32>>,
+    /// Predicted-set length per candidate slot (the `|predicted|` term of
+    /// the Jaccard denominator).
+    predicted_len: Vec<u32>,
+}
+
+impl<K: Eq + Hash + Copy> InvertedIndex<K> {
+    /// Builds the index from per-slot predicted key sets. A key occurring
+    /// twice in one set posts the slot twice — intersection counts then
+    /// match a linear scan that counts per occurrence.
+    pub(crate) fn build<'a, I, S>(sets: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = &'a K>,
+        K: 'a,
+    {
+        let mut postings: HashMap<K, Vec<u32>> = HashMap::new();
+        let mut predicted_len = Vec::new();
+        for (slot, set) in sets.into_iter().enumerate() {
+            let mut len = 0u32;
+            for &key in set {
+                postings.entry(key).or_default().push(slot as u32);
+                len += 1;
+            }
+            predicted_len.push(len);
+        }
+        InvertedIndex {
+            postings,
+            predicted_len,
+        }
+    }
+
+    /// Predicted-set length of `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range (caller bug, not data-reachable).
+    pub(crate) fn predicted_len(&self, slot: u32) -> u32 {
+        self.predicted_len[slot as usize]
+    }
+
+    /// Intersection counts against the **deduplicated** observed keys:
+    /// returns `(slot, |predicted ∩ observed|)` for every slot with a
+    /// non-empty intersection, ascending by slot.
+    pub(crate) fn intersect(&self, observed: &[K]) -> Vec<(u32, u32)> {
+        let mut counts = vec![0u32; self.predicted_len.len()];
+        let mut touched: Vec<u32> = Vec::new();
+        for key in observed {
+            if let Some(slots) = self.postings.get(key) {
+                for &slot in slots {
+                    if counts[slot as usize] == 0 {
+                        touched.push(slot);
+                    }
+                    counts[slot as usize] += 1;
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched
+            .iter()
+            .map(|&slot| (slot, counts[slot as usize]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_counts_match_brute_force() {
+        let sets: Vec<Vec<u32>> = vec![vec![0, 2, 5], vec![], vec![2], vec![1, 2, 5, 9]];
+        let idx = InvertedIndex::build(sets.iter());
+        assert_eq!(idx.predicted_len(3), 4);
+        let observed = [2u32, 5, 7];
+        let hits = idx.intersect(&observed);
+        assert_eq!(hits, vec![(0, 2), (2, 1), (3, 2)]);
+        // Queries are independent.
+        assert_eq!(idx.intersect(&[9u32]), vec![(3, 1)]);
+        assert_eq!(idx.intersect(&[]), vec![]);
+    }
+
+    #[test]
+    fn duplicate_predicted_keys_count_per_occurrence() {
+        let sets: Vec<Vec<u32>> = vec![vec![4, 4]];
+        let idx = InvertedIndex::build(sets.iter());
+        assert_eq!(idx.predicted_len(0), 2);
+        assert_eq!(idx.intersect(&[4u32]), vec![(0, 2)]);
+    }
+}

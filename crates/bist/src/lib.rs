@@ -41,11 +41,13 @@ mod fail;
 mod lfsr;
 mod march;
 mod misr;
+mod index;
 mod paper_data;
 mod profile;
+mod session_table;
 mod stumps;
 
-pub use diagnosis::{Candidate, Diagnoser};
+pub use diagnosis::{Candidate, Diagnoser, DiagnosisSummary};
 pub use fail::{FailData, FailDataIntegrity, FailEntry, FAIL_DATA_BYTES, FAIL_ENTRY_BYTES};
 pub use lfsr::{Lfsr, UnsupportedLfsrWidthError};
 pub use march::{
@@ -54,6 +56,7 @@ pub use march::{
 };
 pub use misr::Misr;
 pub use paper_data::{paper_table1, PAPER_CUT};
+pub use session_table::SessionTable;
 pub use profile::{
     generate_profiles, BistProfile, CoverageTarget, PaperCutSpec, ProfileConfig, ProfileError,
 };

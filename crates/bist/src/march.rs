@@ -20,7 +20,9 @@
 //! faults by Jaccard similarity over the `(element, syndrome)` entry
 //! sets, mirroring the window-based logic diagnosis.
 
-use crate::fail::FailData;
+use crate::diagnosis::{summarize, DiagnosisSummary};
+use crate::fail::{FailData, FailEntry};
+use crate::index::InvertedIndex;
 
 /// Which kind of circuit a BIST session exercises: the existing STUMPS
 /// stuck-at logic path, or an embedded SRAM under march test. Campaigns
@@ -286,6 +288,9 @@ pub struct MarchTest {
     faults: Vec<MarchFault>,
     fail_table: Vec<FailData>,
     detectable: Vec<u32>,
+    /// `(element, syndrome)` → fault-index posting lists; slot order is
+    /// fault-index order, which is also the diagnosis tie order.
+    index: InvertedIndex<FailEntry>,
 }
 
 impl MarchTest {
@@ -337,11 +342,13 @@ impl MarchTest {
             }
             fail_table.push(fail);
         }
+        let index = InvertedIndex::build(fail_table.iter().map(|fd| fd.entries()));
         Ok(MarchTest {
             config,
             faults,
             fail_table,
             detectable,
+            index,
         })
     }
 
@@ -399,7 +406,75 @@ impl MarchTest {
     /// Ranks candidate memory faults against observed fail data, best
     /// first (ties by fault index): Jaccard similarity over the exact
     /// `(element, syndrome)` entry sets.
+    ///
+    /// Backed by the `(element, syndrome)` → fault posting-list index —
+    /// only candidates sharing an observed syndrome entry are scored,
+    /// everything else is a provable `0.0` — and bit-identical to the
+    /// retained [`diagnose_linear`](Self::diagnose_linear) scan
+    /// (proptest-enforced).
     pub fn diagnose(&self, observed: &FailData) -> Vec<MarchCandidate> {
+        let raw = observed.entries();
+        let mut out = Vec::with_capacity(self.fail_table.len());
+        if raw.is_empty() {
+            // PASS: undetectable candidates score 1.0, everything else
+            // 0.0; each class stays in fault-index (= tie) order.
+            for score_of_empty in [true, false] {
+                for (i, predicted) in self.fail_table.iter().enumerate() {
+                    if predicted.is_pass() == score_of_empty {
+                        out.push(MarchCandidate {
+                            fault_index: i as u32,
+                            fault: self.faults[i],
+                            score: if score_of_empty { 1.0 } else { 0.0 },
+                        });
+                    }
+                }
+            }
+            return out;
+        }
+        // The linear scan tests membership per predicted entry, so each
+        // distinct observed entry contributes once to the intersection.
+        let mut dedup: Vec<FailEntry> = Vec::with_capacity(raw.len());
+        for &e in raw {
+            if !dedup.contains(&e) {
+                dedup.push(e);
+            }
+        }
+        let hits = self.index.intersect(&dedup);
+        let mut touched: Vec<(u32, f64)> = hits
+            .iter()
+            .map(|&(slot, inter)| {
+                let union = self.index.predicted_len(slot) as usize + raw.len() - inter as usize;
+                (slot, inter as f64 / union as f64)
+            })
+            .collect();
+        touched.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for &(slot, score) in &touched {
+            out.push(MarchCandidate {
+                fault_index: slot,
+                fault: self.faults[slot as usize],
+                score,
+            });
+        }
+        // Zero tail in fault-index order; `hits` is ascending by slot.
+        let mut next_hit = hits.iter().map(|&(slot, _)| slot).peekable();
+        for (i, &fault) in self.faults.iter().enumerate() {
+            if next_hit.peek() == Some(&(i as u32)) {
+                next_hit.next();
+            } else {
+                out.push(MarchCandidate {
+                    fault_index: i as u32,
+                    fault,
+                    score: 0.0,
+                });
+            }
+        }
+        out
+    }
+
+    /// The historical linear Jaccard scan over every candidate, kept as
+    /// the reference implementation [`diagnose`](Self::diagnose) must
+    /// stay `PartialEq`-identical to.
+    pub fn diagnose_linear(&self, observed: &FailData) -> Vec<MarchCandidate> {
         let observed_entries = observed.entries();
         let mut out: Vec<MarchCandidate> = self
             .fail_table
@@ -436,6 +511,14 @@ impl MarchTest {
         out
     }
 
+    /// Ranks the observation and condenses the placement of fault `i`
+    /// into a [`DiagnosisSummary`] — one diagnosis serving consumers
+    /// that need candidate count, rank class and localization together.
+    pub fn diagnose_summary(&self, i: u32, observed: &FailData) -> DiagnosisSummary {
+        let ranked = self.diagnose(observed);
+        summarize(&ranked, |c| c.fault_index == i, |c| c.score)
+    }
+
     /// Whether diagnosis of fault `i`'s own fail data ranks fault `i` in
     /// the top-scoring equivalence class — the same localization
     /// criterion the logic family applies.
@@ -457,14 +540,7 @@ impl MarchTest {
     ///
     /// Panics if `i` is out of range (caller bug, not data-reachable).
     pub fn localizes_observed(&self, i: u32, observed: &FailData) -> bool {
-        let candidates = self.diagnose(observed);
-        let Some(top) = candidates.first() else {
-            return false;
-        };
-        candidates
-            .iter()
-            .take_while(|c| c.score == top.score)
-            .any(|c| c.fault_index == i)
+        self.diagnose_summary(i, observed).localized
     }
 
     /// Rank (1-based) of fault `i` in the diagnosis of its own fail
@@ -485,18 +561,7 @@ impl MarchTest {
     ///
     /// Panics if `i` is out of range (caller bug, not data-reachable).
     pub fn true_fault_rank_observed(&self, i: u32, observed: &FailData) -> Option<usize> {
-        let candidates = self.diagnose(observed);
-        let pos = candidates.iter().position(|c| c.fault_index == i)?;
-        let score = candidates[pos].score;
-        let mut rank = 1usize;
-        let mut prev = f64::INFINITY;
-        for c in candidates.iter().take_while(|c| c.score > score) {
-            if c.score < prev {
-                rank += 1;
-                prev = c.score;
-            }
-        }
-        Some(rank)
+        self.diagnose_summary(i, observed).rank
     }
 }
 
@@ -681,6 +746,44 @@ mod tests {
             .err(),
             Some(MarchError::TooManyCells { cells: 1 << 22 })
         );
+    }
+
+    #[test]
+    fn indexed_diagnose_matches_linear() {
+        let m = small();
+        let pass = FailData::new();
+        assert_eq!(m.diagnose(&pass), m.diagnose_linear(&pass));
+        for &i in m.detectable_faults().iter().step_by(7) {
+            let fd = m.fail_data(i);
+            assert_eq!(m.diagnose(fd), m.diagnose_linear(fd), "fault {i}");
+            // Impaired payloads take the same code path.
+            let lost = fd.without_window_slot(1);
+            assert_eq!(m.diagnose(&lost), m.diagnose_linear(&lost), "fault {i} lost");
+            let corrupt = fd.with_corrupted_window(i as u8);
+            assert_eq!(
+                m.diagnose(&corrupt),
+                m.diagnose_linear(&corrupt),
+                "fault {i} corrupt"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_agrees_with_full_ranking() {
+        let m = small();
+        for &i in m.detectable_faults().iter().step_by(11) {
+            let fd = m.fail_data(i);
+            let s = m.diagnose_summary(i, fd);
+            assert_eq!(s.candidates, m.num_faults());
+            assert_eq!(s.localized, m.localizes(i));
+            assert_eq!(Some(s), m.true_fault_rank(i).map(|r| {
+                DiagnosisSummary {
+                    candidates: m.num_faults(),
+                    rank: Some(r),
+                    localized: s.localized,
+                }
+            }));
+        }
     }
 
     #[test]

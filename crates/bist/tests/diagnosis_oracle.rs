@@ -1,0 +1,171 @@
+//! Equivalence oracles for the diagnosis engine rewrite (DESIGN.md §15).
+//!
+//! Two independently implemented paths must agree bit-for-bit:
+//!
+//! * **dictionary build** — the one-pass wide-word [`SessionTable`]
+//!   sweep vs the historical one-session-replay-per-fault construction,
+//!   across seeds, session geometry and worker thread counts, and
+//! * **lookup** — the inverted-index [`Diagnoser::diagnose`] (with its
+//!   fingerprint fast path) vs the retained linear Jaccard scan, across
+//!   clean, truncated, window-lost, corrupted and empty payloads — the
+//!   impairment constructors the channel layer applies in transit.
+//!
+//! The SRAM family gets the same treatment: indexed
+//! [`MarchTest::diagnose`] vs [`MarchTest::diagnose_linear`].
+
+use eea_bist::{
+    march_fail_data, Diagnoser, FailData, MarchTest, SessionTable, SramConfig, StumpsSession,
+    FAIL_ENTRY_BYTES,
+};
+use eea_faultsim::FaultUniverse;
+use eea_netlist::{synthesize, ScanChains, SynthConfig};
+use proptest::prelude::*;
+
+fn substrate(seed: u64, gates: usize) -> (eea_netlist::Circuit, ScanChains) {
+    let c = synthesize(&SynthConfig {
+        gates,
+        inputs: 8,
+        dffs: 12,
+        seed,
+        ..SynthConfig::default()
+    })
+    .expect("synthesizes");
+    let chains = ScanChains::balanced(&c, 4).expect("at least one chain");
+    (c, chains)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The one-pass sweep emits, for every fault, exactly the fail data
+    /// and detect-window set of the historical per-fault session replay —
+    /// at any worker thread count.
+    #[test]
+    fn one_pass_table_matches_serial_replay(
+        seed in 1u64..6,
+        lfsr_seed in 1u64..=0xFFFF,
+        window in 3u64..20,
+        patterns in 30u64..200,
+        threads in 1usize..6,
+    ) {
+        let (c, chains) = substrate(seed, 70);
+        let serial = SessionTable::build_serial_replay(&c, &chains, lfsr_seed, window, patterns);
+        let fast = SessionTable::build(&c, &chains, lfsr_seed, window, patterns, threads);
+        prop_assert_eq!(fast.num_faults(), serial.num_faults());
+        prop_assert_eq!(fast.windows(), serial.windows());
+        prop_assert_eq!(fast.golden(), serial.golden());
+        for i in 0..serial.num_faults() {
+            prop_assert_eq!(fast.fault(i), serial.fault(i));
+            prop_assert_eq!(fast.fail_data(i), serial.fail_data(i), "fail data, fault {}", i);
+            prop_assert_eq!(
+                fast.detect_windows(i),
+                serial.detect_windows(i),
+                "detect windows, fault {}",
+                i
+            );
+        }
+    }
+
+    /// Indexed diagnosis (posting lists + fingerprint fast path) is
+    /// `PartialEq`-identical to the linear scan for every payload shape
+    /// the channel layer can produce — including repeated lookups that
+    /// hit the memoized fingerprint ranking.
+    #[test]
+    fn indexed_diagnose_matches_linear(
+        seed in 1u64..6,
+        window in 3u64..14,
+        patterns in 40u64..160,
+        cap_entries in 1u64..12,
+        slot in 0usize..8,
+        salt in 0u8..=255,
+    ) {
+        let (c, chains) = substrate(seed, 70);
+        let table = SessionTable::build(&c, &chains, 0xACE1, window, patterns, 2);
+        let diagnoser = Diagnoser::from_table(&table);
+        let session = StumpsSession::new(&c, &chains, 0xACE1, window);
+        let golden = session.run_golden(patterns);
+        let universe = FaultUniverse::collapsed(&c);
+        let check = |payload: &FailData, what: &str, fi: usize| -> Result<(), TestCaseError> {
+            prop_assert_eq!(
+                diagnoser.diagnose(payload),
+                diagnoser.diagnose_linear(payload),
+                "{} payload of fault {}",
+                what,
+                fi
+            );
+            // Second lookup: the fingerprint memo must return the same.
+            prop_assert_eq!(
+                diagnoser.diagnose(payload),
+                diagnoser.diagnose_linear(payload),
+                "{} payload of fault {} (repeat)",
+                what,
+                fi
+            );
+            Ok(())
+        };
+        for fi in (0..universe.num_faults()).step_by(9) {
+            let fail = session.run_with_fault(universe.fault(fi), &golden);
+            check(&fail, "clean", fi)?;
+            check(&fail.truncated_to(cap_entries * FAIL_ENTRY_BYTES), "truncated", fi)?;
+            check(&fail.without_window_slot(slot), "window-lost", fi)?;
+            check(&fail.with_corrupted_window(salt), "corrupted", fi)?;
+        }
+        check(&FailData::new(), "empty", 0)?;
+        // Out-of-order observations exercise the linear fallback.
+        let mut unsorted = FailData::new();
+        unsorted.push(7, u64::from(salt) | 1);
+        unsorted.push(1, 0xFEED);
+        unsorted.push(4, 0xBEEF);
+        check(&unsorted, "unsorted", 0)?;
+    }
+
+    /// SRAM-family indexed diagnosis vs the linear `(element, syndrome)`
+    /// scan, over the same impairment shapes.
+    #[test]
+    fn march_indexed_matches_linear(
+        words in 2u32..12,
+        bits in 1u32..9,
+        cap_entries in 1u64..7,
+        slot in 0usize..6,
+        salt in 0u8..=255,
+    ) {
+        let m = MarchTest::build(SramConfig { words, bits }).expect("geometry is valid");
+        let pass = march_fail_data(&SramConfig { words, bits }, None);
+        prop_assert_eq!(m.diagnose(&pass), m.diagnose_linear(&pass));
+        for &i in m.detectable_faults().iter().step_by(11) {
+            let fail = m.fail_data(i);
+            prop_assert_eq!(m.diagnose(fail), m.diagnose_linear(fail), "fault {}", i);
+            let capped = fail.truncated_to(cap_entries * FAIL_ENTRY_BYTES);
+            prop_assert_eq!(m.diagnose(&capped), m.diagnose_linear(&capped), "capped {}", i);
+            let lost = fail.without_window_slot(slot);
+            prop_assert_eq!(m.diagnose(&lost), m.diagnose_linear(&lost), "lost {}", i);
+            let corrupt = fail.with_corrupted_window(salt);
+            prop_assert_eq!(m.diagnose(&corrupt), m.diagnose_linear(&corrupt), "corrupt {}", i);
+        }
+    }
+
+    /// `Diagnoser::new` (the public constructor) is the one-pass build:
+    /// its rankings equal a diagnoser built from the serial-replay table,
+    /// pinning `from_table` as a pure refactor of `new`.
+    #[test]
+    fn constructor_equals_serial_replay_dictionary(
+        seed in 1u64..6,
+        window in 4u64..12,
+        patterns in 40u64..120,
+    ) {
+        let (c, chains) = substrate(seed, 60);
+        let fast = Diagnoser::new(&c, &chains, 0xACE1, window, patterns);
+        let serial = Diagnoser::from_table(&SessionTable::build_serial_replay(
+            &c, &chains, 0xACE1, window, patterns,
+        ));
+        prop_assert_eq!(fast.num_candidates(), serial.num_candidates());
+        prop_assert_eq!(fast.windows(), serial.windows());
+        let session = StumpsSession::new(&c, &chains, 0xACE1, window);
+        let golden = session.run_golden(patterns);
+        let universe = FaultUniverse::collapsed(&c);
+        for fi in (0..universe.num_faults()).step_by(13) {
+            let fail = session.run_with_fault(universe.fault(fi), &golden);
+            prop_assert_eq!(fast.diagnose(&fail), serial.diagnose(&fail), "fault {}", fi);
+        }
+    }
+}

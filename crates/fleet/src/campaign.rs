@@ -178,6 +178,14 @@ pub struct StageTimings {
     /// Final serial scan: findings, batches, latency stats, coverage
     /// curve, per-ECU aggregation.
     pub fold_s: f64,
+    /// One-pass fault-dictionary sweep inside [`CutModel::build`] —
+    /// amortized once per model, not per campaign run (copied from
+    /// [`CutModel::dict_build_seconds`], identical across runs sharing a
+    /// model).
+    pub dict_build_s: f64,
+    /// Pure dictionary-lookup portion of the diagnose stage: the sharded
+    /// [`diagnose_faults`] call, excluding distinct-key set construction.
+    pub diagnose_lookup_s: f64,
 }
 
 /// Census-side fleet counters — everything a [`FleetReport`] carries that
@@ -264,13 +272,14 @@ pub(crate) struct DiagEntry {
     pub candidates: usize,
     pub rank: usize,
     pub localized: bool,
-    /// Whether this fault's fail data overflowed the bounded fail memory
-    /// ([`eea_bist::FailData::is_truncated`]) — an on-chip fact of the
-    /// *original* payload, independent of any channel impairment, so the
-    /// snapshot's `truncated_uploads` counter is channel-invariant.
-    pub truncated: bool,
     /// Whether the key's channel byte cap actually clipped entries off
     /// this fault's payload (always `false` for an unimpaired key).
+    ///
+    /// On-chip fail-memory overflow of the *original* payload is NOT
+    /// cached here: it is independent of any channel impairment, and the
+    /// snapshot's `truncated_uploads` counter reads it straight from the
+    /// `CutModel`'s precomputed per-fault bitset
+    /// ([`CutModel::fault_truncated`]).
     pub cap_truncated: bool,
 }
 
@@ -625,7 +634,7 @@ impl<'a> Campaign<'a> {
         let merge_s = t.elapsed().as_secs_f64();
 
         let t = Instant::now();
-        let table = self.diagnosis_table(&merged.uploads);
+        let (table, diagnose_lookup_s) = self.diagnosis_table(&merged.uploads);
         let diagnose_s = t.elapsed().as_secs_f64();
 
         let t = Instant::now();
@@ -646,6 +655,8 @@ impl<'a> Campaign<'a> {
                 merge_s,
                 diagnose_s,
                 fold_s,
+                dict_build_s: self.cut.dict_build_seconds(),
+                diagnose_lookup_s,
             },
         )
     }
@@ -699,7 +710,9 @@ impl<'a> Campaign<'a> {
     /// deterministic because the merge is keyed by `(fault, impairment)`.
     /// Every impaired key also diagnoses its clean twin, so the fold can
     /// price localization degradation against the clean-channel baseline.
-    fn diagnosis_table(&self, uploads: &[Upload]) -> BTreeMap<DiagKey, DiagEntry> {
+    /// Returns the table plus the wall-clock seconds of the pure lookup
+    /// call (for [`StageTimings::diagnose_lookup_s`]).
+    fn diagnosis_table(&self, uploads: &[Upload]) -> (BTreeMap<DiagKey, DiagEntry>, f64) {
         let mut set = BTreeSet::new();
         for u in uploads {
             let key = DiagKey::of(u);
@@ -707,9 +720,11 @@ impl<'a> Campaign<'a> {
             set.insert(key.clean_twin());
         }
         let distinct: Vec<DiagKey> = set.into_iter().collect();
-        diagnose_faults(self.cut, self.sram, &distinct, self.resolve_shards())
+        let t = Instant::now();
+        let table = diagnose_faults(self.cut, self.sram, &distinct, self.resolve_shards())
             .into_iter()
-            .collect()
+            .collect();
+        (table, t.elapsed().as_secs_f64())
     }
 
     fn resolve_shards(&self) -> usize {
@@ -821,11 +836,14 @@ fn diagnose_fault(cut: &CutModel, sram: Option<&MarchTest>, key: DiagKey) -> Dia
             let fail = cut.fail_data(index);
             let observed = observed_payload(fail, imp);
             let seen = observed.as_ref().unwrap_or(fail);
+            // One ranking per key: the summary carries candidate count,
+            // rank class and localization together (the historical code
+            // diagnosed the same payload three times over).
+            let s = cut.diagnose_summary(index, seen);
             DiagEntry {
-                candidates: cut.diagnose(seen).len(),
-                rank: cut.true_fault_rank_observed(index, seen).unwrap_or(0),
-                localized: cut.localizes_observed(index, seen),
-                truncated: fail.is_truncated(),
+                candidates: s.candidates,
+                rank: s.rank.unwrap_or(0),
+                localized: s.localized,
                 cap_truncated: usize::from(imp.cap_entries) < fail.entries().len(),
             }
         }
@@ -834,11 +852,11 @@ fn diagnose_fault(cut: &CutModel, sram: Option<&MarchTest>, key: DiagKey) -> Dia
                 let fail = m.fail_data(index);
                 let observed = observed_payload(fail, imp);
                 let seen = observed.as_ref().unwrap_or(fail);
+                let s = m.diagnose_summary(index, seen);
                 DiagEntry {
-                    candidates: m.diagnose(seen).len(),
-                    rank: m.true_fault_rank_observed(index, seen).unwrap_or(0),
-                    localized: m.localizes_observed(index, seen),
-                    truncated: fail.is_truncated(),
+                    candidates: s.candidates,
+                    rank: s.rank.unwrap_or(0),
+                    localized: s.localized,
                     cap_truncated: usize::from(imp.cap_entries) < fail.entries().len(),
                 }
             }
@@ -848,7 +866,6 @@ fn diagnose_fault(cut: &CutModel, sram: Option<&MarchTest>, key: DiagKey) -> Dia
                 candidates: 0,
                 rank: 0,
                 localized: false,
-                truncated: false,
                 cap_truncated: false,
             },
         },

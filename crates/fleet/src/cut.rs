@@ -3,21 +3,26 @@
 //! The paper's case study binds the *same* CUT (an automotive
 //! microprocessor) into every ECU, so fleet-scale simulation does not need
 //! gate-level work per vehicle: [`CutModel::build`] synthesizes one
-//! substrate circuit, runs the golden STUMPS session once, and precomputes
-//! the [`FailData`] of **every collapsed stuck-at fault** through the
-//! resumable-session hook ([`eea_bist::ResumableRun`]) — deliberately
-//! advancing in uneven chunks, exactly the way a vehicle's shut-off
-//! windows slice a session. Per-pattern independence of the full-scan
-//! STUMPS architecture makes the result bit-identical to an uninterrupted
-//! run, so the table is valid for *any* window schedule a vehicle draws.
+//! substrate circuit and derives the [`FailData`] of **every collapsed
+//! stuck-at fault** plus the diagnosis dictionary from a single one-pass
+//! [`SessionTable`] sweep of the session's pattern stream (DESIGN.md §15)
+//! — one wide-word walk replaces the historical full-session replay per
+//! fault, and the sweep is computed **once**, shared between the fail
+//! table and the [`Diagnoser`]. The result is bit-identical to
+//! uninterrupted per-fault session runs (equivalence tests below and the
+//! proptest oracle in eea-bist), so the table remains valid for *any*
+//! shut-off window schedule a vehicle draws: per-pattern independence of
+//! the full-scan STUMPS architecture makes session chopping invisible.
 //!
 //! A campaign over 100k vehicles then only consults this table: seeding a
 //! defect picks a detectable fault index, the upload carries the
 //! precomputed fail-data size, and gateway-side diagnosis reuses one
 //! [`Diagnoser`] dictionary.
 
-use eea_bist::{Candidate, Diagnoser, FailData, StumpsSession};
-use eea_faultsim::{Fault, FaultUniverse};
+use std::time::Instant;
+
+use eea_bist::{Candidate, Diagnoser, DiagnosisSummary, FailData, SessionTable};
+use eea_faultsim::Fault;
 use eea_netlist::{synthesize, Circuit, ScanChains, SynthConfig};
 
 use crate::error::FleetError;
@@ -41,6 +46,10 @@ pub struct CutConfig {
     pub window: u64,
     /// Session length in patterns.
     pub patterns: u64,
+    /// Worker threads for the one-pass dictionary sweep (`0` = all
+    /// available, honouring `EEA_THREADS`); the result is bit-identical
+    /// at any thread count.
+    pub threads: usize,
 }
 
 impl Default for CutConfig {
@@ -54,6 +63,7 @@ impl Default for CutConfig {
             lfsr_seed: 0xACE1,
             window: 16,
             patterns: 256,
+            threads: 0,
         }
     }
 }
@@ -67,13 +77,21 @@ pub struct CutModel {
     faults: Vec<Fault>,
     fail_table: Vec<FailData>,
     detectable: Vec<u32>,
+    /// Bit `i` set ⇔ fault `i`'s fail data overflows the fail memory —
+    /// precomputed so per-upload truncation checks are one shift away.
+    truncated: Vec<u64>,
     diagnoser: Diagnoser,
+    /// Wall-clock seconds the one-pass dictionary sweep took at build
+    /// time — surfaced through [`StageTimings`](crate::StageTimings) so
+    /// benchmarks can report the amortized build cost next to per-lookup
+    /// cost. Never part of a [`FleetReport`](crate::FleetReport).
+    dict_build_s: f64,
 }
 
 impl CutModel {
-    /// Synthesizes the substrate, runs the golden session and fills the
-    /// per-fault fail-data table by driving [`eea_bist::ResumableRun`] in
-    /// uneven chunks (the shut-off discipline vehicles will apply).
+    /// Synthesizes the substrate and fills the per-fault fail-data table
+    /// and the diagnosis dictionary from one shared [`SessionTable`]
+    /// sweep.
     ///
     /// # Errors
     ///
@@ -89,48 +107,38 @@ impl CutModel {
             ..SynthConfig::default()
         })?;
         let chains = ScanChains::balanced(&circuit, config.chains)?;
-        let session = StumpsSession::new(&circuit, &chains, config.lfsr_seed, config.window);
-
-        // Golden run through the resumable hook, paused at uneven points.
-        let mut run = session.resume_golden(config.patterns);
-        while !run.is_complete() {
-            run.advance(run.remaining().clamp(1, 48));
-        }
-        let golden = run.into_golden();
-
-        let universe = FaultUniverse::collapsed(&circuit);
-        let faults: Vec<Fault> = (0..universe.num_faults())
-            .map(|i| universe.fault(i))
-            .collect();
-        let mut fail_table = Vec::with_capacity(faults.len());
-        let mut detectable = Vec::new();
-        for (i, &fault) in faults.iter().enumerate() {
-            let mut run = session.resume_with_fault(fault, &golden);
-            // Chunk sizes cycle through a small irregular pattern so the
-            // resume path is exercised at many window offsets.
-            let chunks = [7u64, 64, 13, 48, 96];
-            let mut k = 0usize;
-            while !run.is_complete() {
-                run.advance(chunks[k % chunks.len()]);
-                k += 1;
-            }
-            let fail = run.into_fail_data();
-            if !fail.is_pass() {
-                detectable.push(i as u32);
-            }
-            fail_table.push(fail);
-        }
-        if detectable.is_empty() {
+        if config.patterns == 0 {
+            // A zero-length session detects nothing; report it as the
+            // seeding-pool error rather than asserting in the sweep.
             return Err(FleetError::NoDetectableFault);
         }
 
-        let diagnoser = Diagnoser::new(
+        let t = Instant::now();
+        let table = SessionTable::build(
             &circuit,
             &chains,
             config.lfsr_seed,
             config.window,
             config.patterns,
+            config.threads,
         );
+        let diagnoser = Diagnoser::from_table(&table);
+        let dict_build_s = t.elapsed().as_secs_f64();
+        let (faults, fail_table, _detect_windows, _windows) = table.into_parts();
+
+        let mut detectable = Vec::new();
+        let mut truncated = vec![0u64; fail_table.len().div_ceil(64)];
+        for (i, fail) in fail_table.iter().enumerate() {
+            if !fail.is_pass() {
+                detectable.push(i as u32);
+            }
+            if fail.is_truncated() {
+                truncated[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        if detectable.is_empty() {
+            return Err(FleetError::NoDetectableFault);
+        }
 
         Ok(CutModel {
             config,
@@ -138,8 +146,16 @@ impl CutModel {
             faults,
             fail_table,
             detectable,
+            truncated,
             diagnoser,
+            dict_build_s,
         })
+    }
+
+    /// Wall-clock seconds the one-pass sweep (fail table + dictionary +
+    /// index) took when this model was built.
+    pub fn dict_build_seconds(&self) -> f64 {
+        self.dict_build_s
     }
 
     /// The configuration the model was built from.
@@ -185,6 +201,17 @@ impl CutModel {
         self.fail_table[i as usize].byte_size()
     }
 
+    /// Whether fault `i`'s fail data overflows the modeled fail memory —
+    /// the precomputed equivalent of `fail_data(i).is_truncated()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn fault_truncated(&self, i: u32) -> bool {
+        assert!((i as usize) < self.fail_table.len(), "fault out of range");
+        self.truncated[i as usize / 64] >> (i % 64) & 1 == 1
+    }
+
     /// Indices of faults the session detects — the pool defects are
     /// seeded from. Non-empty by construction.
     pub fn detectable_faults(&self) -> &[u32] {
@@ -201,6 +228,18 @@ impl CutModel {
     /// scored candidates (best first).
     pub fn diagnose(&self, observed: &FailData) -> Vec<Candidate> {
         self.diagnoser.diagnose(observed)
+    }
+
+    /// Diagnoses `observed` once and condenses fault `i`'s placement —
+    /// candidate count, rank class and localization — into a
+    /// [`DiagnosisSummary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (caller bug, not data-reachable).
+    pub fn diagnose_summary(&self, i: u32, observed: &FailData) -> DiagnosisSummary {
+        self.diagnoser
+            .diagnose_summary(self.faults[i as usize], observed)
     }
 
     /// Whether diagnosis of fault `i`'s own fail data ranks fault `i` in
@@ -224,15 +263,7 @@ impl CutModel {
     ///
     /// Panics if `i` is out of range (caller bug, not data-reachable).
     pub fn localizes_observed(&self, i: u32, observed: &FailData) -> bool {
-        let candidates = self.diagnoser.diagnose(observed);
-        let Some(top) = candidates.first() else {
-            return false;
-        };
-        let fault = self.faults[i as usize];
-        candidates
-            .iter()
-            .take_while(|c| c.score == top.score)
-            .any(|c| c.fault == fault)
+        self.diagnose_summary(i, observed).localized
     }
 
     /// Rank (1-based) of fault `i` in the diagnosis of its own fail data,
@@ -253,27 +284,14 @@ impl CutModel {
     ///
     /// Panics if `i` is out of range (caller bug, not data-reachable).
     pub fn true_fault_rank_observed(&self, i: u32, observed: &FailData) -> Option<usize> {
-        let candidates = self.diagnoser.diagnose(observed);
-        let fault = self.faults[i as usize];
-        let pos = candidates.iter().position(|c| c.fault == fault)?;
-        let score = candidates[pos].score;
-        // Candidates are sorted by score descending; the class rank is one
-        // plus the number of distinct scores strictly above the fault's.
-        let mut rank = 1usize;
-        let mut prev = f64::INFINITY;
-        for c in candidates.iter().take_while(|c| c.score > score) {
-            if c.score < prev {
-                rank += 1;
-                prev = c.score;
-            }
-        }
-        Some(rank)
+        self.diagnose_summary(i, observed).rank
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eea_bist::StumpsSession;
 
     #[test]
     fn builds_with_detectable_faults() {
@@ -302,6 +320,25 @@ mod tests {
     }
 
     #[test]
+    fn fail_table_is_thread_count_invariant() {
+        let cfg = CutConfig {
+            gates: 80,
+            patterns: 64,
+            window: 8,
+            threads: 1,
+            ..CutConfig::default()
+        };
+        let serial = CutModel::build(cfg).expect("substrate builds");
+        let parallel = CutModel::build(CutConfig { threads: 5, ..cfg }).expect("substrate builds");
+        assert_eq!(serial.num_faults(), parallel.num_faults());
+        for i in 0..serial.num_faults() as u32 {
+            assert_eq!(serial.fail_data(i), parallel.fail_data(i));
+            assert_eq!(serial.fault_truncated(i), parallel.fault_truncated(i));
+        }
+        assert_eq!(serial.detectable_faults(), parallel.detectable_faults());
+    }
+
+    #[test]
     fn detectable_faults_localize_mostly() {
         let cut = CutModel::build(CutConfig::default()).expect("substrate builds");
         let localized = cut
@@ -321,5 +358,34 @@ mod tests {
             assert!(!cut.fail_data(i).is_pass());
             assert!(cut.fail_bytes(i) > 0);
         }
+    }
+
+    #[test]
+    fn truncated_bitset_matches_fail_table() {
+        // A 2-pattern window over 256 patterns yields up to 128 entries —
+        // far past the fail-memory capacity — so truncated faults exist.
+        let cfg = CutConfig {
+            window: 2,
+            ..CutConfig::default()
+        };
+        let cut = CutModel::build(cfg).expect("substrate builds");
+        let mut saw_truncated = false;
+        for i in 0..cut.num_faults() as u32 {
+            assert_eq!(cut.fault_truncated(i), cut.fail_data(i).is_truncated());
+            saw_truncated |= cut.fault_truncated(i);
+        }
+        assert!(saw_truncated, "config must produce a truncated fail memory");
+    }
+
+    #[test]
+    fn empty_session_is_a_typed_error() {
+        let cfg = CutConfig {
+            patterns: 0,
+            ..CutConfig::default()
+        };
+        assert!(matches!(
+            CutModel::build(cfg),
+            Err(FleetError::NoDetectableFault)
+        ));
     }
 }

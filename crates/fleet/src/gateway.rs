@@ -547,8 +547,10 @@ impl<'a> GatewayService<'a> {
             m
         };
         let threads = resolve_threads(self.config.threads).max(1);
+        let tl = Instant::now();
         self.diag_cache
             .extend(diagnose_faults(self.cut, self.sram, &missing, threads));
+        let diagnose_lookup_s = tl.elapsed().as_secs_f64();
         let diagnose_s = t.elapsed().as_secs_f64();
 
         let t = Instant::now();
@@ -560,13 +562,17 @@ impl<'a> GatewayService<'a> {
             seeded: self.seeded.clone(),
             rejected_uploads: self.malformed,
         };
+        // Truncation is an on-chip fact of the original payload, so the
+        // precomputed per-fault bitset answers in O(1) per upload — no
+        // diagnosis-cache lookup on this counting path.
         let truncated_uploads = u64::try_from(
             uploads
                 .iter()
-                .filter(|u| {
-                    self.diag_cache
-                        .get(&DiagKey::of(u))
-                        .is_some_and(|e| e.truncated)
+                .filter(|u| match u.family {
+                    CutFamily::Logic => self.cut.fault_truncated(u.fault_index),
+                    CutFamily::Sram => self
+                        .sram
+                        .is_some_and(|m| m.fail_data(u.fault_index).is_truncated()),
                 })
                 .count(),
         )
@@ -597,6 +603,8 @@ impl<'a> GatewayService<'a> {
                 merge_s,
                 diagnose_s,
                 fold_s,
+                dict_build_s: self.cut.dict_build_seconds(),
+                diagnose_lookup_s,
             },
         )
     }
